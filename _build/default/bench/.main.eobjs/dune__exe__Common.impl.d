@@ -1,0 +1,1 @@
+bench/common.ml: List Lsm_compaction Lsm_core Lsm_filter Lsm_storage Lsm_util Printf String Sys

@@ -1,0 +1,1 @@
+bench/experiments.ml: Common Fun Kv_store List Lsm_compaction Lsm_core Lsm_cost Lsm_filter Lsm_frag Lsm_kvsep Lsm_memtable Lsm_sstable Lsm_storage Lsm_util Lsm_workload Option Printf Runner Spec Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Lsm_filter Lsm_memtable Lsm_record Lsm_sstable Lsm_util Measure Printf Staged String Test Time Toolkit

@@ -1,0 +1,40 @@
+(* Benchmark harness entry point.
+
+   dune exec bench/main.exe              - run every experiment (E1..E14)
+   dune exec bench/main.exe -- --only E3 - run one experiment
+   dune exec bench/main.exe -- --micro   - Bechamel microbenchmarks
+   dune exec bench/main.exe -- --list    - list experiments *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse only micro list_only = function
+    | [] -> (only, micro, list_only)
+    | "--micro" :: rest -> parse only true list_only rest
+    | "--list" :: rest -> parse only micro true rest
+    | "--only" :: id :: rest -> parse (id :: only) micro list_only rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %s\n" arg;
+      exit 2
+  in
+  let only, micro, list_only = parse [] false false args in
+  if list_only then begin
+    List.iter (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title) Experiments.all;
+    exit 0
+  end;
+  if (not micro) || only <> [] then begin
+    print_endline "ocaml-lsm experiment harness - reproducing the LSM design-space tradeoffs";
+    print_endline "(see EXPERIMENTS.md for the claim -> experiment mapping)";
+    let selected =
+      match only with
+      | [] -> Experiments.all
+      | ids ->
+        List.filter
+          (fun (id, _, _) ->
+            List.exists (fun x -> String.lowercase_ascii x = String.lowercase_ascii id) ids)
+          Experiments.all
+    in
+    let t0 = Sys.time () in
+    List.iter (fun (_, _, run) -> run ()) selected;
+    Printf.printf "\nall experiments done in %.1f CPU seconds\n" (Sys.time () -. t0)
+  end;
+  if micro then Micro.run ()

@@ -1,0 +1,212 @@
+(* lsm_cli — drive the engine from the command line.
+
+   Subcommands:
+     bench   run a workload preset against a chosen design and print metrics
+     advise  cost-model recommendation (+ robust variant) for a described workload
+     tree    load synthetic data and print the resulting tree shape
+     demo    tiny put/get/scan session against a directory-backed store
+
+   Examples:
+     dune exec bin/lsm_cli.exe -- bench --workload ycsb-a --layout tiered
+     dune exec bin/lsm_cli.exe -- advise --inserts 0.8 --reads 0.15 --scans 0.05
+     dune exec bin/lsm_cli.exe -- tree --keys 100000 --layout lazy
+     dune exec bin/lsm_cli.exe -- demo --dir /tmp/lsm-demo *)
+
+open Cmdliner
+module Policy = Lsm_compaction.Policy
+module Device = Lsm_storage.Device
+module Db = Lsm_core.Db
+open Lsm_workload
+
+let layout_conv =
+  Arg.enum
+    [
+      ("leveled", `Leveled); ("tiered", `Tiered); ("lazy", `Lazy); ("hybrid", `Hybrid);
+    ]
+
+let policy_of_layout ~size_ratio = function
+  | `Leveled -> Policy.leveled ~size_ratio ()
+  | `Tiered -> Policy.tiered ~size_ratio ()
+  | `Lazy -> Policy.lazy_leveled ~size_ratio ()
+  | `Hybrid ->
+    { (Policy.leveled ~size_ratio ()) with
+      Policy.layout = Policy.Hybrid { tiered_levels = 2; runs = size_ratio } }
+
+let config_of ~layout ~size_ratio ~buffer_kib =
+  {
+    Lsm_core.Config.default with
+    write_buffer_size = buffer_kib * 1024;
+    level1_capacity = 4 * buffer_kib * 1024;
+    target_file_size = 2 * buffer_kib * 1024;
+    compaction = policy_of_layout ~size_ratio layout;
+  }
+
+let device_of_dir = function
+  | Some dir -> Device.on_disk ~dir ()
+  | None -> Device.in_memory ()
+
+(* ---------------- bench ---------------- *)
+
+let workload_conv =
+  Arg.enum
+    [
+      ("ycsb-a", `A); ("ycsb-b", `B); ("ycsb-c", `C); ("ycsb-d", `D); ("ycsb-e", `E);
+      ("ycsb-f", `F); ("write-only", `W); ("read-heavy", `R); ("delete-heavy", `Del);
+      ("mixed", `M);
+    ]
+
+let spec_of ~records ~operations = function
+  | `A -> Spec.ycsb_a ~records ~operations ()
+  | `B -> Spec.ycsb_b ~records ~operations ()
+  | `C -> Spec.ycsb_c ~records ~operations ()
+  | `D -> Spec.ycsb_d ~records ~operations ()
+  | `E -> Spec.ycsb_e ~records ~operations ()
+  | `F -> Spec.ycsb_f ~records ~operations ()
+  | `W -> Spec.write_only ~records:operations ()
+  | `R -> Spec.read_heavy ~records ~operations ()
+  | `Del -> Spec.delete_heavy ~records ~operations ()
+  | `M -> Spec.mixed ~records ~operations ()
+
+let bench workload layout strategy size_ratio buffer_kib records operations dir =
+  let dev = device_of_dir dir in
+  let config = config_of ~layout ~size_ratio ~buffer_kib in
+  let config =
+    match strategy with
+    | None -> config
+    | Some name -> (
+      match Lsm_compaction.Compactionary.find name with
+      | Some policy -> { config with Lsm_core.Config.compaction = policy }
+      | None ->
+        Printf.eprintf "unknown strategy %s; known: %s\n" name
+          (String.concat ", " Lsm_compaction.Compactionary.names);
+        exit 2)
+  in
+  let db = Db.open_db ~config ~dev () in
+  let store = Kv_store.of_db db in
+  let spec = spec_of ~records ~operations workload in
+  Printf.printf "running %s against %s\n%!" (Spec.describe spec)
+    (Lsm_core.Config.describe config);
+  let result = Runner.run store spec in
+  print_endline Runner.header;
+  print_endline (Runner.row result);
+  Format.printf "@.engine statistics:@.%a@." Lsm_core.Stats.pp (Db.stats db);
+  Format.printf "tree:@.%a@." Db.pp_tree db;
+  Db.close db
+
+let bench_cmd =
+  let workload =
+    Arg.(value & opt workload_conv `A & info [ "workload"; "w" ] ~doc:"Workload preset.")
+  in
+  let layout = Arg.(value & opt layout_conv `Leveled & info [ "layout"; "l" ] ~doc:"Data layout.") in
+  let strategy =
+    Arg.(value & opt (some string) None
+         & info [ "strategy" ] ~doc:"Named compactionary strategy (see `strategies`).")
+  in
+  let size_ratio = Arg.(value & opt int 10 & info [ "size-ratio"; "T" ] ~doc:"Size ratio T.") in
+  let buffer = Arg.(value & opt int 256 & info [ "buffer-kib" ] ~doc:"Write buffer KiB.") in
+  let records = Arg.(value & opt int 50_000 & info [ "records" ] ~doc:"Preloaded records.") in
+  let ops = Arg.(value & opt int 50_000 & info [ "ops" ] ~doc:"Measured operations.") in
+  let dir =
+    Arg.(value & opt (some string) None & info [ "dir" ] ~doc:"Directory for on-disk files.")
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Run a workload preset and report metrics")
+    Term.(const bench $ workload $ layout $ strategy $ size_ratio $ buffer $ records $ ops $ dir)
+
+let strategies_cmd =
+  Cmd.v (Cmd.info "strategies" ~doc:"List the compactionary's named strategies")
+    Term.(const (fun () -> print_endline (Lsm_compaction.Compactionary.describe_all ())) $ const ())
+
+(* ---------------- advise ---------------- *)
+
+let advise inserts reads misses scans long_scans memory_mib rho =
+  let w =
+    {
+      Lsm_cost.Model.entries = 50_000_000;
+      entry_bytes = 128;
+      page_bytes = 4096;
+      f_insert = inserts;
+      f_point_lookup_hit = reads;
+      f_point_lookup_miss = misses;
+      f_short_scan = scans;
+      f_long_scan = long_scans;
+      long_scan_pages = 64.0;
+    }
+  in
+  let total = Lsm_cost.Model.mix_total w in
+  if abs_float (total -. 1.0) > 0.05 then
+    Printf.printf "note: mix sums to %.2f (renormalize your fractions)\n" total;
+  let mem_bits = 8.0 *. float_of_int (memory_mib * 1024 * 1024) in
+  let best = Lsm_cost.Navigator.best ~total_memory_bits:mem_bits w in
+  Printf.printf "nominal optimum : %s  (expected %.4f I/O per op)\n"
+    (Lsm_cost.Model.describe_design best.Lsm_cost.Navigator.design)
+    best.Lsm_cost.Navigator.cost;
+  let robust = Lsm_cost.Robust.robust_best ~rho ~total_memory_bits:mem_bits w in
+  Printf.printf "robust (rho=%.2f): %s  (worst case %.4f I/O per op)\n" rho
+    (Lsm_cost.Model.describe_design robust.Lsm_cost.Navigator.design)
+    robust.Lsm_cost.Navigator.cost
+
+let advise_cmd =
+  let frac name dflt doc = Arg.(value & opt float dflt & info [ name ] ~doc) in
+  Cmd.v (Cmd.info "advise" ~doc:"Recommend a design for a workload mix")
+    Term.(
+      const advise
+      $ frac "inserts" 0.5 "Insert/update fraction."
+      $ frac "reads" 0.3 "Point-lookup (hit) fraction."
+      $ frac "misses" 0.1 "Zero-result lookup fraction."
+      $ frac "scans" 0.05 "Short-scan fraction."
+      $ frac "long-scans" 0.05 "Long-scan fraction."
+      $ Arg.(value & opt int 64 & info [ "memory-mib" ] ~doc:"Total memory budget MiB.")
+      $ frac "rho" 0.25 "Uncertainty radius for robust tuning.")
+
+(* ---------------- tree ---------------- *)
+
+let tree keys layout size_ratio buffer_kib =
+  let dev = Device.in_memory () in
+  let config = config_of ~layout ~size_ratio ~buffer_kib in
+  let db = Db.open_db ~config ~dev () in
+  let rng = Lsm_util.Rng.create 7 in
+  for _ = 1 to keys do
+    Db.put db
+      ~key:(Printf.sprintf "key%012d" (Lsm_util.Rng.int rng (2 * keys)))
+      (String.make 100 'v')
+  done;
+  Db.flush db;
+  Format.printf "%s, %d puts:@.%a@." (Lsm_core.Config.describe config) keys Db.pp_tree db;
+  Printf.printf "write amplification %.2f, space amplification %.2f\n"
+    (Db.write_amplification db) (Db.space_amplification db);
+  Db.close db
+
+let tree_cmd =
+  Cmd.v (Cmd.info "tree" ~doc:"Load synthetic data and print the tree shape")
+    Term.(
+      const tree
+      $ Arg.(value & opt int 100_000 & info [ "keys" ] ~doc:"Number of puts.")
+      $ Arg.(value & opt layout_conv `Leveled & info [ "layout"; "l" ] ~doc:"Data layout.")
+      $ Arg.(value & opt int 10 & info [ "size-ratio"; "T" ] ~doc:"Size ratio.")
+      $ Arg.(value & opt int 256 & info [ "buffer-kib" ] ~doc:"Write buffer KiB."))
+
+(* ---------------- demo ---------------- *)
+
+let demo dir =
+  let dev = device_of_dir dir in
+  let db = Db.open_db ~dev () in
+  Db.put db ~key:"hello" "world";
+  Db.put db ~key:"answer" "42";
+  Printf.printf "hello -> %s\n" (Option.value ~default:"?" (Db.get db "hello"));
+  Db.delete db "hello";
+  Printf.printf "after delete, hello -> %s\n" (Option.value ~default:"<gone>" (Db.get db "hello"));
+  List.iter (fun (k, v) -> Printf.printf "scan: %s = %s\n" k v) (Db.scan db ~lo:"" ~hi:None ());
+  Db.close db;
+  match dir with
+  | Some d -> Printf.printf "state persisted under %s\n" d
+  | None -> print_endline "in-memory device: state discarded"
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Tiny put/get/scan session")
+    Term.(
+      const demo
+      $ Arg.(value & opt (some string) None & info [ "dir" ] ~doc:"Directory for on-disk files."))
+
+let () =
+  let info = Cmd.info "lsm_cli" ~doc:"LSM design-space engine command line" in
+  exit (Cmd.eval (Cmd.group info [ bench_cmd; advise_cmd; tree_cmd; demo_cmd; strategies_cmd ]))

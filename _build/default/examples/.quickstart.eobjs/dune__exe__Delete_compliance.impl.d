@@ -1,0 +1,1 @@
+examples/delete_compliance.ml: Filename List Lsm_compaction Lsm_core Lsm_storage Printf String

@@ -1,0 +1,1 @@
+examples/delete_compliance.mli:

@@ -1,0 +1,1 @@
+examples/secondary_index.ml: Array List Lsm_core Lsm_index Lsm_storage Printf String

@@ -1,0 +1,1 @@
+examples/secondary_index.mli:

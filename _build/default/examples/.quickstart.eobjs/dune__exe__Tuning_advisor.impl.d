@@ -1,0 +1,1 @@
+examples/tuning_advisor.ml: Kv_store List Lsm_compaction Lsm_core Lsm_cost Lsm_storage Lsm_workload Printf Runner Spec

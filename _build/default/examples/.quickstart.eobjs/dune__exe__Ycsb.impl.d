@@ -1,0 +1,1 @@
+examples/ycsb.ml: Kv_store List Lsm_compaction Lsm_core Lsm_frag Lsm_kvsep Lsm_storage Lsm_workload Printf Runner Spec

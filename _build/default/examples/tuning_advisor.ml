@@ -1,0 +1,106 @@
+(* Tuning advisor: navigate the LSM design space analytically (Module III).
+
+   Describe a workload, get back the cost-model-optimal design, the
+   read-write Pareto frontier, and a robust (min-max) recommendation that
+   hedges against workload drift - then validate the top pick empirically
+   against a deliberately mistuned design.
+
+   Run with: dune exec examples/tuning_advisor.exe *)
+
+module Model = Lsm_cost.Model
+module Navigator = Lsm_cost.Navigator
+module Robust = Lsm_cost.Robust
+module Policy = Lsm_compaction.Policy
+module Device = Lsm_storage.Device
+open Lsm_workload
+
+let describe_and_tune name w =
+  Printf.printf "--- %s ---\n" name;
+  let mem_bits = 8.0 *. float_of_int (64 * 1024 * 1024) in
+  let best = Navigator.best ~total_memory_bits:mem_bits w in
+  Printf.printf "  nominal optimum: %-40s cost %.4f I/O/op\n"
+    (Model.describe_design best.Navigator.design)
+    best.Navigator.cost;
+  let robust = Robust.robust_best ~rho:0.3 ~total_memory_bits:mem_bits w in
+  Printf.printf "  robust (rho=0.3): %-39s worst-case %.4f I/O/op\n"
+    (Model.describe_design robust.Navigator.design)
+    robust.Navigator.cost;
+  let frontier =
+    Navigator.pareto_frontier
+      (Navigator.enumerate ~total_memory_bits:mem_bits w)
+      ~write_cost:(fun d -> Model.write_cost d w)
+      ~read_cost:(fun d -> Model.point_lookup_miss_cost d w)
+  in
+  Printf.printf "  read-write frontier (%d designs):\n" (List.length frontier);
+  List.iteri
+    (fun i c ->
+      if i < 5 then
+        Printf.printf "    write %.4f  zero-result read %.4f  <- %s\n"
+          (Model.write_cost c.Navigator.design w)
+          (Model.point_lookup_miss_cost c.Navigator.design w)
+          (Model.describe_design c.Navigator.design))
+    frontier;
+  print_newline ();
+  best.Navigator.design
+
+let empirical_check design =
+  print_endline "--- empirical validation (write-heavy workload) ---";
+  let to_policy (d : Model.design) =
+    match d.Model.layout with
+    | `Leveling -> Policy.leveled ~size_ratio:d.size_ratio ()
+    | `Tiering -> Policy.tiered ~size_ratio:d.size_ratio ()
+    | `Lazy_leveling -> Policy.lazy_leveled ~size_ratio:d.size_ratio ()
+  in
+  let run_with label compaction =
+    let dev = Device.in_memory () in
+    let config =
+      {
+        Lsm_core.Config.default with
+        write_buffer_size = 64 * 1024;
+        level1_capacity = 256 * 1024;
+        target_file_size = 128 * 1024;
+        compaction;
+      }
+    in
+    let store =
+      { (Kv_store.of_db (Lsm_core.Db.open_db ~config ~dev ())) with Kv_store.store_name = label }
+    in
+    let spec =
+      { (Spec.mixed ~records:10_000 ~operations:30_000 ()) with
+        Spec.mix =
+          { insert = 0.4; update = 0.4; read = 0.15; scan = 0.05; scan_length = 10;
+            delete = 0.0; rmw = 0.0 } }
+    in
+    Runner.run store spec
+  in
+  print_endline Runner.header;
+  print_endline (Runner.row (run_with "advised" (to_policy design)));
+  print_endline
+    (Runner.row (run_with "mistuned" (Policy.leveled ~size_ratio:2 ())));
+  print_endline "\n(The advised design should show lower WA / higher ops/s.)"
+
+let () =
+  let base =
+    {
+      Model.entries = 50_000_000;
+      entry_bytes = 128;
+      page_bytes = 4096;
+      f_insert = 0.0;
+      f_point_lookup_hit = 0.0;
+      f_point_lookup_miss = 0.0;
+      f_short_scan = 0.0;
+      f_long_scan = 0.0;
+      long_scan_pages = 64.0;
+    }
+  in
+  ignore
+    (describe_and_tune "read-mostly service (95% point reads)"
+       { base with f_insert = 0.05; f_point_lookup_hit = 0.75; f_point_lookup_miss = 0.2 });
+  ignore
+    (describe_and_tune "analytics scans (70% range scans)"
+       { base with f_insert = 0.2; f_point_lookup_hit = 0.1; f_short_scan = 0.5; f_long_scan = 0.2 });
+  let write_design =
+    describe_and_tune "ingest pipeline (90% writes)"
+      { base with f_insert = 0.9; f_point_lookup_hit = 0.05; f_point_lookup_miss = 0.05 }
+  in
+  empirical_check write_design

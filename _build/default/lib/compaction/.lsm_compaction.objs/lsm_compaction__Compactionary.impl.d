@@ -1,0 +1,1 @@
+lib/compaction/compactionary.ml: List Policy Printf String

@@ -1,0 +1,1 @@
+lib/compaction/compactionary.mli: Policy

@@ -1,0 +1,1 @@
+lib/compaction/picker.ml: List Lsm_sstable Lsm_util Option Policy String

@@ -1,0 +1,1 @@
+lib/compaction/picker.mli: Lsm_sstable Lsm_util Policy

@@ -1,0 +1,1 @@
+lib/compaction/policy.ml: Array Format Printf String

@@ -1,0 +1,1 @@
+lib/compaction/policy.mli: Format

@@ -1,0 +1,18 @@
+(** A dictionary of production compaction strategies expressed as points
+    in the four-primitive design space — after "Compactionary: A Dictionary
+    for LSM Compactions" (Sarkar et al., SIGMOD 2022 [111]), the companion
+    of the tutorial's §2.2.4.
+
+    Each entry names a real engine's default strategy and its encoding in
+    {!Policy.t}; the point of the exercise is that every one of them is
+    reachable by turning the same four knobs. *)
+
+val all : (string * string * Policy.t) list
+(** (name, what it models, policy). *)
+
+val find : string -> Policy.t option
+(** Case-insensitive lookup by name. *)
+
+val names : string list
+val describe_all : unit -> string
+(** Multi-line rendering for CLIs. *)

@@ -1,0 +1,63 @@
+module Table_meta = Lsm_sstable.Table_meta
+module Comparator = Lsm_util.Comparator
+
+type candidate = {
+  meta : Table_meta.t;
+  overlap_bytes : int;
+  expired_tombstones : bool;
+}
+
+let overlapping ~cmp ~lo ~hi files =
+  List.filter (fun f -> Table_meta.overlaps cmp f ~lo ~hi) files
+
+let annotate ~cmp ~now ~ttl ~next_level files =
+  List.map
+    (fun (f : Table_meta.t) ->
+      let overlap_bytes =
+        overlapping ~cmp ~lo:f.min_key ~hi:f.max_key next_level
+        |> List.fold_left (fun acc (g : Table_meta.t) -> acc + g.size) 0
+      in
+      let expired_tombstones =
+        match ttl with
+        | Some ttl -> f.point_tombstones + f.range_tombstones > 0 && now - f.created_at > ttl
+        | None -> false
+      in
+      { meta = f; overlap_bytes; expired_tombstones })
+    files
+
+let min_by f = function
+  | [] -> None
+  | first :: rest ->
+    Some (List.fold_left (fun best c -> if f c < f best then c else best) first rest)
+
+let pick movement ~cursor candidates =
+  match candidates with
+  | [] -> None
+  | _ ->
+    let chosen =
+      match movement with
+      | Policy.Round_robin ->
+        (* First file (in key order) past the cursor; wrap to the smallest. *)
+        let sorted =
+          List.sort (fun a b -> String.compare a.meta.Table_meta.min_key b.meta.min_key) candidates
+        in
+        let past =
+          match cursor with
+          | None -> sorted
+          | Some c ->
+            List.filter (fun x -> String.compare x.meta.Table_meta.max_key c > 0) sorted
+        in
+        Some (match past with x :: _ -> x | [] -> List.hd sorted)
+      | Policy.Least_overlap -> min_by (fun c -> c.overlap_bytes) candidates
+      | Policy.Oldest_file -> min_by (fun c -> c.meta.Table_meta.created_at) candidates
+      | Policy.Most_tombstones ->
+        min_by (fun c -> -. Table_meta.tombstone_density c.meta) candidates
+      | Policy.Expired_ttl _ ->
+        (* Lethe: an expired file wins outright (break ties toward denser
+           tombstones); otherwise behave like least-overlap. *)
+        let expired = List.filter (fun c -> c.expired_tombstones) candidates in
+        (match expired with
+        | [] -> min_by (fun c -> c.overlap_bytes) candidates
+        | _ -> min_by (fun c -> -. Table_meta.tombstone_density c.meta) expired)
+    in
+    Option.map (fun c -> c.meta) chosen

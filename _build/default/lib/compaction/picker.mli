@@ -1,0 +1,41 @@
+(** Data-movement policies: which file of a level moves next (§2.2.3).
+
+    All pickers operate on {!Lsm_sstable.Table_meta.t} only — no I/O — so
+    the choice is as cheap as in production engines, which keep the same
+    metadata in their manifests. *)
+
+type candidate = {
+  meta : Lsm_sstable.Table_meta.t;
+  overlap_bytes : int;  (** total size of overlapping next-level files *)
+  expired_tombstones : bool;  (** has tombstones older than the policy TTL *)
+}
+
+val annotate :
+  cmp:Lsm_util.Comparator.t ->
+  now:int ->
+  ttl:int option ->
+  next_level:Lsm_sstable.Table_meta.t list ->
+  Lsm_sstable.Table_meta.t list ->
+  candidate list
+(** Compute overlap and TTL expiry for each file of a level against the
+    (key-ordered, non-overlapping) next-level run. [now] is the logical
+    clock; a file "has expired tombstones" when it contains tombstones and
+    [now - created_at > ttl]. *)
+
+val pick :
+  Policy.movement ->
+  cursor:string option ->
+  candidate list ->
+  Lsm_sstable.Table_meta.t option
+(** Choose the file to compact. [cursor] is the round-robin position (the
+    largest key compacted last time at this level); files whose max_key is
+    <= cursor are passed over until wrap-around. Returns [None] only for an
+    empty candidate list. *)
+
+val overlapping :
+  cmp:Lsm_util.Comparator.t ->
+  lo:string ->
+  hi:string ->
+  Lsm_sstable.Table_meta.t list ->
+  Lsm_sstable.Table_meta.t list
+(** Files of a run intersecting the closed key interval. *)

@@ -1,0 +1,1 @@
+lib/core/adaptive_memory.ml: Db Lsm_storage

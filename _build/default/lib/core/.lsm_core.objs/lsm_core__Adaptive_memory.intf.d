@@ -1,0 +1,1 @@
+lib/core/adaptive_memory.mli: Db

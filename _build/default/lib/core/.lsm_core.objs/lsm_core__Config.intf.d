@@ -1,0 +1,1 @@
+lib/core/config.mli: Lsm_compaction Lsm_filter Lsm_memtable Lsm_sstable Lsm_util

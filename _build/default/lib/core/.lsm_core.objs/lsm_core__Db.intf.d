@@ -1,0 +1,1 @@
+lib/core/db.mli: Config Format Lsm_storage Snapshot Stats Version Write_batch

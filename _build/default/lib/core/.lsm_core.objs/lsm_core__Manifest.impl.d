@@ -1,0 +1,1 @@
+lib/core/manifest.ml: Buffer Int32 Lsm_storage Lsm_util String Version

@@ -1,0 +1,1 @@
+lib/core/merge_filter.ml: Array List Lsm_record Lsm_util String

@@ -1,0 +1,1 @@
+lib/core/merge_filter.mli: Lsm_record Lsm_util

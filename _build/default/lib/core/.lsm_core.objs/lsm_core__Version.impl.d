@@ -1,0 +1,1 @@
+lib/core/version.ml: Array Format Hashtbl List Lsm_sstable Lsm_util Printf String

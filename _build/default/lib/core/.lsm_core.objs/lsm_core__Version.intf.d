@@ -1,0 +1,1 @@
+lib/core/version.mli: Buffer Format Lsm_sstable Lsm_util

@@ -1,0 +1,1 @@
+lib/core/write_batch.ml: List Lsm_record String

@@ -1,0 +1,1 @@
+lib/core/write_batch.mli: Lsm_record

@@ -1,0 +1,81 @@
+module Policy = Lsm_compaction.Policy
+
+type t = {
+  comparator : Lsm_util.Comparator.t;
+  memtable : Lsm_memtable.Memtable.kind;
+  write_buffer_size : int;
+  max_immutable_buffers : int;
+  wal_enabled : bool;
+  wal_sync_every_write : bool;
+  compaction : Policy.t;
+  level1_capacity : int;
+  target_file_size : int;
+  block_size : int;
+  restart_interval : int;
+  compression : Lsm_sstable.Sstable.compression;
+  filter : Lsm_filter.Point_filter.policy;
+  monkey_filters : bool;
+  filter_memory_bits : int;
+  range_filter : Lsm_filter.Range_filter.policy;
+  block_cache_bytes : int;
+  cache_refill_after_compaction : bool;
+  merge_operator : (string -> string option -> string list -> string) option;
+  allow_trivial_move : bool;
+  compaction_bytes_per_round : int option;
+  paranoid_checks : bool;
+}
+
+let default =
+  {
+    comparator = Lsm_util.Comparator.bytewise;
+    memtable = Lsm_memtable.Memtable.Skiplist;
+    write_buffer_size = 1 lsl 20;
+    max_immutable_buffers = 1;
+    wal_enabled = true;
+    wal_sync_every_write = false;
+    compaction = Policy.default;
+    level1_capacity = 4 lsl 20;
+    target_file_size = 1 lsl 20;
+    block_size = 4096;
+    restart_interval = 16;
+    compression = Lsm_sstable.Sstable.C_none;
+    filter = Lsm_filter.Point_filter.default;
+    monkey_filters = false;
+    filter_memory_bits = 0;
+    range_filter = Lsm_filter.Range_filter.No_range_filter;
+    block_cache_bytes = 8 lsl 20;
+    cache_refill_after_compaction = false;
+    merge_operator = None;
+    allow_trivial_move = true;
+    compaction_bytes_per_round = None;
+    paranoid_checks = false;
+  }
+
+let validate t =
+  if t.write_buffer_size <= 0 then invalid_arg "Config: write_buffer_size must be positive";
+  if t.max_immutable_buffers < 0 then invalid_arg "Config: max_immutable_buffers negative";
+  if t.level1_capacity <= 0 then invalid_arg "Config: level1_capacity must be positive";
+  if t.target_file_size <= 0 then invalid_arg "Config: target_file_size must be positive";
+  if t.block_size < 128 then invalid_arg "Config: block_size too small";
+  if t.compaction.Policy.size_ratio < 2 then invalid_arg "Config: size_ratio must be >= 2";
+  if t.compaction.Policy.level0_limit < 1 then invalid_arg "Config: level0_limit must be >= 1";
+  if t.monkey_filters && t.filter_memory_bits <= 0 then
+    invalid_arg "Config: monkey_filters requires a filter_memory_bits budget";
+  match t.compaction_bytes_per_round with
+  | Some n when n <= 0 -> invalid_arg "Config: compaction_bytes_per_round must be positive"
+  | Some _ | None -> ()
+
+let level_capacity t level =
+  if level < 1 then invalid_arg "Config.level_capacity: level must be >= 1";
+  let rec grow cap l = if l <= 1 then cap else grow (cap * t.compaction.Policy.size_ratio) (l - 1) in
+  grow t.level1_capacity level
+
+let describe t =
+  Printf.sprintf "%s buffer=%dKiB(%s) L1=%dKiB file=%dKiB filter=%s cache=%dKiB%s"
+    (Policy.describe t.compaction)
+    (t.write_buffer_size / 1024)
+    (Lsm_memtable.Memtable.kind_name t.memtable)
+    (t.level1_capacity / 1024) (t.target_file_size / 1024)
+    (Lsm_filter.Point_filter.policy_name t.filter)
+    (t.block_cache_bytes / 1024)
+    (if t.monkey_filters then " monkey" else "")

@@ -1,0 +1,73 @@
+(** Every tuning knob of the engine in one record — the paper's point is
+    that these knobs {e are} the LSM design space (§2.3), so the full
+    space is reachable from here: data layout, compaction primitives,
+    buffer implementation and size, filter choice and memory, cache size,
+    key-value separation threshold.
+
+    Use {!default} and override fields:
+    {[ { Config.default with compaction = Policy.tiered (); write_buffer_size = 1 lsl 20 } ]} *)
+
+type t = {
+  comparator : Lsm_util.Comparator.t;
+  (* -- write path (§2.2.1) -- *)
+  memtable : Lsm_memtable.Memtable.kind;
+  write_buffer_size : int;  (** bytes buffered before rotation *)
+  max_immutable_buffers : int;
+      (** rotated buffers allowed to pile up before the writer must flush
+          (absorbs ingestion bursts) *)
+  wal_enabled : bool;
+  wal_sync_every_write : bool;
+  (* -- data layout & compaction (§2.2.2–§2.2.4) -- *)
+  compaction : Lsm_compaction.Policy.t;
+  level1_capacity : int;  (** bytes; level L holds [level1_capacity * T^(L-1)] *)
+  target_file_size : int;  (** output files are cut at about this size *)
+  (* -- sstable format -- *)
+  block_size : int;
+  restart_interval : int;
+  compression : Lsm_sstable.Sstable.compression;
+      (** per-block compression; trades CPU for device bytes (space and
+          write amplification) *)
+  (* -- read path (§2.1.3) -- *)
+  filter : Lsm_filter.Point_filter.policy;
+  monkey_filters : bool;
+      (** allocate filter bits per level with Monkey instead of uniformly;
+          uses [filter_memory_bits] as the total budget *)
+  filter_memory_bits : int;
+      (** total filter memory budget (bits), only meaningful with
+          [monkey_filters] *)
+  range_filter : Lsm_filter.Range_filter.policy;
+  block_cache_bytes : int;
+  cache_refill_after_compaction : bool;
+      (** Leaper-style: prefetch output blocks into the cache right after a
+          compaction (E13) *)
+  (* -- read-modify-write (§2.2.6) -- *)
+  merge_operator : (string -> string option -> string list -> string) option;
+      (** [f key base operands] combines a base value (if any) with merge
+          operands, oldest first, at read time. [None] makes the newest
+          operand behave like a put. *)
+  (* -- scheduling (§2.2.3, §2.3.2) -- *)
+  allow_trivial_move : bool;
+      (** move files down without rewriting when they overlap nothing at
+          the target and no garbage collection would fire (RocksDB's
+          trivial move); pure WA reduction, ablated in the benches *)
+  compaction_bytes_per_round : int option;
+      (** Luo & Carey-style throttling: cap compaction traffic triggered
+          by any single write; remaining work is deferred to later writes,
+          trading a transiently deeper tree for stable write latency.
+          [None] = drain all pending compactions immediately. *)
+  paranoid_checks : bool;
+      (** verify version invariants after every flush/compaction *)
+}
+
+val default : t
+(** Small-scale defaults tuned for the in-memory device: 1 MiB buffer,
+    leveled compaction T=10, 4 MiB level 1, 10-bit Bloom filters, 8 MiB
+    block cache. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on nonsensical settings. *)
+
+val level_capacity : t -> int -> int
+(** [level_capacity t level] in bytes (level >= 1). *)
+
+val describe : t -> string

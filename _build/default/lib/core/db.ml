@@ -1,0 +1,1140 @@
+module Comparator = Lsm_util.Comparator
+module Entry = Lsm_record.Entry
+module Iter = Lsm_record.Iter
+module Device = Lsm_storage.Device
+module Io_stats = Lsm_storage.Io_stats
+module Block_cache = Lsm_storage.Block_cache
+module Wal = Lsm_storage.Wal
+module Memtable = Lsm_memtable.Memtable
+module Point_filter = Lsm_filter.Point_filter
+module Monkey = Lsm_filter.Monkey
+module Sstable = Lsm_sstable.Sstable
+module Table_meta = Lsm_sstable.Table_meta
+module Table_cache = Lsm_sstable.Table_cache
+module Policy = Lsm_compaction.Policy
+module Picker = Lsm_compaction.Picker
+
+type buffer_unit = { mt : Memtable.t; wal : Wal.t option; wal_name : string option }
+
+type t = {
+  cfg : Config.t;
+  dev : Device.t;
+  cache : Block_cache.t;
+  tables : Table_cache.t;
+  db_stats : Stats.t;
+  mutable active : buffer_unit;
+  mutable immutables : buffer_unit list;  (** newest first *)
+  mutable vers : Version.t;
+  mutable manifest : Manifest.t;
+  mutable seqno : int;
+  mutable clock : int;
+  mutable snapshots : int list;
+  mutable next_file_id : int;
+  mutable next_group : int;
+  mutable wal_counter : int;
+  rr_cursors : (int, string) Hashtbl.t;  (** round-robin movement cursor per level *)
+  mutable table_rds : (string * string * int) list;
+      (** live on-disk range tombstones: (lo, hi-exclusive, seqno) *)
+  mutable dyn_buffer_size : int;
+      (** runtime-adjustable rotation threshold (adaptive memory, §2.3.1);
+          starts at [cfg.write_buffer_size] *)
+  mutable closed : bool;
+}
+
+let cmp_of t = t.cfg.Config.comparator
+
+let wal_name_of n = Printf.sprintf "wal-%06d.log" n
+
+let new_buffer t =
+  let name = wal_name_of t.wal_counter in
+  t.wal_counter <- t.wal_counter + 1;
+  let wal = if t.cfg.Config.wal_enabled then Some (Wal.create t.dev ~name) else None in
+  {
+    mt = Memtable.create ~kind:t.cfg.Config.memtable ~cmp:(cmp_of t) ();
+    wal;
+    wal_name = (if t.cfg.Config.wal_enabled then Some name else None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Open / recover                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rebuild_table_rds t =
+  let rds = ref [] in
+  List.iter
+    (fun (f : Table_meta.t) ->
+      if f.range_tombstones > 0 then begin
+        let reader = Table_cache.get t.tables f.file_name in
+        List.iter
+          (fun (e : Entry.t) ->
+            if e.kind = Entry.Range_delete then rds := (e.key, e.value, e.seqno) :: !rds)
+          (Sstable.props reader).Sstable.Props.range_tombstones
+      end)
+    (Version.all_files t.vers);
+  t.table_rds <- !rds
+
+let install_edit t edit =
+  t.vers <- Version.apply t.vers edit;
+  Manifest.log_edit t.manifest edit;
+  if t.cfg.Config.paranoid_checks then begin
+    match Version.check_invariants ~cmp:(cmp_of t) t.vers with
+    | Ok () -> ()
+    | Error e -> failwith ("LSM invariant violation: " ^ e)
+  end;
+  rebuild_table_rds t
+
+let open_db ?(config = Config.default) ~dev () =
+  Config.validate config;
+  let recovered = Manifest.recover dev in
+  let cache = Block_cache.create ~capacity:config.Config.block_cache_bytes in
+  let tables = Table_cache.create ~cmp:config.Config.comparator ~dev ~cache () in
+  (* Rewrite a fresh manifest holding the recovered state as one edit. *)
+  Device.delete dev Manifest.file_name;
+  let manifest = Manifest.create dev in
+  let t =
+    {
+      cfg = config;
+      dev;
+      cache;
+      tables;
+      db_stats = Stats.create ();
+      active =
+        { mt = Memtable.create ~kind:config.Config.memtable ~cmp:config.Config.comparator ();
+          wal = None;
+          wal_name = None };
+      immutables = [];
+      vers = recovered;
+      manifest;
+      seqno = recovered.Version.last_seqno;
+      clock = 0;
+      snapshots = [];
+      next_file_id = recovered.Version.next_file_id;
+      next_group = recovered.Version.next_group;
+      wal_counter = 0;
+      rr_cursors = Hashtbl.create 8;
+      table_rds = [];
+      dyn_buffer_size = config.Config.write_buffer_size;
+      closed = false;
+    }
+  in
+  let snapshot_edit =
+    {
+      Version.added =
+        (let out = ref [] in
+         Array.iteri
+           (fun li runs ->
+             List.iter
+               (fun (r : Version.run) ->
+                 List.iter (fun f -> out := (li, r.Version.group, f) :: !out) r.Version.files)
+               runs)
+           recovered.Version.levels;
+         !out);
+      removed = [];
+      seqno_watermark = recovered.Version.last_seqno;
+    }
+  in
+  t.vers <- Version.empty;
+  install_edit t snapshot_edit;
+  (* Orphan cleanup: a crash between writing compaction/flush outputs and
+     syncing the manifest edit leaves .sst files no version references;
+     they are dead weight (and would alias future file ids). *)
+  let live =
+    List.fold_left
+      (fun acc (f : Table_meta.t) -> f.file_name :: acc)
+      [] (Version.all_files t.vers)
+  in
+  let is_table_name n =
+    String.length n = 10
+    && Filename.check_suffix n ".sst"
+    && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub n 0 6)
+  in
+  List.iter
+    (fun name ->
+      if is_table_name name && not (List.mem name live) then Device.delete dev name)
+    (Device.list_files dev);
+  (* Replay surviving WALs into a fresh buffer (re-logged durably). *)
+  let old_wals =
+    Device.list_files dev
+    |> List.filter (fun n -> String.length n > 4 && String.sub n 0 4 = "wal-")
+  in
+  let recovered_entries = ref [] in
+  List.iter
+    (fun name -> ignore (Wal.replay dev ~name (fun batch -> recovered_entries := batch :: !recovered_entries)))
+    old_wals;
+  let batches = List.rev !recovered_entries in
+  t.wal_counter <-
+    1
+    + List.fold_left
+        (fun acc n ->
+          match int_of_string_opt (String.sub n 4 6) with Some i -> max acc i | None -> acc)
+        (-1) old_wals;
+  t.active <- new_buffer t;
+  List.iter
+    (fun batch ->
+      List.iter
+        (fun (e : Entry.t) ->
+          Memtable.add t.active.mt e;
+          if e.seqno > t.seqno then t.seqno <- e.seqno)
+        batch;
+      match t.active.wal with Some w -> Wal.append w ~sync:false batch | None -> ())
+    batches;
+  (match t.active.wal with Some w when batches <> [] -> Wal.append w [] | _ -> ());
+  List.iter (Device.delete dev) old_wals;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Writing runs of SSTables                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Bits-per-key override for a level under Monkey allocation: project the
+   level's population after this write lands there. *)
+let monkey_bits t ~target_level ~incoming_entries =
+  if not t.cfg.Config.monkey_filters then None
+  else begin
+    let entries =
+      Array.init Version.max_levels (fun l -> Version.level_entries t.vers l)
+    in
+    entries.(target_level) <- entries.(target_level) + incoming_entries;
+    let bits =
+      Monkey.allocate
+        ~total_bits:(float_of_int t.cfg.Config.filter_memory_bits)
+        ~level_entries:entries
+    in
+    Some bits.(target_level)
+  end
+
+let build_config t ~filter_bits_override =
+  {
+    Sstable.block_size = t.cfg.Config.block_size;
+    restart_interval = t.cfg.Config.restart_interval;
+    filter = t.cfg.Config.filter;
+    filter_bits_override;
+    range_filter = t.cfg.Config.range_filter;
+    compression = t.cfg.Config.compression;
+  }
+
+(* Wrap [src] so it stops at a user-key boundary once [target] bytes of
+   entries have passed; returns whether anything remains. *)
+let capped_iter src ~target =
+  let emitted = ref 0 in
+  let stopped = ref false in
+  let check_boundary () =
+    if !emitted >= target && src.Iter.valid () then stopped := true
+  in
+  let last_key = ref None in
+  {
+    Iter.valid = (fun () -> (not !stopped) && src.Iter.valid ());
+    entry = (fun () -> src.Iter.entry ());
+    next =
+      (fun () ->
+        if (not !stopped) && src.Iter.valid () then begin
+          let e = src.Iter.entry () in
+          emitted := !emitted + Entry.encoded_size e;
+          last_key := Some e.Entry.key;
+          src.Iter.next ();
+          (* only cut between distinct user keys *)
+          if src.Iter.valid () then begin
+            let nxt = src.Iter.entry () in
+            match !last_key with
+            | Some k when not (String.equal k nxt.Entry.key) -> check_boundary ()
+            | _ -> ()
+          end
+        end);
+    seek = (fun _ -> invalid_arg "capped_iter: seek unsupported");
+    seek_to_first = (fun () -> () (* already positioned mid-stream *));
+  }
+
+(* Drain [src] into as many files as needed; returns their metadata. *)
+let write_run t ~cls ~filter_bits_override src =
+  src.Iter.seek_to_first ();
+  let metas = ref [] in
+  while src.Iter.valid () do
+    let file_id = t.next_file_id in
+    t.next_file_id <- t.next_file_id + 1;
+    let name = Table_meta.file_name_of_id file_id in
+    let part = capped_iter src ~target:t.cfg.Config.target_file_size in
+    let props =
+      Sstable.build
+        ~config:(build_config t ~filter_bits_override)
+        ~cmp:(cmp_of t) ~dev:t.dev ~cls ~name ~created_at:t.clock part
+    in
+    let size = Device.size t.dev name in
+    metas := Table_meta.of_props ~file_id ~file_name:name ~size props :: !metas
+  done;
+  List.rev !metas
+
+(* ------------------------------------------------------------------ *)
+(* Flush                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rotate t =
+  if Memtable.count t.active.mt > 0 then begin
+    t.immutables <- t.active :: t.immutables;
+    t.active <- new_buffer t
+  end
+
+let flush_one t buffer =
+  let it = Memtable.iterator buffer.mt in
+  (* Flush-time GC: drop same-stripe shadowed versions (never the bottom). *)
+  let filtered =
+    Merge_filter.filtered ~cmp:(cmp_of t) ~snapshots:t.snapshots ~bottom:false
+      ~range_tombstones:(Memtable.range_tombstones buffer.mt)
+      it
+  in
+  let bits = monkey_bits t ~target_level:0 ~incoming_entries:(Memtable.count buffer.mt) in
+  let metas = write_run t ~cls:Io_stats.C_flush ~filter_bits_override:bits filtered in
+  let group = t.next_group in
+  t.next_group <- t.next_group + 1;
+  let edit =
+    {
+      Version.added = List.map (fun m -> (0, group, m)) metas;
+      removed = [];
+      seqno_watermark = t.seqno;
+    }
+  in
+  install_edit t edit;
+  (match buffer.wal with Some w -> Wal.close w | None -> ());
+  (match buffer.wal_name with Some n -> Device.delete t.dev n | None -> ());
+  t.db_stats.Stats.flushes <- t.db_stats.Stats.flushes + 1
+
+let flush_oldest t =
+  match List.rev t.immutables with
+  | [] -> ()
+  | oldest :: _ ->
+    t.immutables <- List.filter (fun b -> b != oldest) t.immutables;
+    flush_one t oldest
+
+(* ------------------------------------------------------------------ *)
+(* Compaction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type job =
+  | J_level0
+  | J_tier_merge of int  (** merge all runs of the level, append at level+1 *)
+  | J_whole_level of int  (** level + next level's run, rewritten at level+1 *)
+  | J_file of int * Table_meta.t  (** one file + next-level overlap *)
+
+let run_cap t ~level =
+  Policy.run_cap t.cfg.Config.compaction ~level ~last_level:(max 1 (Version.last_level t.vers))
+
+let pick_compaction t =
+  let v = t.vers in
+  let policy = t.cfg.Config.compaction in
+  if Version.run_count v 0 >= policy.Policy.level0_limit && Version.run_count v 0 > 0 then
+    Some J_level0
+  else begin
+    let job = ref None in
+    (* Capacity / run-count triggers, shallowest level first. *)
+    for l = 1 to Version.max_levels - 2 do
+      if !job = None && Version.level_runs v l <> [] then begin
+        let cap = run_cap t ~level:l in
+        if cap > 1 then begin
+          if Version.run_count v l >= cap then job := Some (J_tier_merge l)
+        end
+        else if Version.level_bytes v l > Config.level_capacity t.cfg l then begin
+          let target_tiered = run_cap t ~level:(l + 1) > 1 in
+          if target_tiered then job := Some (J_tier_merge l)
+          else
+            match policy.Policy.granularity with
+            | Policy.Whole_level -> job := Some (J_whole_level l)
+            | Policy.Single_file -> (
+              let next_files =
+                List.concat_map (fun (r : Version.run) -> r.Version.files)
+                  (Version.level_runs v (l + 1))
+              in
+              let files =
+                List.concat_map (fun (r : Version.run) -> r.Version.files)
+                  (Version.level_runs v l)
+              in
+              let ttl =
+                match policy.Policy.movement with
+                | Policy.Expired_ttl { ttl } -> Some ttl
+                | _ -> None
+              in
+              let candidates =
+                Picker.annotate ~cmp:(cmp_of t) ~now:t.clock ~ttl ~next_level:next_files files
+              in
+              let cursor = Hashtbl.find_opt t.rr_cursors l in
+              match Picker.pick policy.Policy.movement ~cursor candidates with
+              | Some f -> job := Some (J_file (l, f))
+              | None -> ())
+        end
+      end
+    done;
+    (* Lethe's delete-driven trigger: files with expired tombstones force a
+       compaction even when the level is under capacity. *)
+    (match (policy.Policy.movement, !job) with
+    | Policy.Expired_ttl { ttl }, None ->
+      (try
+         for l = 0 to Version.max_levels - 2 do
+           if l < Version.max_levels - 1 then
+             List.iter
+               (fun (r : Version.run) ->
+                 List.iter
+                   (fun (f : Table_meta.t) ->
+                     if
+                       f.point_tombstones + f.range_tombstones > 0
+                       && t.clock - f.created_at > ttl
+                       && l >= 1
+                     then begin
+                       job := Some (J_file (l, f));
+                       raise Exit
+                     end
+                     else if
+                       f.point_tombstones + f.range_tombstones > 0
+                       && t.clock - f.created_at > ttl
+                       && l = 0
+                     then begin
+                       job := Some J_level0;
+                       raise Exit
+                     end)
+                   r.Version.files)
+               (Version.level_runs v l)
+         done
+       with Exit -> ())
+    | _ -> ());
+    !job
+  end
+
+let file_iter t ~cls (f : Table_meta.t) =
+  let reader = Table_cache.get t.tables f.file_name in
+  Sstable.iterator reader ~cls ~use_cache:false ()
+
+let run_iter t ~cls (r : Version.run) =
+  match r.Version.files with
+  | [ f ] -> file_iter t ~cls f
+  | files -> Iter.concat (List.map (file_iter t ~cls) files)
+
+let rds_of_files t files =
+  List.concat_map
+    (fun (f : Table_meta.t) ->
+      if f.range_tombstones = 0 then []
+      else
+        (Sstable.props (Table_cache.get t.tables f.file_name)).Sstable.Props.range_tombstones)
+    files
+
+let retire_files t files =
+  List.iter
+    (fun (f : Table_meta.t) ->
+      Device.delete t.dev f.file_name;
+      (* Deleting inputs implicitly evicts their hot blocks — the cache
+         disturbance §2.1.3 attributes to compactions. *)
+      Table_cache.evict t.tables f.file_name)
+    files
+
+(* Merge [input_runs] (newest first) and write the result as one sorted
+   run at [target_level] with [target_group]. [bottom] asserts that, for
+   every key range the inputs cover, no data at or below [target_level]
+   exists outside the inputs — only then may tombstones be retired. *)
+let execute_merge t ~input_runs ~extra_removed ~target_level ~target_group ~bottom =
+  let input_files = List.concat_map (fun (r : Version.run) -> r.Version.files) input_runs in
+  let read_bytes = List.fold_left (fun a (f : Table_meta.t) -> a + f.size) 0 input_files in
+  let input_entries = List.fold_left (fun a (f : Table_meta.t) -> a + f.entries) 0 input_files in
+  let merged =
+    Iter.merge (cmp_of t) (List.map (run_iter t ~cls:Io_stats.C_compaction_read) input_runs)
+  in
+  let filtered =
+    Merge_filter.filtered ~cmp:(cmp_of t) ~snapshots:t.snapshots ~bottom
+      ~range_tombstones:(rds_of_files t input_files)
+      merged
+  in
+  let bits = monkey_bits t ~target_level ~incoming_entries:input_entries in
+  let metas =
+    write_run t ~cls:Io_stats.C_compaction_write ~filter_bits_override:bits filtered
+  in
+  let written = List.fold_left (fun a (m : Table_meta.t) -> a + m.size) 0 metas in
+  let edit =
+    {
+      Version.added = List.map (fun m -> (target_level, target_group, m)) metas;
+      removed = List.map (fun (f : Table_meta.t) -> f.file_id) input_files @ extra_removed;
+      seqno_watermark = t.seqno;
+    }
+  in
+  install_edit t edit;
+  retire_files t input_files;
+  t.db_stats.Stats.compactions <- t.db_stats.Stats.compactions + 1;
+  t.db_stats.Stats.compaction_bytes_read <- t.db_stats.Stats.compaction_bytes_read + read_bytes;
+  t.db_stats.Stats.compaction_bytes_written <-
+    t.db_stats.Stats.compaction_bytes_written + written;
+  Lsm_util.Histogram.add t.db_stats.Stats.compaction_burst_bytes (read_bytes + written);
+  if t.cfg.Config.cache_refill_after_compaction then
+    List.iter
+      (fun (m : Table_meta.t) ->
+        ignore
+          (Sstable.prefetch_into_cache
+             (Table_cache.get t.tables m.file_name)
+             ~cls:Io_stats.C_compaction_read))
+      metas;
+  metas
+
+(* The run group output goes to: reuse the target's single-run group when
+   merging into a leveled level that already has a run, else a new group. *)
+let fresh_group t =
+  let g = t.next_group in
+  t.next_group <- t.next_group + 1;
+  g
+
+let leveled_target_group t level =
+  match Version.level_runs t.vers level with
+  | [ r ] when run_cap t ~level = 1 -> r.Version.group
+  | _ -> fresh_group t
+
+(* Relocate files one level down without rewriting them: legal whenever
+   nothing at the target overlaps them and no garbage collection would
+   have fired during a real merge. Content is unchanged, so snapshots are
+   unaffected; write amplification for the move is zero. *)
+let trivial_move t ~files ~target_level ~target_group =
+  let edit =
+    {
+      Version.added = List.map (fun (f : Table_meta.t) -> (target_level, target_group, f)) files;
+      removed = List.map (fun (f : Table_meta.t) -> f.file_id) files;
+      seqno_watermark = t.seqno;
+    }
+  in
+  install_edit t edit;
+  t.db_stats.Stats.trivial_moves <- t.db_stats.Stats.trivial_moves + List.length files
+
+let has_tombstones files =
+  List.exists (fun (f : Table_meta.t) -> f.point_tombstones + f.range_tombstones > 0) files
+
+let execute_job t job =
+  let last = Version.last_level t.vers in
+  match job with
+  | J_level0 ->
+    let l0_runs = Version.level_runs t.vers 0 in
+    let target_tiered = run_cap t ~level:1 > 1 in
+    if target_tiered then
+      ignore
+        (execute_merge t ~input_runs:l0_runs ~extra_removed:[] ~target_level:1
+           ~target_group:(fresh_group t)
+           ~bottom:(last <= 1 && Version.level_runs t.vers 1 = []))
+    else begin
+      (* Merge with the whole overlapping portion of L1's run. *)
+      let l1_runs = Version.level_runs t.vers 1 in
+      ignore
+        (execute_merge t
+           ~input_runs:(l0_runs @ l1_runs)
+           ~extra_removed:[] ~target_level:1 ~target_group:(leveled_target_group t 1)
+           ~bottom:(last <= 1))
+    end
+  | J_tier_merge l ->
+    let runs = Version.level_runs t.vers l in
+    let target = l + 1 in
+    let target_tiered = run_cap t ~level:target > 1 in
+    if target_tiered then begin
+      let bottom = last <= target && Version.level_runs t.vers target = [] in
+      match runs with
+      | [ r ]
+        when t.cfg.Config.allow_trivial_move && not (bottom && has_tombstones r.Version.files)
+        ->
+        (* A single leveled run pushed into a tiered level: appendable
+           verbatim as its own run. *)
+        trivial_move t ~files:r.Version.files ~target_level:target
+          ~target_group:(fresh_group t)
+      | _ ->
+        ignore
+          (execute_merge t ~input_runs:runs ~extra_removed:[] ~target_level:target
+             ~target_group:(fresh_group t) ~bottom)
+    end
+    else begin
+      let next_runs = Version.level_runs t.vers target in
+      ignore
+        (execute_merge t ~input_runs:(runs @ next_runs) ~extra_removed:[] ~target_level:target
+           ~target_group:(leveled_target_group t target) ~bottom:(last <= target))
+    end
+  | J_whole_level l ->
+    let runs = Version.level_runs t.vers l in
+    let next_runs = Version.level_runs t.vers (l + 1) in
+    ignore
+      (execute_merge t ~input_runs:(runs @ next_runs) ~extra_removed:[] ~target_level:(l + 1)
+         ~target_group:(leveled_target_group t (l + 1)) ~bottom:(last <= l + 1))
+  | J_file (l, f) ->
+    let target = l + 1 in
+    let next_run_files =
+      List.concat_map (fun (r : Version.run) -> r.Version.files) (Version.level_runs t.vers target)
+    in
+    (* A range tombstone in [f] may extend past [f.max_key]; widen the
+       next-level overlap so its victims are merged (else retiring the
+       tombstone at the bottom would resurrect them). *)
+    let hi =
+      List.fold_left
+        (fun acc (rd : Entry.t) -> Lsm_util.Comparator.max_key (cmp_of t) acc rd.value)
+        f.Table_meta.max_key (rds_of_files t [ f ])
+    in
+    let overlapping =
+      Picker.overlapping ~cmp:(cmp_of t) ~lo:f.Table_meta.min_key ~hi next_run_files
+    in
+    Hashtbl.replace t.rr_cursors l f.Table_meta.max_key;
+    let bottom = last <= target in
+    if
+      t.cfg.Config.allow_trivial_move
+      && overlapping = []
+      && not (bottom && has_tombstones [ f ])
+    then trivial_move t ~files:[ f ] ~target_level:target ~target_group:(leveled_target_group t target)
+    else begin
+      let input_runs =
+        [ { Version.group = max_int; files = [ f ] };
+          { Version.group = 0; files = overlapping } ]
+      in
+      ignore
+        (execute_merge t ~input_runs ~extra_removed:[] ~target_level:target
+           ~target_group:(leveled_target_group t target) ~bottom)
+    end
+
+let compact_once t =
+  match pick_compaction t with
+  | None -> false
+  | Some job ->
+    execute_job t job;
+    true
+
+let max_cascade = 1000
+
+(* Drain pending compactions, optionally capped per round (the throttling
+   of Luo & Carey [81]: spreading the merge work across many writes keeps
+   write latency stable at the cost of a transiently deeper tree). *)
+let schedule_compactions t =
+  let budget =
+    match t.cfg.Config.compaction_bytes_per_round with Some b -> b | None -> max_int
+  in
+  let moved () =
+    t.db_stats.Stats.compaction_bytes_read + t.db_stats.Stats.compaction_bytes_written
+  in
+  let start = moved () in
+  let rec loop n =
+    if n < max_cascade && moved () - start < budget && compact_once t then loop (n + 1)
+  in
+  loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Write path                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let maybe_flush_for_write t =
+  if List.length t.immutables > t.cfg.Config.max_immutable_buffers then begin
+    let before = Io_stats.copy (Device.stats t.dev) in
+    while List.length t.immutables > t.cfg.Config.max_immutable_buffers do
+      flush_oldest t
+    done;
+    schedule_compactions t;
+    let d = Io_stats.diff (Device.stats t.dev) before in
+    let burst =
+      Io_stats.bytes_written ~cls:Io_stats.C_flush d
+      + Io_stats.bytes_written ~cls:Io_stats.C_compaction_write d
+    in
+    t.db_stats.Stats.write_stalls <- t.db_stats.Stats.write_stalls + 1;
+    Lsm_util.Histogram.add t.db_stats.Stats.stall_burst_bytes burst
+  end
+
+let check_open t = if t.closed then invalid_arg "Db: closed"
+
+let write t (e : Entry.t) =
+  check_open t;
+  t.clock <- t.clock + 1;
+  (match t.active.wal with
+  | Some w -> Wal.append w ~sync:t.cfg.Config.wal_sync_every_write [ e ]
+  | None -> ());
+  Memtable.add t.active.mt e;
+  if Memtable.footprint t.active.mt >= t.dyn_buffer_size then begin
+    rotate t;
+    maybe_flush_for_write t
+  end
+  else if t.cfg.Config.compaction_bytes_per_round <> None then
+    (* Throttled mode: pay down deferred compaction debt a slice at a
+       time on ordinary writes instead of in bursts at flush points. *)
+    schedule_compactions t
+
+let next_seqno t =
+  t.seqno <- t.seqno + 1;
+  t.seqno
+
+let put t ~key value =
+  let e = Entry.put ~key ~seqno:(next_seqno t) value in
+  t.db_stats.Stats.user_puts <- t.db_stats.Stats.user_puts + 1;
+  t.db_stats.Stats.user_bytes_ingested <-
+    t.db_stats.Stats.user_bytes_ingested + String.length key + String.length value;
+  write t e
+
+let delete t key =
+  let e = Entry.delete ~key ~seqno:(next_seqno t) in
+  t.db_stats.Stats.user_deletes <- t.db_stats.Stats.user_deletes + 1;
+  t.db_stats.Stats.user_bytes_ingested <- t.db_stats.Stats.user_bytes_ingested + String.length key;
+  write t e
+
+let single_delete t key =
+  let e = Entry.single_delete ~key ~seqno:(next_seqno t) in
+  t.db_stats.Stats.user_deletes <- t.db_stats.Stats.user_deletes + 1;
+  t.db_stats.Stats.user_bytes_ingested <- t.db_stats.Stats.user_bytes_ingested + String.length key;
+  write t e
+
+let range_delete t ~lo ~hi =
+  if (cmp_of t).Comparator.compare lo hi >= 0 then
+    invalid_arg "Db.range_delete: lo must be < hi";
+  let e = Entry.range_delete ~start_key:lo ~end_key:hi ~seqno:(next_seqno t) in
+  t.db_stats.Stats.user_deletes <- t.db_stats.Stats.user_deletes + 1;
+  t.db_stats.Stats.user_bytes_ingested <-
+    t.db_stats.Stats.user_bytes_ingested + String.length lo + String.length hi;
+  write t e
+
+let merge t ~key operand =
+  let e = Entry.merge ~key ~seqno:(next_seqno t) operand in
+  t.db_stats.Stats.user_puts <- t.db_stats.Stats.user_puts + 1;
+  t.db_stats.Stats.user_bytes_ingested <-
+    t.db_stats.Stats.user_bytes_ingested + String.length key + String.length operand;
+  write t e
+
+(* One WAL record, one sequence-number range, one durability point: the
+   batch recovers all-or-nothing after a crash. *)
+let apply_batch t batch =
+  check_open t;
+  match Write_batch.operations batch with
+  | [] -> ()
+  | ops ->
+    let entries =
+      List.map
+        (fun (kind, key, value) ->
+          let seqno = next_seqno t in
+          t.clock <- t.clock + 1;
+          (match kind with
+          | Entry.Put | Entry.Merge ->
+            t.db_stats.Stats.user_puts <- t.db_stats.Stats.user_puts + 1
+          | Entry.Delete | Entry.Single_delete | Entry.Range_delete ->
+            t.db_stats.Stats.user_deletes <- t.db_stats.Stats.user_deletes + 1);
+          t.db_stats.Stats.user_bytes_ingested <-
+            t.db_stats.Stats.user_bytes_ingested + String.length key + String.length value;
+          { Entry.key; seqno; kind; value })
+        ops
+    in
+    (match t.active.wal with
+    | Some w -> Wal.append w ~sync:t.cfg.Config.wal_sync_every_write entries
+    | None -> ());
+    List.iter (Memtable.add t.active.mt) entries;
+    if Memtable.footprint t.active.mt >= t.dyn_buffer_size then begin
+      rotate t;
+      maybe_flush_for_write t
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Read path                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Highest-seqno visible range tombstone covering [key]. *)
+let covering_rd_seqno t ~snap key =
+  let cmp = cmp_of t in
+  let best = ref 0 in
+  let consider (lo, hi, seqno) =
+    if
+      seqno <= snap
+      && cmp.Comparator.compare lo key <= 0
+      && cmp.Comparator.compare key hi < 0
+      && seqno > !best
+    then best := seqno
+  in
+  let mem_rds b =
+    List.iter
+      (fun (e : Entry.t) -> consider (e.key, e.value, e.seqno))
+      (Memtable.range_tombstones b.mt)
+  in
+  mem_rds t.active;
+  List.iter mem_rds t.immutables;
+  List.iter consider t.table_rds;
+  !best
+
+(* Binary search the file of a sorted run that may hold [key]. *)
+let find_file_in_run (cmp : Comparator.t) (r : Version.run) key =
+  let files = Array.of_list r.Version.files in
+  let n = Array.length files in
+  (* last file with min_key <= key *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  if n = 0 || cmp.compare files.(0).Table_meta.min_key key > 0 then None
+  else begin
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if cmp.compare files.(mid).Table_meta.min_key key <= 0 then lo := mid else hi := mid - 1
+    done;
+    let f = files.(!lo) in
+    if cmp.compare key f.Table_meta.max_key <= 0 then Some f else None
+  end
+
+type probe_outcome =
+  | Found of Entry.t
+  | Absent  (** nothing for this key in this source *)
+
+(* Probe disk runs in recency order, returning the newest visible point
+   entry; accounts filter statistics. *)
+let probe_tables t ~snap key =
+  let cmp = cmp_of t in
+  let result = ref None in
+  (try
+     for l = 0 to Version.max_levels - 1 do
+       List.iter
+         (fun (r : Version.run) ->
+           match find_file_in_run cmp r key with
+           | None -> ()
+           | Some f -> (
+             let reader = Table_cache.get t.tables f.Table_meta.file_name in
+             if not (Sstable.may_contain_key reader key) then
+               t.db_stats.Stats.filter_negatives <- t.db_stats.Stats.filter_negatives + 1
+             else begin
+               t.db_stats.Stats.runs_probed <- t.db_stats.Stats.runs_probed + 1;
+               match Sstable.get reader ~cls:Io_stats.C_user_read ~max_seqno:snap key with
+               | Some e -> begin
+                 result := Some e;
+                 raise Exit
+               end
+               | None ->
+                 t.db_stats.Stats.filter_false_positives <-
+                   t.db_stats.Stats.filter_false_positives + 1
+             end))
+         (Version.level_runs t.vers l)
+     done
+   with Exit -> ());
+  !result
+
+(* Resolve a merge chain by iterating every visible version of [key],
+   newest first. Used only when the newest visible entry is a Merge. *)
+let resolve_merge_chain t ~snap ~rd_seq key =
+  let cmp = cmp_of t in
+  let sources =
+    (Memtable.iterator t.active.mt :: List.map (fun b -> Memtable.iterator b.mt) t.immutables)
+    @ List.concat_map
+        (fun l ->
+          List.map
+            (fun (r : Version.run) ->
+              match find_file_in_run cmp r key with
+              | Some f ->
+                Sstable.iterator (Table_cache.get t.tables f.Table_meta.file_name)
+                  ~cls:Io_stats.C_user_read ()
+              | None -> Iter.empty)
+            (Version.level_runs t.vers l))
+        (List.init Version.max_levels Fun.id)
+  in
+  let it = Iter.merge cmp sources in
+  it.Iter.seek key;
+  let operands = ref [] in
+  let base = ref None in
+  (try
+     while it.Iter.valid () do
+       let e = it.Iter.entry () in
+       if not (String.equal e.Entry.key key) then raise Exit;
+       if e.Entry.seqno <= snap && e.Entry.kind <> Entry.Range_delete then begin
+         if e.Entry.seqno <= rd_seq then raise Exit (* rest is range-deleted *)
+         else
+           match e.Entry.kind with
+           | Entry.Put ->
+             base := Some e.Entry.value;
+             raise Exit
+           | Entry.Delete | Entry.Single_delete -> raise Exit
+           | Entry.Merge -> operands := e.Entry.value :: !operands
+           | Entry.Range_delete -> ()
+       end;
+       it.Iter.next ()
+     done
+   with Exit -> ());
+  (* Encounter order was newest-to-oldest; consing reversed it, so
+     [operands] is oldest-first — the operator's expected order. *)
+  match (!operands, !base) with
+  | [], base -> base
+  | oldest_first, base -> (
+    match t.cfg.Config.merge_operator with
+    | Some f -> Some (f key base oldest_first)
+    | None -> Some (List.hd (List.rev oldest_first)))
+
+let get t ?snapshot key =
+  check_open t;
+  t.clock <- t.clock + 1;
+  t.db_stats.Stats.user_gets <- t.db_stats.Stats.user_gets + 1;
+  let snap = match snapshot with Some s -> Snapshot.seqno s | None -> max_int in
+  let rd_seq = covering_rd_seqno t ~snap key in
+  let probes_before = t.db_stats.Stats.runs_probed in
+  let newest =
+    match Memtable.find t.active.mt ~max_seqno:snap key with
+    | Some e -> Found e
+    | None -> (
+      let rec try_immutables = function
+        | [] -> Absent
+        | b :: rest -> (
+          match Memtable.find b.mt ~max_seqno:snap key with
+          | Some e -> Found e
+          | None -> try_immutables rest)
+      in
+      match try_immutables t.immutables with
+      | Found e -> Found e
+      | Absent -> (
+        match probe_tables t ~snap key with Some e -> Found e | None -> Absent))
+  in
+  let result =
+    match newest with
+    | Absent -> None
+    | Found e ->
+      if e.Entry.seqno <= rd_seq then None
+      else begin
+        match e.Entry.kind with
+        | Entry.Put -> Some e.Entry.value
+        | Entry.Delete | Entry.Single_delete -> None
+        | Entry.Merge -> resolve_merge_chain t ~snap ~rd_seq key
+        | Entry.Range_delete -> None
+      end
+  in
+  Lsm_util.Histogram.add t.db_stats.Stats.get_run_probes
+    (t.db_stats.Stats.runs_probed - probes_before);
+  if result <> None then t.db_stats.Stats.gets_found <- t.db_stats.Stats.gets_found + 1;
+  result
+
+(* ---------------- scan ---------------- *)
+
+let scan_rds t ~snap ~lo ~hi =
+  let cmp = cmp_of t in
+  (* rd [rlo, rhi) overlaps scan [lo, hi)? *)
+  let overlaps (rlo, rhi, seqno) =
+    let below_hi = match hi with None -> true | Some h -> cmp.Comparator.compare rlo h < 0 in
+    seqno <= snap && below_hi && cmp.Comparator.compare lo rhi < 0
+  in
+  let out = ref [] in
+  let consider (rlo, rhi, seqno) = if overlaps (rlo, rhi, seqno) then out := (rlo, rhi, seqno) :: !out in
+  let mem_rds b =
+    List.iter (fun (e : Entry.t) -> consider (e.key, e.value, e.seqno)) (Memtable.range_tombstones b.mt)
+  in
+  mem_rds t.active;
+  List.iter mem_rds t.immutables;
+  List.iter consider t.table_rds;
+  !out
+
+let fold t ?snapshot ?(limit = max_int) ~lo ~hi ~init ~f () =
+  check_open t;
+  t.clock <- t.clock + 1;
+  t.db_stats.Stats.user_scans <- t.db_stats.Stats.user_scans + 1;
+  let cmp = cmp_of t in
+  let snap = match snapshot with Some s -> Snapshot.seqno s | None -> max_int in
+  let rds = scan_rds t ~snap ~lo ~hi in
+  let rd_covering key seqno =
+    List.exists
+      (fun (rlo, rhi, rseq) ->
+        rseq > seqno && cmp.Comparator.compare rlo key <= 0 && cmp.Comparator.compare key rhi < 0)
+      rds
+  in
+  let mem_sources =
+    Memtable.iterator t.active.mt :: List.map (fun b -> Memtable.iterator b.mt) t.immutables
+  in
+  let table_sources =
+    List.concat_map
+      (fun (_, r) ->
+        let files = Version.files_of_run_overlapping ~cmp ~lo ~hi r in
+        let files =
+          List.filter
+            (fun (f : Table_meta.t) ->
+              let reader = Table_cache.get t.tables f.file_name in
+              let keep = Sstable.may_overlap_range reader ~lo ~hi in
+              if not keep then
+                t.db_stats.Stats.range_filter_skips <- t.db_stats.Stats.range_filter_skips + 1;
+              keep)
+            files
+        in
+        match files with
+        | [] -> []
+        | files ->
+          [ Iter.concat
+              (List.map
+                 (fun (f : Table_meta.t) ->
+                   Sstable.iterator (Table_cache.get t.tables f.file_name)
+                     ~cls:Io_stats.C_user_read ())
+                 files) ])
+      (Version.runs_overlapping ~cmp ~lo ~hi t.vers)
+  in
+  let it = Iter.merge cmp (mem_sources @ table_sources) in
+  it.Iter.seek lo;
+  let acc = ref init in
+  let count = ref 0 in
+  let in_range key =
+    match hi with None -> true | Some h -> cmp.Comparator.compare key h < 0
+  in
+  while it.Iter.valid () && !count < limit && in_range (it.Iter.entry ()).Entry.key do
+    let key = (it.Iter.entry ()).Entry.key in
+    (* Resolve this key: first visible version decides; merges accumulate. *)
+    let operands = ref [] in
+    let base = ref None in
+    let decided = ref false in
+    while it.Iter.valid () && String.equal (it.Iter.entry ()).Entry.key key do
+      let e = it.Iter.entry () in
+      if
+        (not !decided)
+        && e.Entry.seqno <= snap
+        && e.Entry.kind <> Entry.Range_delete
+      then begin
+        if rd_covering key e.Entry.seqno then decided := true
+        else
+          match e.Entry.kind with
+          | Entry.Put ->
+            base := Some e.Entry.value;
+            decided := true
+          | Entry.Delete | Entry.Single_delete -> decided := true
+          | Entry.Merge -> operands := e.Entry.value :: !operands
+          | Entry.Range_delete -> ()
+      end;
+      it.Iter.next ()
+    done;
+    (* [operands] accumulated by consing along a newest-to-oldest walk,
+       so it sits oldest-first already. *)
+    let value =
+      match (!operands, !base) with
+      | [], b -> b
+      | oldest_first, b -> (
+        match t.cfg.Config.merge_operator with
+        | Some f -> Some (f key b oldest_first)
+        | None -> (
+          match List.rev oldest_first with newest :: _ -> Some newest | [] -> b))
+    in
+    (match value with
+    | Some v ->
+      acc := f !acc key v;
+      incr count
+    | None -> ())
+  done;
+  !acc
+
+let scan t ?snapshot ?limit ~lo ~hi () =
+  List.rev
+    (fold t ?snapshot ?limit ~lo ~hi ~init:[] ~f:(fun acc k v -> (k, v) :: acc) ())
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot t =
+  let s = Snapshot.make t.seqno in
+  t.snapshots <- Snapshot.seqno s :: t.snapshots;
+  s
+
+let release t s =
+  let rec remove_one = function
+    | [] -> []
+    | x :: rest -> if x = Snapshot.seqno s then rest else x :: remove_one rest
+  in
+  t.snapshots <- remove_one t.snapshots
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance & introspection                                         *)
+(* ------------------------------------------------------------------ *)
+
+let flush t =
+  check_open t;
+  rotate t;
+  while t.immutables <> [] do
+    flush_oldest t
+  done;
+  schedule_compactions t
+
+let major_compact t =
+  flush t;
+  schedule_compactions t;
+  (* Full compaction: merge every run of every level into one sorted run
+     at the deepest populated level, with tombstones retired. *)
+  let all_runs =
+    List.concat_map
+      (fun l -> Version.level_runs t.vers l)
+      (List.init Version.max_levels Fun.id)
+  in
+  let total_runs = List.length all_runs in
+  let last = Version.last_level t.vers in
+  (* Rewrite unconditionally (RocksDB CompactRange-with-force semantics):
+     even a lone bottom run may hold versions retained for snapshots that
+     have since been released, or tombstones to retire. *)
+  if total_runs >= 1 then begin
+    let target = max 1 last in
+    ignore
+      (execute_merge t ~input_runs:all_runs ~extra_removed:[] ~target_level:target
+         ~target_group:(fresh_group t) ~bottom:true)
+  end;
+  schedule_compactions t
+
+let wake t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let close t =
+  if not t.closed then begin
+    if not t.cfg.Config.wal_enabled then flush t;
+    (match t.active.wal with Some w -> Wal.close w | None -> ());
+    List.iter (fun b -> match b.wal with Some w -> Wal.close w | None -> ()) t.immutables;
+    Manifest.close t.manifest;
+    t.closed <- true
+  end
+
+(* Consistent full backup: flush, then copy every live table plus a fresh
+   manifest describing exactly this version onto the destination device.
+   The copy is crash-consistent by construction (tables are immutable and
+   the manifest is written last). *)
+let checkpoint t ~dest =
+  check_open t;
+  flush t;
+  if Device.exists dest Manifest.file_name then
+    invalid_arg "Db.checkpoint: destination already holds a database";
+  List.iter
+    (fun (f : Table_meta.t) ->
+      let data = Device.read t.dev ~cls:Io_stats.C_misc f.file_name ~off:0 ~len:f.size in
+      let w = Device.open_writer dest ~cls:Io_stats.C_misc f.file_name in
+      Device.append w data;
+      Device.close w)
+    (Version.all_files t.vers);
+  let m = Manifest.create dest in
+  let added = ref [] in
+  Array.iteri
+    (fun li runs ->
+      List.iter
+        (fun (r : Version.run) ->
+          List.iter (fun f -> added := (li, r.Version.group, f) :: !added) r.Version.files)
+        runs)
+    t.vers.Version.levels;
+  Manifest.log_edit m
+    { Version.added = !added; removed = []; seqno_watermark = t.seqno };
+  Manifest.close m
+
+let config t = t.cfg
+let device t = t.dev
+
+let write_buffer_size t = t.dyn_buffer_size
+
+let set_write_buffer_size t bytes =
+  if bytes < 1024 then invalid_arg "Db.set_write_buffer_size: too small";
+  t.dyn_buffer_size <- bytes;
+  if Memtable.footprint t.active.mt >= bytes then begin
+    rotate t;
+    maybe_flush_for_write t
+  end
+
+let set_block_cache_bytes t bytes = Block_cache.set_capacity t.cache bytes
+let stats t = t.db_stats
+let io_stats t = Device.stats t.dev
+let version t = t.vers
+let block_cache t = t.cache
+let tick t = t.clock
+let last_seqno t = t.seqno
+
+let write_amplification t =
+  let st = Device.stats t.dev in
+  let written =
+    Io_stats.bytes_written ~cls:Io_stats.C_flush st
+    + Io_stats.bytes_written ~cls:Io_stats.C_compaction_write st
+    + Io_stats.bytes_written ~cls:Io_stats.C_user_write st
+  in
+  if t.db_stats.Stats.user_bytes_ingested = 0 then 0.0
+  else float_of_int written /. float_of_int t.db_stats.Stats.user_bytes_ingested
+
+let space_amplification t =
+  let live =
+    fold t ~lo:"" ~hi:None ~init:0
+      ~f:(fun acc k v -> acc + String.length k + String.length v)
+      ()
+  in
+  let physical =
+    Version.total_bytes t.vers
+    + Memtable.footprint t.active.mt
+    + List.fold_left (fun a b -> a + Memtable.footprint b.mt) 0 t.immutables
+  in
+  if live = 0 then 0.0 else float_of_int physical /. float_of_int live
+
+let check_invariants t = Version.check_invariants ~cmp:(cmp_of t) t.vers
+
+let pp_tree ppf t =
+  Format.fprintf ppf "@[<v>buffer: %d entries (%d immutable buffers)@,%a@]"
+    (Memtable.count t.active.mt) (List.length t.immutables) Version.pp t.vers

@@ -1,0 +1,114 @@
+(** The LSM-tree storage engine: the paper's object of study, assembled
+    from the substrate libraries.
+
+    Single-threaded by design: internal work (flush, compaction) runs
+    synchronously inside the triggering write, and its cost is {e
+    accounted} (stall bursts, compaction I/O histograms) rather than
+    hidden — which is exactly what the stall/burst experiments measure.
+
+    External operations: {!put}, {!get}, {!scan}, {!delete} (plus
+    {!single_delete}, {!range_delete}, {!merge} — §2.1.2). Internal
+    operations: {!flush} and compaction (automatic; {!compact_once} /
+    {!major_compact} force it). *)
+
+type t
+
+val open_db : ?config:Config.t -> dev:Lsm_storage.Device.t -> unit -> t
+(** Opens (or recovers) the database living on [dev]: replays the
+    manifest, then the write-ahead logs. *)
+
+val close : t -> unit
+(** Flushes nothing (buffers are recoverable from the WAL); seals the
+    manifest and WAL files. *)
+
+val config : t -> Config.t
+val device : t -> Lsm_storage.Device.t
+
+(** {1 External operations} *)
+
+val put : t -> key:string -> string -> unit
+val delete : t -> string -> unit
+val single_delete : t -> string -> unit
+(** Deletion of a key guaranteed to have been put at most once since the
+    last delete; cheaper to purge (§2.3.3, [101]). *)
+
+val range_delete : t -> lo:string -> hi:string -> unit
+(** Deletes all keys in [\[lo, hi)]. *)
+
+val merge : t -> key:string -> string -> unit
+(** Read-modify-write operand (§2.2.6); resolved by
+    [Config.merge_operator] at read time. *)
+
+val apply_batch : t -> Write_batch.t -> unit
+(** Apply all operations of the batch atomically: one sequence-number
+    range, one WAL record — after a crash, all or none recover. *)
+
+val get : t -> ?snapshot:Snapshot.t -> string -> string option
+
+val scan :
+  t -> ?snapshot:Snapshot.t -> ?limit:int -> lo:string -> hi:string option ->
+  unit -> (string * string) list
+(** Latest visible version of every key in [\[lo, hi)], ascending, at most
+    [limit] results. *)
+
+val fold :
+  t -> ?snapshot:Snapshot.t -> ?limit:int -> lo:string -> hi:string option ->
+  init:'a -> f:('a -> string -> string -> 'a) -> unit -> 'a
+(** Streaming variant of {!scan}: folds over resolved (key, value) pairs
+    in ascending order without materializing the result. *)
+
+(** {1 Snapshots} *)
+
+val snapshot : t -> Snapshot.t
+val release : t -> Snapshot.t -> unit
+
+(** {1 Internal operations} *)
+
+val flush : t -> unit
+(** Rotate and flush every buffer to level 0, then run any triggered
+    compactions. *)
+
+val compact_once : t -> bool
+(** Run the single highest-priority compaction if one is due. *)
+
+val major_compact : t -> unit
+(** Flush, then compact until no trigger fires. *)
+
+val checkpoint : t -> dest:Lsm_storage.Device.t -> unit
+(** Consistent full backup: flush, copy every live table to [dest], and
+    write a manifest describing exactly this version — [dest] then opens
+    as an independent database with the same contents.
+    @raise Invalid_argument if [dest] already holds a database. *)
+
+val wake : t -> int
+(** Advance the logical clock without writing (models idle time for
+    TTL-based policies); returns the new tick. *)
+
+(** {1 Runtime memory knobs (§2.3.1)} *)
+
+val write_buffer_size : t -> int
+val set_write_buffer_size : t -> int -> unit
+(** Change the rotation threshold on the fly (rotating immediately if the
+    active buffer already exceeds it). *)
+
+val set_block_cache_bytes : t -> int -> unit
+(** Resize the block cache, evicting LRU blocks when shrinking. Together
+    with {!set_write_buffer_size} this is the lever adaptive memory
+    management (Luo & Carey, §2.3.1) turns. *)
+
+(** {1 Introspection} *)
+
+val stats : t -> Stats.t
+val io_stats : t -> Lsm_storage.Io_stats.t
+val version : t -> Version.t
+val block_cache : t -> Lsm_storage.Block_cache.t
+val tick : t -> int
+val last_seqno : t -> int
+val write_amplification : t -> float
+(** Device bytes written (flush + compaction + WAL) / user bytes. *)
+
+val space_amplification : t -> float
+(** Live device bytes / logical user data bytes (latest versions only). *)
+
+val check_invariants : t -> (unit, string) result
+val pp_tree : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+module Codec = Lsm_util.Codec
+module Crc32c = Lsm_util.Crc32c
+module Device = Lsm_storage.Device
+module Io_stats = Lsm_storage.Io_stats
+
+type t = { writer : Device.writer }
+
+let file_name = "MANIFEST"
+
+let create dev = { writer = Device.open_writer dev ~cls:Io_stats.C_misc file_name }
+
+let log_edit t edit =
+  let payload = Buffer.create 256 in
+  Version.encode_edit payload edit;
+  let payload = Buffer.contents payload in
+  let frame = Buffer.create (String.length payload + 8) in
+  Codec.put_u32 frame (Int32.to_int (Crc32c.mask (Crc32c.string payload)) land 0xffffffff);
+  Codec.put_u32 frame (String.length payload);
+  Buffer.add_string frame payload;
+  Device.append t.writer (Buffer.contents frame);
+  Device.sync t.writer
+
+let close t = Device.close t.writer
+
+let recover dev =
+  if not (Device.exists dev file_name) then Version.empty
+  else begin
+    let len = Device.size dev file_name in
+    let data = Device.read dev ~cls:Io_stats.C_misc file_name ~off:0 ~len in
+    let r = Codec.reader data in
+    let version = ref Version.empty in
+    (try
+       while Codec.remaining r >= 8 do
+         let stored = Int32.of_int (Codec.get_u32 r) in
+         let plen = Codec.get_u32 r in
+         if plen > Codec.remaining r then raise Exit;
+         let payload = Codec.get_raw r plen in
+         if Crc32c.mask (Crc32c.string payload) <> stored then raise Exit;
+         let edit = Version.decode_edit (Codec.reader payload) in
+         version := Version.apply !version edit
+       done
+     with Exit | Codec.Corrupt _ -> ());
+    !version
+  end

@@ -1,0 +1,22 @@
+(** Append-only log of version edits (the MANIFEST).
+
+    Same checksummed framing as the WAL; recovery folds the intact prefix
+    of edits over {!Version.empty} to rebuild the tree shape, then the WAL
+    replays on top. *)
+
+type t
+
+val file_name : string
+
+val create : Lsm_storage.Device.t -> t
+(** Opens a fresh manifest (truncating any previous one — call only after
+    {!recover} has been consumed). *)
+
+val log_edit : t -> Version.edit -> unit
+(** Appends and syncs one edit. *)
+
+val close : t -> unit
+
+val recover : Lsm_storage.Device.t -> Version.t
+(** Rebuild the version from the manifest; an absent manifest yields
+    {!Version.empty}. Torn tails are ignored. *)

@@ -1,0 +1,142 @@
+module Entry = Lsm_record.Entry
+module Iter = Lsm_record.Iter
+module Comparator = Lsm_util.Comparator
+
+let stripe_of ~snapshots seqno =
+  (* Index of the first snapshot >= seqno; snapshots sorted ascending. *)
+  let n = Array.length snapshots in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if snapshots.(mid) < seqno then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let filtered ~cmp ~snapshots ~bottom ~range_tombstones (src : Iter.t) =
+  let snapshots = Array.of_list (List.sort_uniq compare snapshots) in
+  let stripe s = stripe_of ~snapshots s in
+  (* Range tombstones as (start, end-exclusive, seqno, stripe). *)
+  let rds =
+    List.filter_map
+      (fun (e : Entry.t) ->
+        if e.kind = Entry.Range_delete then Some (e.key, e.value, e.seqno, stripe e.seqno)
+        else None)
+      range_tombstones
+  in
+  let covered key seqno st =
+    List.exists
+      (fun (lo, hi, rseq, rstripe) ->
+        rseq > seqno && rstripe = st
+        && cmp.Comparator.compare lo key <= 0
+        && cmp.Comparator.compare key hi < 0)
+      rds
+  in
+  (* Streaming state. *)
+  let current = ref None in
+  let cur_key = ref None in
+  let kept_stripe = ref (-1) in
+  let same_key k = match !cur_key with Some k' -> String.equal k' k | None -> false in
+  let note_key k =
+    if not (same_key k) then begin
+      cur_key := Some k;
+      kept_stripe := -1
+    end
+  in
+  (* Pull the next input entry, consuming it. *)
+  let pull () =
+    if src.Iter.valid () then begin
+      let e = src.Iter.entry () in
+      src.Iter.next ();
+      Some e
+    end
+    else None
+  in
+  let peek () = if src.Iter.valid () then Some (src.Iter.entry ()) else None in
+  let rec advance () =
+    match pull () with
+    | None -> current := None
+    | Some e -> (
+      note_key e.Entry.key;
+      match e.Entry.kind with
+      | Entry.Range_delete ->
+        (* Oldest stripe at the bottom: every entry it could cover is in
+           the inputs and already dropped; retire the tombstone. *)
+        if bottom && stripe e.Entry.seqno = 0 then advance ()
+        else begin
+          current := Some e
+        end
+      | Entry.Put | Entry.Merge | Entry.Delete | Entry.Single_delete -> (
+        let st = stripe e.Entry.seqno in
+        if st = !kept_stripe then advance () (* shadowed within stripe *)
+        else if covered e.Entry.key e.Entry.seqno st then advance ()
+        else
+          match e.Entry.kind with
+          | Entry.Put ->
+            kept_stripe := st;
+            current := Some e
+          | Entry.Merge ->
+            (* keep, but do not shadow: the chain's base must survive *)
+            current := Some e
+          | Entry.Single_delete -> (
+            match peek () with
+            | Some nxt
+              when String.equal nxt.Entry.key e.Entry.key
+                   && nxt.Entry.kind = Entry.Put
+                   && stripe nxt.Entry.seqno = st ->
+              (* Annihilate the pair; older versions resurface, which is
+                 the documented single-delete contract. *)
+              ignore (pull ());
+              advance ()
+            | _ ->
+              if bottom && st = 0 then begin
+                (* Drop the tombstone but keep shadowing its stripe. *)
+                kept_stripe := st;
+                advance ()
+              end
+              else begin
+                kept_stripe := st;
+                current := Some e
+              end)
+          | Entry.Delete ->
+            if bottom && st = 0 then begin
+              kept_stripe := st;
+              advance ()
+            end
+            else begin
+              kept_stripe := st;
+              current := Some e
+            end
+          | Entry.Range_delete -> assert false))
+  in
+  let started = ref false in
+  let ensure_started () =
+    if not !started then begin
+      started := true;
+      src.Iter.seek_to_first ();
+      cur_key := None;
+      kept_stripe := -1;
+      advance ()
+    end
+  in
+  {
+    Iter.valid =
+      (fun () ->
+        ensure_started ();
+        !current <> None);
+    entry =
+      (fun () ->
+        ensure_started ();
+        match !current with
+        | Some e -> e
+        | None -> invalid_arg "Merge_filter: not valid");
+    next =
+      (fun () ->
+        ensure_started ();
+        if !current <> None then advance ());
+    seek =
+      (fun _ -> invalid_arg "Merge_filter: seek not supported");
+    seek_to_first =
+      (fun () ->
+        started := false;
+        ensure_started ());
+  }

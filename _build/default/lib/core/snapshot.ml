@@ -1,0 +1,4 @@
+type t = { seqno : int }
+
+let seqno t = t.seqno
+let make seqno = { seqno }

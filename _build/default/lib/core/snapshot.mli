@@ -1,0 +1,9 @@
+(** A consistent read point: entries with a sequence number above the
+    snapshot's are invisible to reads made through it, and compactions
+    retain whatever versions snapshots may still need. *)
+
+type t
+
+val seqno : t -> int
+val make : int -> t
+(** Package-internal constructor (used by {!Db.snapshot}). *)

@@ -1,0 +1,88 @@
+module Histogram = Lsm_util.Histogram
+
+type t = {
+  mutable user_puts : int;
+  mutable user_deletes : int;
+  mutable user_gets : int;
+  mutable user_scans : int;
+  mutable user_bytes_ingested : int;
+  mutable gets_found : int;
+  mutable runs_probed : int;
+  mutable filter_negatives : int;
+  mutable filter_false_positives : int;
+  mutable range_filter_skips : int;
+  mutable flushes : int;
+  mutable compactions : int;
+  mutable trivial_moves : int;
+  mutable compaction_bytes_read : int;
+  mutable compaction_bytes_written : int;
+  mutable write_stalls : int;
+  stall_burst_bytes : Histogram.t;
+  compaction_burst_bytes : Histogram.t;
+  get_run_probes : Histogram.t;
+}
+
+let create () =
+  {
+    user_puts = 0;
+    user_deletes = 0;
+    user_gets = 0;
+    user_scans = 0;
+    user_bytes_ingested = 0;
+    gets_found = 0;
+    runs_probed = 0;
+    filter_negatives = 0;
+    filter_false_positives = 0;
+    range_filter_skips = 0;
+    flushes = 0;
+    compactions = 0;
+    trivial_moves = 0;
+    compaction_bytes_read = 0;
+    compaction_bytes_written = 0;
+    write_stalls = 0;
+    stall_burst_bytes = Histogram.create ();
+    compaction_burst_bytes = Histogram.create ();
+    get_run_probes = Histogram.create ();
+  }
+
+let clear t =
+  t.user_puts <- 0;
+  t.user_deletes <- 0;
+  t.user_gets <- 0;
+  t.user_scans <- 0;
+  t.user_bytes_ingested <- 0;
+  t.gets_found <- 0;
+  t.runs_probed <- 0;
+  t.filter_negatives <- 0;
+  t.filter_false_positives <- 0;
+  t.range_filter_skips <- 0;
+  t.flushes <- 0;
+  t.compactions <- 0;
+  t.trivial_moves <- 0;
+  t.compaction_bytes_read <- 0;
+  t.compaction_bytes_written <- 0;
+  t.write_stalls <- 0;
+  Histogram.clear t.stall_burst_bytes;
+  Histogram.clear t.compaction_burst_bytes;
+  Histogram.clear t.get_run_probes
+
+let write_amp_engine t =
+  if t.user_bytes_ingested = 0 then 0.0
+  else
+    float_of_int (t.compaction_bytes_written + Histogram.total t.stall_burst_bytes)
+    /. float_of_int t.user_bytes_ingested
+
+let avg_probes_per_get t =
+  if t.user_gets = 0 then 0.0 else float_of_int t.runs_probed /. float_of_int t.user_gets
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>puts=%d deletes=%d gets=%d (found %d) scans=%d@,\
+     ingested=%dB flushes=%d compactions=%d (read %dB, wrote %dB)@,\
+     probes/get=%.2f filter: neg=%d fp=%d range-skips=%d@,\
+     stalls=%d stall-bytes: %a@,compaction-bursts: %a@]"
+    t.user_puts t.user_deletes t.user_gets t.gets_found t.user_scans t.user_bytes_ingested
+    t.flushes t.compactions t.compaction_bytes_read t.compaction_bytes_written
+    (avg_probes_per_get t) t.filter_negatives t.filter_false_positives t.range_filter_skips
+    t.write_stalls Histogram.pp_summary t.stall_burst_bytes Histogram.pp_summary
+    t.compaction_burst_bytes

@@ -1,0 +1,42 @@
+(** Engine statistics: the measurable quantities every experiment reports.
+
+    The device already attributes page I/O by class; this record adds the
+    engine-level counters (user bytes for write-amp, probe counts for
+    read-amp, filter effectiveness, stall bursts, tombstone latency). *)
+
+type t = {
+  mutable user_puts : int;
+  mutable user_deletes : int;
+  mutable user_gets : int;
+  mutable user_scans : int;
+  mutable user_bytes_ingested : int;  (** logical key+value bytes from puts *)
+  mutable gets_found : int;
+  mutable runs_probed : int;  (** sorted runs consulted across all gets *)
+  mutable filter_negatives : int;  (** run probes skipped by a point filter *)
+  mutable filter_false_positives : int;
+      (** filter said maybe, run had no visible entry *)
+  mutable range_filter_skips : int;
+  mutable flushes : int;
+  mutable compactions : int;
+  mutable trivial_moves : int;
+      (** files relocated down without rewriting (no I/O) *)
+  mutable compaction_bytes_read : int;
+  mutable compaction_bytes_written : int;
+  mutable write_stalls : int;
+      (** writes that had to wait for a synchronous flush *)
+  stall_burst_bytes : Lsm_util.Histogram.t;
+      (** bytes of flush+compaction work performed synchronously inside a
+          user write — the latency-spike proxy (§2.2.3, SILK) *)
+  compaction_burst_bytes : Lsm_util.Histogram.t;
+      (** bytes moved per compaction: the I/O burst distribution (E5) *)
+  get_run_probes : Lsm_util.Histogram.t;  (** runs probed per get (read amp) *)
+}
+
+val create : unit -> t
+val clear : t -> unit
+
+val write_amp_engine : t -> float
+(** (flush+compaction bytes written) / user bytes — the engine-level WA. *)
+
+val avg_probes_per_get : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,208 @@
+module Table_meta = Lsm_sstable.Table_meta
+module Codec = Lsm_util.Codec
+module Comparator = Lsm_util.Comparator
+
+type run = { group : int; files : Table_meta.t list }
+type level = run list
+
+type t = {
+  levels : level array;
+  next_file_id : int;
+  next_group : int;
+  last_seqno : int;
+}
+
+let max_levels = 12
+
+let empty = { levels = Array.make max_levels []; next_file_id = 1; next_group = 1; last_seqno = 0 }
+
+type edit = {
+  added : (int * int * Table_meta.t) list;
+  removed : int list;
+  seqno_watermark : int;
+}
+
+let apply t edit =
+  let levels = Array.map (fun l -> l) t.levels in
+  (* Removals. *)
+  List.iter
+    (fun fid ->
+      let found = ref false in
+      Array.iteri
+        (fun li runs ->
+          let runs' =
+            List.filter_map
+              (fun r ->
+                let files =
+                  List.filter
+                    (fun (f : Table_meta.t) ->
+                      if f.file_id = fid then begin
+                        found := true;
+                        false
+                      end
+                      else true)
+                    r.files
+                in
+                if files = [] then None else Some { r with files })
+              runs
+          in
+          levels.(li) <- runs')
+        levels;
+      if not !found then invalid_arg (Printf.sprintf "Version.apply: unknown file id %d" fid))
+    edit.removed;
+  (* Additions, grouped into runs. *)
+  List.iter
+    (fun (li, group, meta) ->
+      if li < 0 || li >= max_levels then invalid_arg "Version.apply: level out of range";
+      let runs = levels.(li) in
+      let rec insert = function
+        | [] -> [ { group; files = [ meta ] } ]
+        | r :: rest when r.group = group ->
+          let files =
+            List.sort
+              (fun (a : Table_meta.t) (b : Table_meta.t) -> String.compare a.min_key b.min_key)
+              (meta :: r.files)
+          in
+          { r with files } :: rest
+        | r :: rest when r.group < group -> { group; files = [ meta ] } :: r :: rest
+        | r :: rest -> r :: insert rest
+      in
+      levels.(li) <- insert runs)
+    edit.added;
+  let max_added_id =
+    List.fold_left (fun acc (_, _, (m : Table_meta.t)) -> max acc m.file_id) 0 edit.added
+  in
+  let max_added_group = List.fold_left (fun acc (_, g, _) -> max acc g) 0 edit.added in
+  {
+    levels;
+    next_file_id = max t.next_file_id (max_added_id + 1);
+    next_group = max t.next_group (max_added_group + 1);
+    last_seqno = max t.last_seqno edit.seqno_watermark;
+  }
+
+let level_runs t l = if l < 0 || l >= max_levels then [] else t.levels.(l)
+let run_count t l = List.length (level_runs t l)
+
+let level_bytes t l =
+  List.fold_left
+    (fun acc r -> List.fold_left (fun a (f : Table_meta.t) -> a + f.size) acc r.files)
+    0 (level_runs t l)
+
+let level_entries t l =
+  List.fold_left
+    (fun acc r -> List.fold_left (fun a (f : Table_meta.t) -> a + f.entries) acc r.files)
+    0 (level_runs t l)
+
+let last_level t =
+  let rec loop l = if l <= 0 then 0 else if t.levels.(l) <> [] then l else loop (l - 1) in
+  loop (max_levels - 1)
+
+let all_files t =
+  Array.to_list t.levels
+  |> List.concat_map (fun runs -> List.concat_map (fun r -> r.files) runs)
+
+let file_count t = List.length (all_files t)
+let total_bytes t = List.fold_left (fun acc (f : Table_meta.t) -> acc + f.size) 0 (all_files t)
+
+let find_file t fid =
+  let result = ref None in
+  Array.iteri
+    (fun li runs ->
+      List.iter
+        (fun r ->
+          List.iter
+            (fun (f : Table_meta.t) -> if f.file_id = fid then result := Some (li, r.group, f))
+            r.files)
+        runs)
+    t.levels;
+  !result
+
+let files_of_run_overlapping ~cmp ~lo ~hi run =
+  List.filter
+    (fun (f : Table_meta.t) ->
+      let above_lo = cmp.Comparator.compare lo f.max_key <= 0 in
+      let below_hi =
+        match hi with None -> true | Some hi -> cmp.Comparator.compare f.min_key hi < 0
+      in
+      above_lo && below_hi)
+    run.files
+
+let runs_overlapping ~cmp ~lo ~hi t =
+  let out = ref [] in
+  for l = max_levels - 1 downto 0 do
+    List.iter
+      (fun r ->
+        if files_of_run_overlapping ~cmp ~lo ~hi r <> [] then out := (l, r) :: !out)
+      (* keep newest-first order within the level *)
+      (List.rev t.levels.(l))
+  done;
+  !out
+
+let check_invariants ~cmp t =
+  let seen = Hashtbl.create 64 in
+  let err = ref None in
+  let fail fmt = Format.kasprintf (fun s -> if !err = None then err := Some s) fmt in
+  Array.iteri
+    (fun li runs ->
+      let last_group = ref max_int in
+      List.iter
+        (fun r ->
+          if r.group >= !last_group then fail "level %d: run groups not newest-first" li;
+          last_group := r.group;
+          let rec check_sorted = function
+            | (a : Table_meta.t) :: (b : Table_meta.t) :: rest ->
+              if cmp.Comparator.compare a.max_key b.min_key >= 0 then
+                fail "level %d group %d: files %d and %d overlap or misordered" li r.group
+                  a.file_id b.file_id;
+              check_sorted (b :: rest)
+            | _ -> ()
+          in
+          check_sorted r.files;
+          List.iter
+            (fun (f : Table_meta.t) ->
+              if Hashtbl.mem seen f.file_id then fail "duplicate file id %d" f.file_id;
+              Hashtbl.replace seen f.file_id ();
+              if cmp.Comparator.compare f.min_key f.max_key > 0 then
+                fail "file %d: min_key > max_key" f.file_id)
+            r.files)
+        runs)
+    t.levels;
+  match !err with None -> Ok () | Some e -> Error e
+
+let encode_edit b e =
+  Codec.put_varint b (List.length e.added);
+  List.iter
+    (fun (l, g, m) ->
+      Codec.put_varint b l;
+      Codec.put_varint b g;
+      Table_meta.encode b m)
+    e.added;
+  Codec.put_varint b (List.length e.removed);
+  List.iter (Codec.put_varint b) e.removed;
+  Codec.put_varint b e.seqno_watermark
+
+let decode_edit r =
+  let nadd = Codec.get_varint r in
+  let added =
+    List.init nadd (fun _ ->
+        let l = Codec.get_varint r in
+        let g = Codec.get_varint r in
+        let m = Table_meta.decode r in
+        (l, g, m))
+  in
+  let nrem = Codec.get_varint r in
+  let removed = List.init nrem (fun _ -> Codec.get_varint r) in
+  let seqno_watermark = Codec.get_varint r in
+  { added; removed; seqno_watermark }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun li runs ->
+      if runs <> [] then begin
+        Format.fprintf ppf "L%d: %d runs, %d files, %d bytes@," li (List.length runs)
+          (List.fold_left (fun a r -> a + List.length r.files) 0 runs)
+          (level_bytes t li)
+      end)
+    t.levels;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/cost/model.ml: Array Float List Lsm_filter Printf

@@ -1,0 +1,1 @@
+lib/cost/navigator.ml: Float List Model

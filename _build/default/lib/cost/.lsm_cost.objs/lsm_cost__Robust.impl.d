@@ -1,0 +1,1 @@
+lib/cost/robust.ml: Array Float List Model Navigator

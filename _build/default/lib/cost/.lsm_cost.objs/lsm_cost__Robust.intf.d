@@ -1,0 +1,1 @@
+lib/cost/robust.mli: Model Navigator

@@ -1,0 +1,44 @@
+type candidate = { design : Model.design; cost : float }
+
+let default_size_ratios = [ 2; 4; 6; 8; 10; 12; 16 ]
+let default_layouts = [ `Leveling; `Tiering; `Lazy_leveling ]
+let default_splits = [ 0.05; 0.1; 0.25; 0.5; 0.75; 0.9 ]
+
+let enumerate ?(size_ratios = default_size_ratios) ?(layouts = default_layouts)
+    ?(memory_splits = default_splits) ~total_memory_bits (w : Model.workload) =
+  let candidates = ref [] in
+  List.iter
+    (fun layout ->
+      List.iter
+        (fun t ->
+          List.iter
+            (fun split ->
+              let buffer_bits = total_memory_bits *. split in
+              let filter_bits = total_memory_bits -. buffer_bits in
+              let design =
+                {
+                  Model.layout;
+                  size_ratio = t;
+                  buffer_bytes = max 4096 (int_of_float (buffer_bits /. 8.0));
+                  filter_bits_per_key = filter_bits /. float_of_int (max 1 w.Model.entries);
+                }
+              in
+              candidates := { design; cost = Model.mixed_cost design w } :: !candidates)
+            memory_splits)
+        size_ratios)
+    layouts;
+  List.sort (fun a b -> Float.compare a.cost b.cost) !candidates
+
+let best ?size_ratios ?layouts ?memory_splits ~total_memory_bits w =
+  match enumerate ?size_ratios ?layouts ?memory_splits ~total_memory_bits w with
+  | [] -> invalid_arg "Navigator.best: empty grid"
+  | c :: _ -> c
+
+let pareto_frontier candidates ~write_cost ~read_cost =
+  let dominated a b =
+    (* b dominates a *)
+    write_cost b.design <= write_cost a.design
+    && read_cost b.design <= read_cost a.design
+    && (write_cost b.design < write_cost a.design || read_cost b.design < read_cost a.design)
+  in
+  List.filter (fun c -> not (List.exists (fun o -> dominated c o) candidates)) candidates

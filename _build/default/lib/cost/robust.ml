@@ -1,0 +1,59 @@
+let clamp01 x = Float.max 0.0 (Float.min 1.0 x)
+
+(* Move [delta] of mix mass from component [i] to component [j]. *)
+let shift (w : Model.workload) i j delta =
+  let arr =
+    [|
+      w.Model.f_insert;
+      w.f_point_lookup_hit;
+      w.f_point_lookup_miss;
+      w.f_short_scan;
+      w.f_long_scan;
+    |]
+  in
+  let d = Float.min delta arr.(i) in
+  arr.(i) <- clamp01 (arr.(i) -. d);
+  arr.(j) <- clamp01 (arr.(j) +. d);
+  {
+    w with
+    Model.f_insert = arr.(0);
+    f_point_lookup_hit = arr.(1);
+    f_point_lookup_miss = arr.(2);
+    f_short_scan = arr.(3);
+    f_long_scan = arr.(4);
+  }
+
+let neighborhood ~rho w =
+  if rho <= 0.0 then [ w ]
+  else begin
+    let out = ref [ w ] in
+    for i = 0 to 4 do
+      for j = 0 to 4 do
+        if i <> j then begin
+          out := shift w i j (rho /. 2.0) :: !out;
+          out := shift w i j (rho /. 4.0) :: !out
+        end
+      done
+    done;
+    !out
+  end
+
+let worst_case_cost ~rho design w =
+  List.fold_left
+    (fun acc w' -> Float.max acc (Model.mixed_cost design w'))
+    0.0 (neighborhood ~rho w)
+
+let robust_best ?size_ratios ?memory_splits ~rho ~total_memory_bits w =
+  let candidates = Navigator.enumerate ?size_ratios ?memory_splits ~total_memory_bits w in
+  match candidates with
+  | [] -> invalid_arg "Robust.robust_best: empty grid"
+  | first :: rest ->
+    let score c = worst_case_cost ~rho c.Navigator.design w in
+    let best, best_score =
+      List.fold_left
+        (fun (bc, bs) c ->
+          let s = score c in
+          if s < bs then (c, s) else (bc, bs))
+        (first, score first) rest
+    in
+    { best with Navigator.cost = best_score }

@@ -1,0 +1,1 @@
+lib/filter/blocked_bloom.mli:

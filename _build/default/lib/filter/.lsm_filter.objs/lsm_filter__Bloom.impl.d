@@ -1,0 +1,1 @@
+lib/filter/bloom.ml: Buffer Bytes Char Float Lsm_util

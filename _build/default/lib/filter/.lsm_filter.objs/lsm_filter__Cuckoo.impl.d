@@ -1,0 +1,1 @@
+lib/filter/cuckoo.ml: Array Buffer Int64 Lsm_util

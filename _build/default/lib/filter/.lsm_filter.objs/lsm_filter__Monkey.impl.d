@@ -1,0 +1,1 @@
+lib/filter/monkey.ml: Array Float

@@ -1,0 +1,1 @@
+lib/filter/point_filter.ml: Blocked_bloom Bloom Buffer Cuckoo Lsm_util Printf String Xor_filter

@@ -1,0 +1,1 @@
+lib/filter/point_filter.mli:

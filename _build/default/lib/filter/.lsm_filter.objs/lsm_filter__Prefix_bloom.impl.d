@@ -1,0 +1,1 @@
+lib/filter/prefix_bloom.ml: Bloom Buffer Bytes Char Hashtbl List Lsm_util String

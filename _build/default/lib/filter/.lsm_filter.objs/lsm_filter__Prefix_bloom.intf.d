@@ -1,0 +1,1 @@
+lib/filter/prefix_bloom.mli:

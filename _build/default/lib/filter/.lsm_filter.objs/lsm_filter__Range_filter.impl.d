@@ -1,0 +1,1 @@
+lib/filter/range_filter.ml: Buffer Lsm_util Prefix_bloom Printf Rosetta String Surf

@@ -1,0 +1,1 @@
+lib/filter/range_filter.mli:

@@ -1,0 +1,1 @@
+lib/filter/rosetta.ml: Array Bloom Buffer Bytes Char Int64 List Lsm_util String

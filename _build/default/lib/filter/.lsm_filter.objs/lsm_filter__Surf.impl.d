@@ -1,0 +1,1 @@
+lib/filter/surf.ml: Array Buffer List Lsm_util String

@@ -1,0 +1,1 @@
+lib/filter/surf.mli:

@@ -1,0 +1,1 @@
+lib/filter/xor_filter.ml: Array Buffer Bytes Char Int64 List Lsm_util Queue String

@@ -1,0 +1,1 @@
+lib/filter/xor_filter.mli:

@@ -1,0 +1,15 @@
+(** Cache-line-blocked Bloom filter.
+
+    All [k] probes for a key land in one 64-byte block, trading a slightly
+    higher false-positive rate for a single cache miss per query — the
+    CPU-cost-conscious filter design direction the paper cites (Ribbon,
+    hash sharing [137]) responds to. Same interface as {!Bloom}. *)
+
+type t
+
+val create : bits_per_key:float -> expected:int -> t
+val add : t -> string -> unit
+val mem : t -> string -> bool
+val bit_count : t -> int
+val encode : t -> string
+val decode : string -> t

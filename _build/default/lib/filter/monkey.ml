@@ -1,0 +1,50 @@
+let ln_base = Float.log 0.6185
+
+let fpr_of_bits bits = if bits <= 0.0 then 1.0 else Float.pow 0.6185 bits
+let bits_of_fpr p = if p >= 1.0 then 0.0 else Float.log p /. ln_base
+
+(* Memory (bits) needed to give level i false-positive rate p:
+   n_i * bits_of_fpr p. Total memory is monotonically decreasing in the
+   Lagrange multiplier lambda (p_i = min(1, lambda * n_i)), so binary
+   search on lambda finds the budget-saturating allocation. *)
+let memory_for_lambda lambda level_entries =
+  Array.fold_left
+    (fun acc n ->
+      if n = 0 then acc
+      else
+        let p = Float.min 1.0 (lambda *. float_of_int n) in
+        acc +. (float_of_int n *. bits_of_fpr p))
+    0.0 level_entries
+
+let allocate ~total_bits ~level_entries =
+  let nlevels = Array.length level_entries in
+  let result = Array.make nlevels 0.0 in
+  let total_entries = Array.fold_left ( + ) 0 level_entries in
+  if total_bits <= 0.0 || total_entries = 0 then result
+  else begin
+    (* lambda range: tiny lambda = tiny FPRs = huge memory. *)
+    let lo = ref 1e-30 and hi = ref 1.0 in
+    (* Ensure hi really yields memory <= budget: at lambda >= 1/min_n all
+       p_i = 1 and memory = 0, so hi = 1.0 always works (p_i = min(1, n_i) = 1
+       for n_i >= 1). *)
+    for _ = 1 to 100 do
+      let mid = sqrt (!lo *. !hi) in
+      if memory_for_lambda mid level_entries > total_bits then lo := mid else hi := mid
+    done;
+    let lambda = !hi in
+    Array.iteri
+      (fun i n ->
+        if n > 0 then begin
+          let p = Float.min 1.0 (lambda *. float_of_int n) in
+          result.(i) <- bits_of_fpr p
+        end)
+      level_entries;
+    result
+  end
+
+let uniform ~total_bits ~level_entries =
+  let total_entries = Array.fold_left ( + ) 0 level_entries in
+  let per_key = if total_entries = 0 then 0.0 else total_bits /. float_of_int total_entries in
+  Array.map (fun n -> if n = 0 then 0.0 else per_key) level_entries
+
+let expected_probes ~fprs = Array.fold_left ( +. ) 0.0 fprs

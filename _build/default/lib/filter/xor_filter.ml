@@ -1,0 +1,119 @@
+module Codec = Lsm_util.Codec
+module Hashing = Lsm_util.Hashing
+
+type t = {
+  seed : int64;
+  seg_len : int;  (** slots per segment; table = 3 segments *)
+  table : Bytes.t;  (** 8-bit fingerprints *)
+}
+
+let fingerprint8 h =
+  let fp = Int64.to_int (Int64.shift_right_logical h 48) land 0xff in
+  fp
+
+(* Three slot positions, one per segment, derived from one keyed hash. *)
+let slots ~seed ~seg_len key =
+  let h = Hashing.string64 ~seed key in
+  let h2 = Hashing.splitmix64 h in
+  let mask = max_int in
+  let s0 = Int64.to_int h land mask mod seg_len in
+  let s1 = seg_len + (Int64.to_int h2 land mask mod seg_len) in
+  let s2 = (2 * seg_len) + (Int64.to_int (Hashing.splitmix64 h2) land mask mod seg_len) in
+  (h, s0, s1, s2)
+
+let try_build ~seed keys =
+  let n = List.length keys in
+  let seg_len = max 2 (((n * 123 / 100) + 32) / 3) in
+  let size = 3 * seg_len in
+  (* count and xor-of-key-index per slot *)
+  let count = Array.make size 0 in
+  let khash = Array.make n 0L in
+  let kslots = Array.make n (0, 0, 0) in
+  List.iteri
+    (fun i key ->
+      let h, s0, s1, s2 = slots ~seed ~seg_len key in
+      khash.(i) <- h;
+      kslots.(i) <- (s0, s1, s2);
+      count.(s0) <- count.(s0) + 1;
+      count.(s1) <- count.(s1) + 1;
+      count.(s2) <- count.(s2) + 1)
+    keys;
+  let slot_xor = Array.make size 0 in
+  (* xor of key indices (+1 to distinguish empty) per slot *)
+  List.iteri
+    (fun i _ ->
+      let s0, s1, s2 = kslots.(i) in
+      slot_xor.(s0) <- slot_xor.(s0) lxor (i + 1);
+      slot_xor.(s1) <- slot_xor.(s1) lxor (i + 1);
+      slot_xor.(s2) <- slot_xor.(s2) lxor (i + 1))
+    keys;
+  (* Peel: repeatedly remove slots containing exactly one key. *)
+  let stack = Array.make n (0, 0) in
+  let top = ref 0 in
+  let queue = Queue.create () in
+  Array.iteri (fun s c -> if c = 1 then Queue.add s queue) count;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    if count.(s) = 1 then begin
+      let i = slot_xor.(s) - 1 in
+      stack.(!top) <- (i, s);
+      incr top;
+      let s0, s1, s2 = kslots.(i) in
+      List.iter
+        (fun sj ->
+          count.(sj) <- count.(sj) - 1;
+          slot_xor.(sj) <- slot_xor.(sj) lxor (i + 1);
+          if count.(sj) = 1 then Queue.add sj queue)
+        [ s0; s1; s2 ]
+    end
+  done;
+  if !top < n then None
+  else begin
+    (* Assign fingerprints in reverse peel order. *)
+    let table = Bytes.make size '\000' in
+    for idx = !top - 1 downto 0 do
+      let i, s = stack.(idx) in
+      let s0, s1, s2 = kslots.(i) in
+      let fp = fingerprint8 khash.(i) in
+      let get x = Char.code (Bytes.get table x) in
+      let v = fp lxor (if s = s0 then get s1 lxor get s2
+                       else if s = s1 then get s0 lxor get s2
+                       else get s0 lxor get s1) in
+      Bytes.set table s (Char.chr (v land 0xff))
+    done;
+    Some { seed; seg_len; table }
+  end
+
+let build keys =
+  let keys = List.sort_uniq String.compare keys in
+  if keys = [] then { seed = 0L; seg_len = 2; table = Bytes.make 6 '\000' }
+  else begin
+    let rec attempt k =
+      if k > 100 then failwith "Xor_filter.build: peeling failed repeatedly"
+      else
+        let seed = Hashing.splitmix64 (Int64.of_int (0x9e37 + k)) in
+        match try_build ~seed keys with Some t -> t | None -> attempt (k + 1)
+    in
+    attempt 0
+  end
+
+let mem t key =
+  let h, s0, s1, s2 = slots ~seed:t.seed ~seg_len:t.seg_len key in
+  let get x = Char.code (Bytes.get t.table x) in
+  fingerprint8 h = get s0 lxor get s1 lxor get s2
+
+let bit_count t = 8 * Bytes.length t.table
+
+let encode t =
+  let b = Buffer.create (Bytes.length t.table + 16) in
+  Codec.put_u64 b t.seed;
+  Codec.put_varint b t.seg_len;
+  Buffer.add_bytes b t.table;
+  Buffer.contents b
+
+let decode s =
+  let r = Codec.reader s in
+  let seed = Codec.get_u64 r in
+  let seg_len = Codec.get_varint r in
+  let table = Bytes.of_string (Codec.get_raw r (3 * seg_len)) in
+  { seed; seg_len; table }

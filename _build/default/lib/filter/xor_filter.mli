@@ -1,0 +1,20 @@
+(** Xor filter (Graf & Lemire): a static approximate-membership structure
+    with ~9.84 bits/key at a 0.39% false-positive rate — denser than a
+    Bloom filter at comparable FPR, at the price of being build-once
+    (§2.1.3 cites such structures as Bloom-filter replacements [18,27,45]).
+
+    Ideal for LSM runs: files are immutable, so the key set is known at
+    build time and never changes. *)
+
+type t
+
+val build : string list -> t
+(** Peels the 3-hypergraph; retries with fresh seeds on the (rare)
+    unpeelable graph. Duplicate keys are fine. *)
+
+val mem : t -> string -> bool
+(** No false negatives; ~0.4% false positives (8-bit fingerprints). *)
+
+val bit_count : t -> int
+val encode : t -> string
+val decode : string -> t

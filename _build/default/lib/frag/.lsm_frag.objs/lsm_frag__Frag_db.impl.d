@@ -1,0 +1,1 @@
+lib/frag/frag_db.ml: Array Int64 List Lsm_core Lsm_filter Lsm_memtable Lsm_record Lsm_sstable Lsm_storage Lsm_util Lsm_workload Option Printf String

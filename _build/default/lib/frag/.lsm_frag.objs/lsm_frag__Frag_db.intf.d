@@ -1,0 +1,1 @@
+lib/frag/frag_db.mli: Lsm_filter Lsm_storage Lsm_util Lsm_workload

@@ -1,0 +1,59 @@
+(** Fragmented LSM-tree (FLSM) with guards, after PebblesDB (§2.2.2).
+
+    Each level is partitioned by {e guard} keys; a guard holds a set of
+    possibly-overlapping SSTable fragments. Compacting a guard merges its
+    fragments and {e partitions} the output by the next level's guards,
+    appending each piece there without rewriting the next level's data —
+    the mechanism that cuts compaction data movement (and so write
+    amplification) relative to leveled compaction, at the cost of more
+    fragments to probe per read.
+
+    Guards are chosen deterministically from key hashes with a per-level
+    stride: a guard of level [l] is also a guard of all deeper levels, so
+    partitions only refine.
+
+    This engine is an experimental substrate (no WAL/manifest — the
+    durability machinery is demonstrated in [lsm_core]); it shares the
+    device, SSTable format, and I/O accounting with the main engine so
+    measurements are directly comparable. *)
+
+type config = {
+  comparator : Lsm_util.Comparator.t;
+  write_buffer_size : int;
+  level0_limit : int;
+  size_ratio : int;  (** level capacity growth, and guard-density growth *)
+  level1_capacity : int;
+  max_fragments_per_guard : int;  (** compaction trigger within a guard *)
+  target_file_size : int;
+  block_size : int;
+  filter : Lsm_filter.Point_filter.policy;
+  guard_stride_base : int;
+      (** ~1 in [guard_stride_base] keys becomes a level-1 guard; deeper
+          levels divide the stride by [size_ratio] *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> dev:Lsm_storage.Device.t -> unit -> t
+val put : t -> key:string -> string -> unit
+val delete : t -> string -> unit
+val get : t -> string -> string option
+
+val scan :
+  t -> ?limit:int -> lo:string -> hi:string option -> unit -> (string * string) list
+
+val flush : t -> unit
+val close : t -> unit
+
+(** {1 Introspection} *)
+
+val guard_count : t -> int -> int
+val fragment_count : t -> int
+val level_bytes : t -> int -> int
+val compactions : t -> int
+val compaction_bytes_written : t -> int
+val user_bytes : t -> int
+val write_amplification : t -> float
+val to_kv_store : t -> Lsm_workload.Kv_store.t

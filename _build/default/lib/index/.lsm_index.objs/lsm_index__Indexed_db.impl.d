@@ -1,0 +1,1 @@
+lib/index/indexed_db.ml: Buffer Bytes Char List Lsm_core Lsm_util Option String

@@ -1,0 +1,1 @@
+lib/index/indexed_db.mli: Lsm_core

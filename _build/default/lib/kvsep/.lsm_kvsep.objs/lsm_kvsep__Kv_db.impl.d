@@ -1,0 +1,1 @@
+lib/kvsep/kv_db.ml: List Lsm_core Lsm_storage Lsm_workload Option Printf String Value_log

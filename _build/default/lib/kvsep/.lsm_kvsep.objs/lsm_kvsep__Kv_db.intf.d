@@ -1,0 +1,1 @@
+lib/kvsep/kv_db.mli: Lsm_core Lsm_storage Lsm_workload Value_log

@@ -1,0 +1,1 @@
+lib/kvsep/value_log.ml: Buffer List Lsm_storage Lsm_util Printf String

@@ -1,0 +1,1 @@
+lib/kvsep/value_log.mli: Lsm_storage

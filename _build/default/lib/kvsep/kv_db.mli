@@ -1,0 +1,44 @@
+(** WiscKey-style engine: an {!Lsm_core.Db} of keys and pointers over a
+    {!Value_log} of large values (§2.2.2).
+
+    Values at or above [value_threshold] go to the value log; the tree
+    stores a pointer. Small values stay inline — the hybrid most
+    production adopters of the idea (Titan, BlobDB) use. Reads follow the
+    pointer (one extra random read); range scans pay one log read per
+    large value, WiscKey's documented cost. {!gc} reclaims dead log space
+    by re-appending live values and dropping the segment. *)
+
+type t
+
+val open_db :
+  ?config:Lsm_core.Config.t ->
+  ?value_threshold:int ->
+  ?segment_bytes:int ->
+  dev:Lsm_storage.Device.t ->
+  unit ->
+  t
+(** [value_threshold] defaults to 128 bytes. *)
+
+val put : t -> key:string -> string -> unit
+val get : t -> string -> string option
+val delete : t -> string -> unit
+
+val scan :
+  t -> ?limit:int -> lo:string -> hi:string option -> unit -> (string * string) list
+
+val flush : t -> unit
+val close : t -> unit
+
+type gc_result = { segments_dropped : int; live_moved : int; dead_dropped : int }
+
+val gc : t -> ?max_segments:int -> unit -> gc_result
+(** Process the oldest sealed segments: live values (pointer in the tree
+    still points into the segment) are re-appended and re-pointed; dead
+    ones are dropped with the segment. *)
+
+val db : t -> Lsm_core.Db.t
+val value_log : t -> Value_log.t
+val to_kv_store : t -> Lsm_workload.Kv_store.t
+
+val logical_bytes : t -> int
+(** Key+value bytes as written by the user (the write-amp denominator). *)

@@ -1,0 +1,1 @@
+lib/memtable/hash_linkedlist.ml: Array Int64 List Lsm_record Lsm_util String

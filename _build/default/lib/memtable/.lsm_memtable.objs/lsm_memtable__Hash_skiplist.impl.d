@@ -1,0 +1,1 @@
+lib/memtable/hash_skiplist.ml: Array Int64 Lsm_record Lsm_util Skiplist String

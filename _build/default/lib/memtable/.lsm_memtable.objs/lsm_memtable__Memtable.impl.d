@@ -1,0 +1,1 @@
+lib/memtable/memtable.ml: Hash_linkedlist Hash_skiplist Lsm_record Lsm_util Skiplist Vector_buffer

@@ -1,0 +1,1 @@
+lib/memtable/memtable.mli: Lsm_record Lsm_util

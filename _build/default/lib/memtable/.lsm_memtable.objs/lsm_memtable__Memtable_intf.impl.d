@@ -1,0 +1,1 @@
+lib/memtable/memtable_intf.ml: Lsm_record Lsm_util

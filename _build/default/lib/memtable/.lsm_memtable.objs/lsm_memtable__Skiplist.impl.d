@@ -1,0 +1,1 @@
+lib/memtable/skiplist.ml: Array Lsm_record Lsm_util

@@ -1,0 +1,1 @@
+lib/memtable/vector_buffer.ml: Array Lsm_record Lsm_util

@@ -1,0 +1,84 @@
+module Entry = Lsm_record.Entry
+module Iter = Lsm_record.Iter
+module Comparator = Lsm_util.Comparator
+
+type kind =
+  | Skiplist
+  | Vector
+  | Hash_skiplist of { buckets : int; prefix_len : int }
+  | Hash_linkedlist of { buckets : int; prefix_len : int }
+
+let default_hash_skiplist =
+  Hash_skiplist { buckets = Hash_skiplist.default_buckets; prefix_len = Hash_skiplist.default_prefix }
+
+let default_hash_linkedlist =
+  Hash_linkedlist
+    { buckets = Hash_linkedlist.default_buckets; prefix_len = Hash_linkedlist.default_prefix }
+
+let kind_name = function
+  | Skiplist -> Skiplist.implementation_name
+  | Vector -> Vector_buffer.implementation_name
+  | Hash_skiplist _ -> Hash_skiplist.implementation_name
+  | Hash_linkedlist _ -> Hash_linkedlist.implementation_name
+
+let all_kinds = [ Skiplist; Vector; default_hash_skiplist; default_hash_linkedlist ]
+
+type impl =
+  | I_skiplist of Skiplist.t
+  | I_vector of Vector_buffer.t
+  | I_hash_skiplist of Hash_skiplist.t
+  | I_hash_linkedlist of Hash_linkedlist.t
+
+type t = { k : kind; impl : impl; mutable range_dels : Entry.t list }
+
+let create ?(kind = Skiplist) ~cmp () =
+  let impl =
+    match kind with
+    | Skiplist -> I_skiplist (Skiplist.create ~cmp ())
+    | Vector -> I_vector (Vector_buffer.create ~cmp ())
+    | Hash_skiplist { buckets; prefix_len } ->
+      I_hash_skiplist (Hash_skiplist.create_sized ~cmp ~buckets ~prefix_len ())
+    | Hash_linkedlist { buckets; prefix_len } ->
+      I_hash_linkedlist (Hash_linkedlist.create_sized ~cmp ~buckets ~prefix_len ())
+  in
+  { k = kind; impl; range_dels = [] }
+
+let kind t = t.k
+
+let add t e =
+  if e.Entry.kind = Entry.Range_delete then t.range_dels <- e :: t.range_dels;
+  match t.impl with
+  | I_skiplist m -> Skiplist.add m e
+  | I_vector m -> Vector_buffer.add m e
+  | I_hash_skiplist m -> Hash_skiplist.add m e
+  | I_hash_linkedlist m -> Hash_linkedlist.add m e
+
+let find t ?max_seqno key =
+  match t.impl with
+  | I_skiplist m -> Skiplist.find m ?max_seqno key
+  | I_vector m -> Vector_buffer.find m ?max_seqno key
+  | I_hash_skiplist m -> Hash_skiplist.find m ?max_seqno key
+  | I_hash_linkedlist m -> Hash_linkedlist.find m ?max_seqno key
+
+let count t =
+  match t.impl with
+  | I_skiplist m -> Skiplist.count m
+  | I_vector m -> Vector_buffer.count m
+  | I_hash_skiplist m -> Hash_skiplist.count m
+  | I_hash_linkedlist m -> Hash_linkedlist.count m
+
+let footprint t =
+  match t.impl with
+  | I_skiplist m -> Skiplist.footprint m
+  | I_vector m -> Vector_buffer.footprint m
+  | I_hash_skiplist m -> Hash_skiplist.footprint m
+  | I_hash_linkedlist m -> Hash_linkedlist.footprint m
+
+let iterator t =
+  match t.impl with
+  | I_skiplist m -> Skiplist.iterator m
+  | I_vector m -> Vector_buffer.iterator m
+  | I_hash_skiplist m -> Hash_skiplist.iterator m
+  | I_hash_linkedlist m -> Hash_linkedlist.iterator m
+
+let range_tombstones t = t.range_dels

@@ -1,0 +1,35 @@
+(** Unified front-end over the four buffer implementations of §2.2.1.
+
+    The engine is configured with a {!kind}; everything downstream goes
+    through this module, so switching the buffer implementation is a
+    one-knob change, as in RocksDB. *)
+
+type kind =
+  | Skiplist  (** the default: balanced insert/lookup/scan *)
+  | Vector  (** fastest write-only ingestion; sorts on read/flush *)
+  | Hash_skiplist of { buckets : int; prefix_len : int }
+  | Hash_linkedlist of { buckets : int; prefix_len : int }
+
+val default_hash_skiplist : kind
+val default_hash_linkedlist : kind
+
+val kind_name : kind -> string
+val all_kinds : kind list
+(** One representative of each implementation, for tests and benchmarks. *)
+
+type t
+
+val create : ?kind:kind -> cmp:Lsm_util.Comparator.t -> unit -> t
+(** [kind] defaults to {!Skiplist}. *)
+
+val kind : t -> kind
+val add : t -> Lsm_record.Entry.t -> unit
+val find : t -> ?max_seqno:int -> string -> Lsm_record.Entry.t option
+val count : t -> int
+val footprint : t -> int
+val iterator : t -> Lsm_record.Iter.t
+
+val range_tombstones : t -> Lsm_record.Entry.t list
+(** Range-delete entries buffered here, newest first. [add] routes
+    [Range_delete] entries into this side list {e and} the main structure
+    (so they flush with everything else); [find] never returns them. *)

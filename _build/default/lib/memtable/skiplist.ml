@@ -1,0 +1,112 @@
+(** Probabilistic skiplist memtable — RocksDB's default buffer.
+
+    Expected O(log n) insert and lookup, O(1) sorted-iterator creation.
+    Ordered by [Entry.compare]: user key ascending, seqno descending, so
+    the first node matching a key is its newest version. *)
+
+module Entry = Lsm_record.Entry
+module Iter = Lsm_record.Iter
+module Comparator = Lsm_util.Comparator
+module Rng = Lsm_util.Rng
+
+let implementation_name = "skiplist"
+let max_level = 16
+let branching = 4
+
+type node = {
+  nentry : Entry.t option;  (** [None] only for the head sentinel *)
+  forward : node option array;
+}
+
+type t = {
+  cmp : Comparator.t;
+  head : node;
+  rng : Rng.t;
+  mutable level : int;  (** highest level currently in use, >= 1 *)
+  mutable count : int;
+  mutable footprint : int;
+}
+
+let create ~cmp () =
+  {
+    cmp;
+    head = { nentry = None; forward = Array.make max_level None };
+    rng = Rng.create 0x5eed;
+    level = 1;
+    count = 0;
+    footprint = 0;
+  }
+
+let random_level t =
+  let rec loop lvl = if lvl < max_level && Rng.int t.rng branching = 0 then loop (lvl + 1) else lvl in
+  loop 1
+
+let entry_of n =
+  match n.nentry with Some e -> e | None -> assert false
+
+(* Last node (per level) strictly before [e] in Entry.compare order;
+   fills [update] with the predecessors when provided. *)
+let find_greater_or_equal t cmp_fn ?update () =
+  let x = ref t.head in
+  for lvl = t.level - 1 downto 0 do
+    let continue = ref true in
+    while !continue do
+      match !x.forward.(lvl) with
+      | Some nxt when cmp_fn (entry_of nxt) < 0 -> x := nxt
+      | _ -> continue := false
+    done;
+    match update with Some u -> u.(lvl) <- !x | None -> ()
+  done;
+  !x.forward.(0)
+
+let add t e =
+  let update = Array.make max_level t.head in
+  let _ = find_greater_or_equal t (fun n -> Entry.compare t.cmp n e) ~update () in
+  let lvl = random_level t in
+  if lvl > t.level then begin
+    for i = t.level to lvl - 1 do
+      update.(i) <- t.head
+    done;
+    t.level <- lvl
+  end;
+  let node = { nentry = Some e; forward = Array.make lvl None } in
+  for i = 0 to lvl - 1 do
+    node.forward.(i) <- update.(i).forward.(i);
+    update.(i).forward.(i) <- Some node
+  done;
+  t.count <- t.count + 1;
+  t.footprint <- t.footprint + Entry.footprint e
+
+(* First node with user key >= target (any seqno). Seqno sorts descending,
+   so within the target key this is the newest version. *)
+let seek_node t target =
+  find_greater_or_equal t
+    (fun n ->
+      let c = t.cmp.compare n.Entry.key target in
+      if c <> 0 then c else 1 (* same key: every version is >= "key at +inf seqno" *))
+    ()
+
+let find t ?(max_seqno = max_int) key =
+  let rec walk node =
+    match node with
+    | None -> None
+    | Some n ->
+      let e = entry_of n in
+      if t.cmp.compare e.Entry.key key <> 0 then None
+      else if e.Entry.seqno <= max_seqno && e.Entry.kind <> Entry.Range_delete then Some e
+      else walk n.forward.(0)
+  in
+  walk (seek_node t key)
+
+let count t = t.count
+let footprint t = t.footprint
+
+let iterator t =
+  let cur = ref None in
+  {
+    Iter.valid = (fun () -> !cur <> None);
+    entry = (fun () -> match !cur with Some n -> entry_of n | None -> invalid_arg "skiplist iter");
+    next = (fun () -> match !cur with Some n -> cur := n.forward.(0) | None -> ());
+    seek = (fun target -> cur := seek_node t target);
+    seek_to_first = (fun () -> cur := t.head.forward.(0));
+  }

@@ -1,0 +1,1 @@
+lib/record/entry.ml: Format Int Lsm_util Printf String

@@ -1,0 +1,1 @@
+lib/record/entry.mli: Buffer Format Lsm_util

@@ -1,0 +1,1 @@
+lib/record/iter.ml: Array Entry List Lsm_util

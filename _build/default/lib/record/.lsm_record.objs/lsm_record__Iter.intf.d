@@ -1,0 +1,1 @@
+lib/record/iter.mli: Entry Lsm_util

@@ -1,0 +1,166 @@
+module Comparator = Lsm_util.Comparator
+
+type t = {
+  valid : unit -> bool;
+  entry : unit -> Entry.t;
+  next : unit -> unit;
+  seek : string -> unit;
+  seek_to_first : unit -> unit;
+}
+
+let of_sorted_array (c : Comparator.t) arr =
+  let n = Array.length arr in
+  let pos = ref n in
+  (* First index whose user key is >= target. *)
+  let lower_bound target =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if c.compare arr.(mid).Entry.key target < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  {
+    valid = (fun () -> !pos < n);
+    entry = (fun () -> arr.(!pos));
+    next = (fun () -> if !pos < n then incr pos);
+    seek = (fun target -> pos := lower_bound target);
+    seek_to_first = (fun () -> pos := 0);
+  }
+
+let of_sorted_list c l = of_sorted_array c (Array.of_list l)
+
+let empty =
+  {
+    valid = (fun () -> false);
+    entry = (fun () -> invalid_arg "Iter.empty: no entry");
+    next = ignore;
+    seek = ignore;
+    seek_to_first = ignore;
+  }
+
+let to_list it =
+  it.seek_to_first ();
+  let rec loop acc = if it.valid () then (let e = it.entry () in it.next (); loop (e :: acc)) else List.rev acc in
+  loop []
+
+let concat parts =
+  let parts = Array.of_list parts in
+  let n = Array.length parts in
+  let cur = ref n in
+  let advance_from i =
+    let rec loop i =
+      if i >= n then cur := n
+      else begin
+        parts.(i).seek_to_first ();
+        if parts.(i).valid () then cur := i else loop (i + 1)
+      end
+    in
+    loop i
+  in
+  let skip_exhausted () =
+    while !cur < n && not (parts.(!cur).valid ()) do
+      let nxt = !cur + 1 in
+      if nxt < n then parts.(nxt).seek_to_first ();
+      cur := nxt
+    done
+  in
+  {
+    valid = (fun () -> !cur < n && parts.(!cur).valid ());
+    entry = (fun () -> parts.(!cur).entry ());
+    next =
+      (fun () ->
+        if !cur < n then begin
+          parts.(!cur).next ();
+          skip_exhausted ()
+        end);
+    seek =
+      (fun target ->
+        (* Parts are globally ordered: find the first part that still has
+           entries at/after the target. *)
+        let rec loop i =
+          if i >= n then cur := n
+          else begin
+            parts.(i).seek target;
+            if parts.(i).valid () then begin
+              cur := i;
+              (* Prime the following part so [next] can fall through. *)
+              ()
+            end
+            else loop (i + 1)
+          end
+        in
+        loop 0;
+        if !cur < n then skip_exhausted ());
+    seek_to_first = (fun () -> advance_from 0);
+  }
+
+let merge (c : Comparator.t) sources =
+  let srcs = Array.of_list sources in
+  let n = Array.length srcs in
+  (* Binary min-heap of source indices, ordered by current entry. *)
+  let heap = Array.make n 0 in
+  let heap_size = ref 0 in
+  let less i j =
+    let cmp = Entry.compare c (srcs.(i).entry ()) (srcs.(j).entry ()) in
+    if cmp <> 0 then cmp < 0 else i < j
+  in
+  let swap a b =
+    let tmp = heap.(a) in
+    heap.(a) <- heap.(b);
+    heap.(b) <- tmp
+  in
+  let rec sift_up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if less heap.(i) heap.(parent) then begin
+        swap i parent;
+        sift_up parent
+      end
+    end
+  in
+  let rec sift_down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < !heap_size && less heap.(l) heap.(!smallest) then smallest := l;
+    if r < !heap_size && less heap.(r) heap.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap i !smallest;
+      sift_down !smallest
+    end
+  in
+  let push i =
+    heap.(!heap_size) <- i;
+    incr heap_size;
+    sift_up (!heap_size - 1)
+  in
+  let pop () =
+    let top = heap.(0) in
+    decr heap_size;
+    heap.(0) <- heap.(!heap_size);
+    if !heap_size > 0 then sift_down 0;
+    top
+  in
+  let rebuild () =
+    heap_size := 0;
+    Array.iteri (fun i s -> if s.valid () then push i) srcs
+  in
+  {
+    valid = (fun () -> !heap_size > 0);
+    entry = (fun () -> srcs.(heap.(0)).entry ());
+    next =
+      (fun () ->
+        if !heap_size > 0 then begin
+          let i = pop () in
+          srcs.(i).next ();
+          if srcs.(i).valid () then push i
+        end);
+    seek =
+      (fun target ->
+        Array.iter (fun s -> s.seek target) srcs;
+        rebuild ());
+    seek_to_first =
+      (fun () ->
+        Array.iter (fun s -> s.seek_to_first ()) srcs;
+        rebuild ());
+  }

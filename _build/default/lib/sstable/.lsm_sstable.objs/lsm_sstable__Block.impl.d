@@ -1,0 +1,1 @@
+lib/sstable/block.ml: Array Buffer Int32 List Lsm_record Lsm_util String

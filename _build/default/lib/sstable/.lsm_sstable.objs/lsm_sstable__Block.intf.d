@@ -1,0 +1,1 @@
+lib/sstable/block.mli: Lsm_record Lsm_util

@@ -1,0 +1,1 @@
+lib/sstable/sstable.ml: Array Block Buffer Format List Lsm_filter Lsm_record Lsm_storage Lsm_util Printf String

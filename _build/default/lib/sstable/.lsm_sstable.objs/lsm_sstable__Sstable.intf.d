@@ -1,0 +1,1 @@
+lib/sstable/sstable.mli: Format Lsm_filter Lsm_record Lsm_storage Lsm_util

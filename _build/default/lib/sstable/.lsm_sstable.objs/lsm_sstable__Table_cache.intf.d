@@ -1,0 +1,1 @@
+lib/sstable/table_cache.mli: Lsm_storage Lsm_util Sstable

@@ -1,0 +1,1 @@
+lib/sstable/table_meta.ml: Format List Lsm_util Printf Sstable

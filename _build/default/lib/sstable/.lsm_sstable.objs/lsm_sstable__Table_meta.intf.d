@@ -1,0 +1,1 @@
+lib/sstable/table_meta.mli: Buffer Format Lsm_util Sstable

@@ -1,0 +1,159 @@
+module Codec = Lsm_util.Codec
+module Crc32c = Lsm_util.Crc32c
+module Comparator = Lsm_util.Comparator
+module Entry = Lsm_record.Entry
+module Iter = Lsm_record.Iter
+
+module Builder = struct
+  type t = {
+    restart_interval : int;
+    mutable buf : Buffer.t;
+    mutable restarts : int list;  (** reversed offsets *)
+    mutable since_restart : int;
+    mutable last_key : string;
+    mutable count : int;
+  }
+
+  let create ?(restart_interval = 16) () =
+    {
+      restart_interval;
+      buf = Buffer.create 4096;
+      restarts = [];
+      since_restart = 0;
+      last_key = "";
+      count = 0;
+    }
+
+  let common_prefix_len a b =
+    let n = min (String.length a) (String.length b) in
+    let rec loop i = if i < n && a.[i] = b.[i] then loop (i + 1) else i in
+    loop 0
+
+  let add t (e : Entry.t) =
+    let shared =
+      if t.since_restart >= t.restart_interval || t.count = 0 then begin
+        t.restarts <- Buffer.length t.buf :: t.restarts;
+        t.since_restart <- 0;
+        0
+      end
+      else common_prefix_len t.last_key e.key
+    in
+    let unshared = String.length e.key - shared in
+    Codec.put_varint t.buf shared;
+    Codec.put_varint t.buf unshared;
+    Buffer.add_substring t.buf e.key shared unshared;
+    Codec.put_varint t.buf e.seqno;
+    Codec.put_u8 t.buf (Entry.kind_to_int e.kind);
+    Codec.put_lp_string t.buf e.value;
+    t.last_key <- e.key;
+    t.since_restart <- t.since_restart + 1;
+    t.count <- t.count + 1
+
+  let size_estimate t = Buffer.length t.buf + (4 * (List.length t.restarts + 2))
+  let count t = t.count
+  let is_empty t = t.count = 0
+
+  let finish t =
+    let restarts = List.rev t.restarts in
+    let out = Buffer.create (size_estimate t + 4) in
+    Buffer.add_buffer out t.buf;
+    List.iter (Codec.put_u32 out) restarts;
+    Codec.put_u32 out (List.length restarts);
+    let body = Buffer.contents out in
+    let crc = Crc32c.mask (Crc32c.string body) in
+    Codec.put_u32 out (Int32.to_int crc land 0xffffffff);
+    Buffer.clear t.buf;
+    t.restarts <- [];
+    t.since_restart <- 0;
+    t.last_key <- "";
+    t.count <- 0;
+    Buffer.contents out
+end
+
+let decode_check block =
+  let n = String.length block in
+  if n < 8 then raise (Codec.Corrupt "block too small");
+  let body = String.sub block 0 (n - 4) in
+  let stored = Int32.of_int (Codec.get_u32 (Codec.reader ~pos:(n - 4) block)) in
+  if Crc32c.mask (Crc32c.string body) <> stored then
+    raise (Codec.Corrupt "block checksum mismatch");
+  body
+
+type parsed = { body : string; data_end : int; restarts : int array }
+
+let parse body =
+  let n = String.length body in
+  if n < 4 then raise (Codec.Corrupt "block body too small");
+  let count = Codec.get_u32 (Codec.reader ~pos:(n - 4) body) in
+  let data_end = n - 4 - (4 * count) in
+  if data_end < 0 then raise (Codec.Corrupt "bad restart count");
+  let restarts =
+    Array.init count (fun i -> Codec.get_u32 (Codec.reader ~pos:(data_end + (4 * i)) body))
+  in
+  { body; data_end; restarts }
+
+(* Decode the record at [pos] given the previous key; returns entry and
+   next position. *)
+let decode_record p ~prev_key ~pos =
+  let r = Codec.reader ~pos p.body in
+  let shared = Codec.get_varint r in
+  let unshared = Codec.get_varint r in
+  if shared > String.length prev_key then raise (Codec.Corrupt "bad shared prefix");
+  let key = String.sub prev_key 0 shared ^ Codec.get_raw r unshared in
+  let seqno = Codec.get_varint r in
+  let kind = Entry.kind_of_int (Codec.get_u8 r) in
+  let value = Codec.get_lp_string r in
+  ({ Entry.key; seqno; kind; value }, r.Codec.pos)
+
+let iterator (cmp : Comparator.t) body =
+  let p = parse body in
+  let pos = ref p.data_end in
+  let current = ref None in
+  let advance () =
+    if !pos >= p.data_end then current := None
+    else begin
+      let prev_key = match !current with Some e -> e.Entry.key | None -> "" in
+      let e, next = decode_record p ~prev_key ~pos:!pos in
+      current := Some e;
+      pos := next
+    end
+  in
+  let reset_to offset =
+    pos := offset;
+    current := None;
+    advance ()
+  in
+  (* Key at a restart point (always stored with shared = 0). *)
+  let restart_key i =
+    let e, _ = decode_record p ~prev_key:"" ~pos:p.restarts.(i) in
+    e.Entry.key
+  in
+  let seek target =
+    if Array.length p.restarts = 0 then current := None
+    else begin
+      (* Rightmost restart whose key is < target (so the target, if
+         present, lies at or after it). *)
+      let lo = ref 0 and hi = ref (Array.length p.restarts - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if cmp.compare (restart_key mid) target < 0 then lo := mid else hi := mid - 1
+      done;
+      reset_to p.restarts.(!lo);
+      let continue = ref true in
+      while !continue do
+        match !current with
+        | Some e when cmp.compare e.Entry.key target < 0 -> advance ()
+        | Some _ | None -> continue := false
+      done
+    end
+  in
+  {
+    Iter.valid = (fun () -> !current <> None);
+    entry =
+      (fun () ->
+        match !current with Some e -> e | None -> invalid_arg "Block.iterator: not valid");
+    next = (fun () -> if !current <> None then advance ());
+    seek;
+    seek_to_first =
+      (fun () -> if Array.length p.restarts = 0 then current := None else reset_to p.restarts.(0));
+  }

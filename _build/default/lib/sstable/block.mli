@@ -1,0 +1,39 @@
+(** Data blocks: the unit of disk I/O and caching inside an SSTable.
+
+    Entries are stored in [Entry.compare] order with prefix-compressed
+    keys and periodic {e restart points} (full keys) that support binary
+    search, exactly as in LevelDB/RocksDB. Each block carries a trailing
+    CRC-32C so corruption is detected at read time.
+
+    Record layout (relative to the previous key in the block):
+    [varint shared | varint unshared | unshared-bytes | varint seqno |
+     u8 kind | lp value]. Trailer: restart offsets (u32 each), restart
+    count (u32), masked CRC-32C (u32). *)
+
+module Builder : sig
+  type t
+
+  val create : ?restart_interval:int -> unit -> t
+  (** [restart_interval] defaults to 16. *)
+
+  val add : t -> Lsm_record.Entry.t -> unit
+  (** Entries must arrive in [Entry.compare] order (not checked here; the
+      SSTable builder enforces it). *)
+
+  val size_estimate : t -> int
+  (** Current encoded size including the trailer. *)
+
+  val count : t -> int
+  val is_empty : t -> bool
+
+  val finish : t -> string
+  (** Encodes, seals, and resets the builder for the next block. *)
+end
+
+val decode_check : string -> string
+(** Verify and strip the CRC trailer, returning the body for iteration.
+    @raise Lsm_util.Codec.Corrupt on checksum mismatch. *)
+
+val iterator : Lsm_util.Comparator.t -> string -> Lsm_record.Iter.t
+(** Iterator over a verified block body (output of {!decode_check}).
+    [seek] binary-searches the restart points then scans forward. *)

@@ -1,0 +1,423 @@
+module Codec = Lsm_util.Codec
+module Comparator = Lsm_util.Comparator
+module Entry = Lsm_record.Entry
+module Iter = Lsm_record.Iter
+module Device = Lsm_storage.Device
+module Io_stats = Lsm_storage.Io_stats
+module Block_cache = Lsm_storage.Block_cache
+module Point_filter = Lsm_filter.Point_filter
+module Range_filter = Lsm_filter.Range_filter
+
+let magic = 0x4c534d54 (* "LSMT" *)
+
+module Props = struct
+  type t = {
+    entries : int;
+    point_tombstones : int;
+    range_tombstones : Entry.t list;
+    min_key : string;
+    max_key : string;
+    min_seqno : int;
+    max_seqno : int;
+    created_at : int;
+    data_bytes : int;
+  }
+
+  let encode t =
+    let b = Buffer.create 256 in
+    Codec.put_varint b t.entries;
+    Codec.put_varint b t.point_tombstones;
+    Codec.put_varint b (List.length t.range_tombstones);
+    List.iter (Entry.encode b) t.range_tombstones;
+    Codec.put_lp_string b t.min_key;
+    Codec.put_lp_string b t.max_key;
+    Codec.put_varint b t.min_seqno;
+    Codec.put_varint b t.max_seqno;
+    Codec.put_varint b t.created_at;
+    Codec.put_varint b t.data_bytes;
+    Buffer.contents b
+
+  let decode s =
+    let r = Codec.reader s in
+    let entries = Codec.get_varint r in
+    let point_tombstones = Codec.get_varint r in
+    let nrd = Codec.get_varint r in
+    let range_tombstones = List.init nrd (fun _ -> Entry.decode r) in
+    let min_key = Codec.get_lp_string r in
+    let max_key = Codec.get_lp_string r in
+    let min_seqno = Codec.get_varint r in
+    let max_seqno = Codec.get_varint r in
+    let created_at = Codec.get_varint r in
+    let data_bytes = Codec.get_varint r in
+    {
+      entries;
+      point_tombstones;
+      range_tombstones;
+      min_key;
+      max_key;
+      min_seqno;
+      max_seqno;
+      created_at;
+      data_bytes;
+    }
+
+  let pp ppf t =
+    Format.fprintf ppf "entries=%d tombstones=%d(+%d range) keys=[%S..%S] seq=[%d..%d] born=%d"
+      t.entries t.point_tombstones (List.length t.range_tombstones) t.min_key t.max_key
+      t.min_seqno t.max_seqno t.created_at
+end
+
+type compression = C_none | C_lz
+
+type build_config = {
+  block_size : int;
+  restart_interval : int;
+  filter : Point_filter.policy;
+  filter_bits_override : float option;
+  range_filter : Range_filter.policy;
+  compression : compression;
+}
+
+let default_build_config =
+  {
+    block_size = 4096;
+    restart_interval = 16;
+    filter = Point_filter.default;
+    filter_bits_override = None;
+    range_filter = Range_filter.No_range_filter;
+    compression = C_none;
+  }
+
+(* Per-block frame: [u8 tag | payload] with tag 0 = raw block, or
+   [u8 1 | varint raw_len | lz payload]. *)
+let frame_block compression data =
+  match compression with
+  | C_none -> "\x00" ^ data
+  | C_lz ->
+    let packed = Lsm_util.Lz.compress data in
+    if String.length packed + 8 >= String.length data then "\x00" ^ data
+    else begin
+      let b = Buffer.create (String.length packed + 8) in
+      Codec.put_u8 b 1;
+      Codec.put_varint b (String.length data);
+      Buffer.add_string b packed;
+      Buffer.contents b
+    end
+
+let unframe_block framed =
+  let r = Codec.reader framed in
+  match Codec.get_u8 r with
+  | 0 -> Codec.get_raw r (Codec.remaining r)
+  | 1 ->
+    let raw_len = Codec.get_varint r in
+    Lsm_util.Lz.decompress (Codec.get_raw r (Codec.remaining r)) ~expected_len:raw_len
+  | n -> raise (Codec.Corrupt (Printf.sprintf "unknown block frame tag %d" n))
+
+type index_entry = { fence : string; off : int; len : int; first_key : string }
+
+let encode_index entries =
+  let b = Buffer.create 1024 in
+  Codec.put_varint b (List.length entries);
+  List.iter
+    (fun e ->
+      Codec.put_lp_string b e.fence;
+      Codec.put_varint b e.off;
+      Codec.put_varint b e.len;
+      Codec.put_lp_string b e.first_key)
+    entries;
+  Buffer.contents b
+
+let decode_index s =
+  let r = Codec.reader s in
+  let n = Codec.get_varint r in
+  Array.init n (fun _ ->
+      let fence = Codec.get_lp_string r in
+      let off = Codec.get_varint r in
+      let len = Codec.get_varint r in
+      let first_key = Codec.get_lp_string r in
+      { fence; off; len; first_key })
+
+let effective_filter_policy config =
+  match (config.filter, config.filter_bits_override) with
+  | Point_filter.Bloom _, Some bits -> Point_filter.Bloom { bits_per_key = bits }
+  | Point_filter.Blocked_bloom _, Some bits -> Point_filter.Blocked_bloom { bits_per_key = bits }
+  | policy, _ -> policy
+
+let build ?(config = default_build_config) ~cmp ~dev ~cls ~name ~created_at (it : Iter.t) =
+  it.Iter.seek_to_first ();
+  if not (it.Iter.valid ()) then invalid_arg "Sstable.build: empty iterator";
+  let w = Device.open_writer dev ~cls name in
+  let block = Block.Builder.create ~restart_interval:config.restart_interval () in
+  let index = ref [] in
+  (* Fence for a finished block is decided lazily, once the next block's
+     first key is known (shortest separator keeps fences small). *)
+  let pending : (string * int * int * string) option ref = ref None in
+  let block_first = ref "" in
+  let block_off = ref 0 in
+  let entries = ref 0 in
+  let point_tombstones = ref 0 in
+  let range_tombstones = ref [] in
+  let min_seqno = ref max_int and max_seqno = ref 0 in
+  let data_bytes = ref 0 in
+  let distinct_keys = ref [] in
+  let last_key = ref None in
+  let min_key = ref "" and max_key = ref "" in
+  let flush_pending next_first_key =
+    match !pending with
+    | None -> ()
+    | Some (last, off, len, first) ->
+      let fence =
+        match next_first_key with
+        | Some nk -> Comparator.shortest_separator cmp last nk
+        | None -> Comparator.short_successor cmp last
+      in
+      index := { fence; off; len; first_key = first } :: !index;
+      pending := None
+  in
+  let finish_block last_key_of_block =
+    if not (Block.Builder.is_empty block) then begin
+      let data = frame_block config.compression (Block.Builder.finish block) in
+      pending := Some (last_key_of_block, !block_off, String.length data, !block_first);
+      Device.append w data;
+      block_off := !block_off + String.length data
+    end
+  in
+  let prev = ref None in
+  while it.Iter.valid () do
+    let e = it.Iter.entry () in
+    (match !prev with
+    | Some p when Entry.compare cmp p e > 0 -> invalid_arg "Sstable.build: iterator out of order"
+    | _ -> ());
+    prev := Some e;
+    (* Cut blocks only between distinct user keys so all versions of a key
+       share a block ([get] stops at block end). *)
+    (match !last_key with
+    | Some k
+      when Block.Builder.size_estimate block >= config.block_size
+           && not (String.equal k e.Entry.key) ->
+      finish_block k
+    | _ -> ());
+    if Block.Builder.is_empty block then begin
+      flush_pending (Some e.Entry.key);
+      block_first := e.Entry.key
+    end;
+    Block.Builder.add block e;
+    incr entries;
+    (match e.Entry.kind with
+    | Entry.Delete | Entry.Single_delete -> incr point_tombstones
+    | Entry.Range_delete -> range_tombstones := e :: !range_tombstones
+    | Entry.Put | Entry.Merge -> ());
+    if e.Entry.seqno < !min_seqno then min_seqno := e.Entry.seqno;
+    if e.Entry.seqno > !max_seqno then max_seqno := e.Entry.seqno;
+    data_bytes := !data_bytes + String.length e.Entry.key + String.length e.Entry.value;
+    (match !last_key with
+    | Some k when String.equal k e.Entry.key -> ()
+    | _ ->
+      distinct_keys := e.Entry.key :: !distinct_keys;
+      last_key := Some e.Entry.key);
+    if !entries = 1 then min_key := e.Entry.key;
+    max_key := e.Entry.key;
+    it.Iter.next ()
+  done;
+  (match !last_key with Some k -> finish_block k | None -> assert false);
+  flush_pending None;
+  (* Filters over all distinct user keys. *)
+  let keys = !distinct_keys in
+  let pf = Point_filter.create (effective_filter_policy config) ~expected:(List.length keys) in
+  List.iter (Point_filter.add pf) keys;
+  let filter_block = Point_filter.encode pf in
+  let rf = Range_filter.build config.range_filter ~keys in
+  let rfilter_block = Range_filter.encode rf in
+  let props =
+    {
+      Props.entries = !entries;
+      point_tombstones = !point_tombstones;
+      range_tombstones = List.rev !range_tombstones;
+      min_key = !min_key;
+      max_key = !max_key;
+      min_seqno = !min_seqno;
+      max_seqno = !max_seqno;
+      created_at;
+      data_bytes = !data_bytes;
+    }
+  in
+  let props_block = Props.encode props in
+  let index_block = encode_index (List.rev !index) in
+  let filter_off = Device.written w in
+  Device.append w filter_block;
+  let rfilter_off = Device.written w in
+  Device.append w rfilter_block;
+  let index_off = Device.written w in
+  Device.append w index_block;
+  let props_off = Device.written w in
+  Device.append w props_block;
+  let footer = Buffer.create 40 in
+  Codec.put_u32 footer filter_off;
+  Codec.put_u32 footer (String.length filter_block);
+  Codec.put_u32 footer rfilter_off;
+  Codec.put_u32 footer (String.length rfilter_block);
+  Codec.put_u32 footer index_off;
+  Codec.put_u32 footer (String.length index_block);
+  Codec.put_u32 footer props_off;
+  Codec.put_u32 footer (String.length props_block);
+  Codec.put_u32 footer magic;
+  Device.append w (Buffer.contents footer);
+  Device.close w;
+  props
+
+let footer_size = 36
+
+type reader = {
+  cmp : Comparator.t;
+  dev : Device.t;
+  cache : Block_cache.t;
+  rname : string;
+  size : int;
+  index : index_entry array;
+  filter : Point_filter.t;
+  rfilter : Range_filter.t;
+  rprops : Props.t;
+}
+
+let open_reader ~cmp ~dev ~cache ~name =
+  let size = Device.size dev name in
+  if size < footer_size then raise (Codec.Corrupt "file too small for footer");
+  let footer = Device.read dev ~cls:Io_stats.C_misc name ~off:(size - footer_size) ~len:footer_size in
+  let r = Codec.reader footer in
+  let filter_off = Codec.get_u32 r in
+  let filter_len = Codec.get_u32 r in
+  let rfilter_off = Codec.get_u32 r in
+  let rfilter_len = Codec.get_u32 r in
+  let index_off = Codec.get_u32 r in
+  let index_len = Codec.get_u32 r in
+  let props_off = Codec.get_u32 r in
+  let props_len = Codec.get_u32 r in
+  if Codec.get_u32 r <> magic then raise (Codec.Corrupt ("bad magic in " ^ name));
+  let read off len = Device.read dev ~cls:Io_stats.C_misc name ~off ~len in
+  {
+    cmp;
+    dev;
+    cache;
+    rname = name;
+    size;
+    index = decode_index (read index_off index_len);
+    filter = Point_filter.decode (read filter_off filter_len);
+    rfilter = Range_filter.decode (read rfilter_off rfilter_len);
+    rprops = Props.decode (read props_off props_len);
+  }
+
+let props t = t.rprops
+let name t = t.rname
+let file_size t = t.size
+let index_block_count t = Array.length t.index
+let filter_bits t = Point_filter.bit_count t.filter
+
+let may_contain_key t key =
+  t.cmp.Comparator.compare key t.rprops.Props.min_key >= 0
+  && t.cmp.Comparator.compare key t.rprops.Props.max_key <= 0
+  && Point_filter.mem t.filter key
+
+let may_overlap_range t ~lo ~hi =
+  let below_max =
+    match hi with
+    | None -> true
+    | Some hi -> t.cmp.Comparator.compare t.rprops.Props.min_key hi < 0
+  in
+  below_max
+  && t.cmp.Comparator.compare lo t.rprops.Props.max_key <= 0
+  && Range_filter.may_overlap t.rfilter ~lo ~hi
+
+(* Data block fetch, through the cache. *)
+let load_block t ~cls ~use_cache (ie : index_entry) =
+  let fetch () = Device.read t.dev ~cls t.rname ~off:ie.off ~len:ie.len in
+  let raw =
+    if use_cache then Block_cache.get_or_load t.cache ~file:t.rname ~off:ie.off fetch
+    else
+      match Block_cache.find t.cache ~file:t.rname ~off:ie.off with
+      | Some b -> b
+      | None -> fetch ()
+  in
+  Block.decode_check (unframe_block raw)
+
+(* First index slot whose fence key is >= target: the only block that can
+   contain [target]. *)
+let index_seek t target =
+  let n = Array.length t.index in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cmp.Comparator.compare t.index.(mid).fence target < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let get t ~cls ?(max_seqno = max_int) key =
+  if not (may_contain_key t key) then None
+  else begin
+    let slot = index_seek t key in
+    if slot >= Array.length t.index then None
+    else begin
+      let it = Block.iterator t.cmp (load_block t ~cls ~use_cache:true t.index.(slot)) in
+      it.Iter.seek key;
+      let rec walk () =
+        if not (it.Iter.valid ()) then None
+        else
+          let e = it.Iter.entry () in
+          if t.cmp.Comparator.compare e.Entry.key key <> 0 then None
+          else if e.Entry.seqno <= max_seqno && e.Entry.kind <> Entry.Range_delete then Some e
+          else begin
+            it.Iter.next ();
+            walk ()
+          end
+      in
+      walk ()
+    end
+  end
+
+let iterator t ~cls ?(use_cache = true) () =
+  let nblocks = Array.length t.index in
+  let slot = ref nblocks in
+  let block_iter = ref Iter.empty in
+  let open_slot i =
+    slot := i;
+    if i < nblocks then begin
+      block_iter := Block.iterator t.cmp (load_block t ~cls ~use_cache t.index.(i));
+      !block_iter.Iter.seek_to_first ()
+    end
+    else block_iter := Iter.empty
+  in
+  let rec skip_empty () =
+    if !slot < nblocks && not (!block_iter.Iter.valid ()) then begin
+      open_slot (!slot + 1);
+      skip_empty ()
+    end
+  in
+  {
+    Iter.valid = (fun () -> !slot < nblocks && !block_iter.Iter.valid ());
+    entry = (fun () -> !block_iter.Iter.entry ());
+    next =
+      (fun () ->
+        if !slot < nblocks then begin
+          !block_iter.Iter.next ();
+          skip_empty ()
+        end);
+    seek =
+      (fun target ->
+        let i = index_seek t target in
+        open_slot i;
+        if i < nblocks then begin
+          !block_iter.Iter.seek target;
+          skip_empty ()
+        end);
+    seek_to_first =
+      (fun () ->
+        open_slot 0;
+        skip_empty ());
+  }
+
+let prefetch_into_cache t ~cls =
+  Array.iter
+    (fun ie ->
+      let data = Device.read t.dev ~cls t.rname ~off:ie.off ~len:ie.len in
+      Block_cache.insert t.cache ~file:t.rname ~off:ie.off data)
+    t.index;
+  Array.length t.index

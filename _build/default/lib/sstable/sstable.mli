@@ -1,0 +1,108 @@
+(** SSTable: the immutable sorted-run file (§2.1.1.C).
+
+    Layout: a sequence of prefix-compressed data {!Block}s, then a point
+    {!Lsm_filter.Point_filter} block, a {!Lsm_filter.Range_filter} block,
+    the fence-pointer index (one entry per data block: §2.1.3's fence
+    pointers), a properties block, and a fixed-size footer.
+
+    Readers keep the index, the filters, and the properties in memory —
+    the "auxiliary in-memory data structures per immutable file" of the
+    paper — and fetch data blocks through the shared {!Lsm_storage.Block_cache}. *)
+
+module Props : sig
+  type t = {
+    entries : int;  (** total entries, all versions *)
+    point_tombstones : int;
+    range_tombstones : Lsm_record.Entry.t list;  (** the actual entries *)
+    min_key : string;
+    max_key : string;
+    min_seqno : int;
+    max_seqno : int;
+    created_at : int;  (** logical clock tick of the flush/compaction *)
+    data_bytes : int;  (** uncompressed user key+value bytes *)
+  }
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 Building} *)
+
+type compression = C_none | C_lz
+(** Block compression: [C_lz] runs each data block through
+    {!Lsm_util.Lz}, falling back to raw storage when a block does not
+    shrink. Self-describing per block, so mixed files read fine. *)
+
+type build_config = {
+  block_size : int;  (** target data-block size in bytes *)
+  restart_interval : int;
+  filter : Lsm_filter.Point_filter.policy;
+  filter_bits_override : float option;
+      (** per-table bits-per-key override (Monkey allocation); [None] uses
+          the policy's own parameter *)
+  range_filter : Lsm_filter.Range_filter.policy;
+  compression : compression;
+}
+
+val default_build_config : build_config
+
+val build :
+  ?config:build_config ->
+  cmp:Lsm_util.Comparator.t ->
+  dev:Lsm_storage.Device.t ->
+  cls:Lsm_storage.Io_stats.op_class ->
+  name:string ->
+  created_at:int ->
+  Lsm_record.Iter.t ->
+  Props.t
+(** Drains the iterator (which must yield [Entry.compare]-ordered entries)
+    into a new file [name] and returns its properties.
+    @raise Invalid_argument if the iterator yields nothing or out of order. *)
+
+(** {1 Reading} *)
+
+type reader
+
+val open_reader :
+  cmp:Lsm_util.Comparator.t ->
+  dev:Lsm_storage.Device.t ->
+  cache:Lsm_storage.Block_cache.t ->
+  name:string ->
+  reader
+(** Reads footer, index, filters, and properties into memory.
+    @raise Lsm_util.Codec.Corrupt on a malformed file. *)
+
+val props : reader -> Props.t
+val name : reader -> string
+val file_size : reader -> int
+val index_block_count : reader -> int
+val filter_bits : reader -> int
+
+val may_contain_key : reader -> string -> bool
+(** Point-filter probe only (no I/O). *)
+
+val may_overlap_range : reader -> lo:string -> hi:string option -> bool
+(** Key-range check against (min_key, max_key) and the range filter. *)
+
+val get :
+  reader ->
+  cls:Lsm_storage.Io_stats.op_class ->
+  ?max_seqno:int ->
+  string ->
+  Lsm_record.Entry.t option
+(** Newest visible version of the key in this table (may be a tombstone —
+    the caller interprets it). Probes the filter first; on a filter
+    negative, performs no I/O. Never returns [Range_delete] entries. *)
+
+val iterator :
+  reader ->
+  cls:Lsm_storage.Io_stats.op_class ->
+  ?use_cache:bool ->
+  unit ->
+  Lsm_record.Iter.t
+(** Full-table iterator (includes tombstones and range-delete entries —
+    compaction needs them). [use_cache] defaults to [true]; compactions
+    pass [false] so they do not pollute the block cache (§2.1.3 / E13). *)
+
+val prefetch_into_cache : reader -> cls:Lsm_storage.Io_stats.op_class -> int
+(** Load every data block into the block cache (Leaper-style refill after
+    compaction, E13); returns the number of blocks loaded. *)

@@ -1,0 +1,23 @@
+type t = {
+  cmp : Lsm_util.Comparator.t;
+  dev : Lsm_storage.Device.t;
+  cache : Lsm_storage.Block_cache.t;
+  readers : (string, Sstable.reader) Hashtbl.t;
+}
+
+let create ~cmp ~dev ~cache () = { cmp; dev; cache; readers = Hashtbl.create 64 }
+
+let get t name =
+  match Hashtbl.find_opt t.readers name with
+  | Some r -> r
+  | None ->
+    let r = Sstable.open_reader ~cmp:t.cmp ~dev:t.dev ~cache:t.cache ~name in
+    Hashtbl.replace t.readers name r;
+    r
+
+let evict t name =
+  Hashtbl.remove t.readers name;
+  ignore (Lsm_storage.Block_cache.evict_file t.cache name)
+
+let open_count t = Hashtbl.length t.readers
+let block_cache t = t.cache

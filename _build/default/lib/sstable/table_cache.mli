@@ -1,0 +1,22 @@
+(** Cache of opened {!Sstable.reader}s, so each file's footer, index, and
+    filter blocks are parsed once and their in-memory form is shared by
+    every get/scan/compaction touching the file. *)
+
+type t
+
+val create :
+  cmp:Lsm_util.Comparator.t ->
+  dev:Lsm_storage.Device.t ->
+  cache:Lsm_storage.Block_cache.t ->
+  unit ->
+  t
+
+val get : t -> string -> Sstable.reader
+(** Open (or return the cached) reader for a file name. *)
+
+val evict : t -> string -> unit
+(** Drop the reader (call when the file is deleted); also drops the
+    file's data blocks from the block cache. *)
+
+val open_count : t -> int
+val block_cache : t -> Lsm_storage.Block_cache.t

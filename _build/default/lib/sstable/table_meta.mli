@@ -1,0 +1,37 @@
+(** Per-file metadata as tracked by the manifest/version machinery.
+
+    This is the information compaction-picking policies work from
+    (§2.2.3): key range and size for overlap computations, tombstone
+    counts and age for delete-aware policies (Lethe). *)
+
+type t = {
+  file_id : int;
+  file_name : string;
+  size : int;  (** bytes on device *)
+  entries : int;
+  point_tombstones : int;
+  range_tombstones : int;
+  min_key : string;
+  max_key : string;
+  min_seqno : int;
+  max_seqno : int;
+  created_at : int;  (** logical tick when the file was written *)
+  data_bytes : int;
+}
+
+val of_props : file_id:int -> file_name:string -> size:int -> Sstable.Props.t -> t
+
+val file_name_of_id : int -> string
+(** ["%06d.sst"]. *)
+
+val overlaps : Lsm_util.Comparator.t -> t -> lo:string -> hi:string -> bool
+(** Closed-interval key-range intersection test. *)
+
+val overlaps_file : Lsm_util.Comparator.t -> t -> t -> bool
+
+val tombstone_density : t -> float
+(** (point + range tombstones) / entries — Lethe's file-picking signal. *)
+
+val encode : Buffer.t -> t -> unit
+val decode : Lsm_util.Codec.reader -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/storage/device.ml: Array Buffer Filename Fun Hashtbl Io_stats List String Sys

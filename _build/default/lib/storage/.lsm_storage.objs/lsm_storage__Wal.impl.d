@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Buffer Device Int32 Io_stats List Lsm_record Lsm_util String

@@ -1,0 +1,125 @@
+type key = string * int
+
+type node = {
+  nkey : key;
+  data : string;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  mutable cap : int;
+  table : (key, node) Hashtbl.t;
+  mutable head : node option;  (** most recently used *)
+  mutable tail : node option;  (** least recently used *)
+  mutable used : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Block_cache.create: negative capacity";
+  {
+    cap = capacity;
+    table = Hashtbl.create 1024;
+    head = None;
+    tail = None;
+    used = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+
+let used_bytes t = t.used
+let block_count t = Hashtbl.length t.table
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let remove_node t n =
+  unlink t n;
+  Hashtbl.remove t.table n.nkey;
+  t.used <- t.used - String.length n.data
+
+let find t ~file ~off =
+  match Hashtbl.find_opt t.table (file, off) with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    unlink t n;
+    push_front t n;
+    Some n.data
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let evict_until_fits t =
+  while t.used > t.cap do
+    match t.tail with
+    | Some n ->
+      remove_node t n;
+      t.evictions <- t.evictions + 1
+    | None -> assert false
+  done
+
+let set_capacity t capacity =
+  if capacity < 0 then invalid_arg "Block_cache.set_capacity: negative capacity";
+  t.cap <- capacity;
+  evict_until_fits t
+
+let insert t ~file ~off data =
+  if String.length data <= t.cap && t.cap > 0 then begin
+    (match Hashtbl.find_opt t.table (file, off) with
+    | Some old -> remove_node t old
+    | None -> ());
+    let n = { nkey = (file, off); data; prev = None; next = None } in
+    Hashtbl.replace t.table n.nkey n;
+    push_front t n;
+    t.used <- t.used + String.length data;
+    evict_until_fits t
+  end
+
+let get_or_load t ~file ~off load =
+  match find t ~file ~off with
+  | Some data -> data
+  | None ->
+    let data = load () in
+    insert t ~file ~off data;
+    data
+
+let evict_file t file =
+  let victims =
+    Hashtbl.fold (fun (f, _) n acc -> if String.equal f file then n :: acc else acc) t.table []
+  in
+  List.iter (remove_node t) victims;
+  List.length victims
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.used <- 0
+
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let hit_rate t =
+  let lookups = t.hits + t.misses in
+  if lookups = 0 then 0.0 else float_of_int t.hits /. float_of_int lookups
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

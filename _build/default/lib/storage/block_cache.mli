@@ -1,0 +1,50 @@
+(** A byte-budgeted LRU cache of data blocks, keyed by (file, offset).
+
+    This is the block cache of §2.1.3: it can hold data, index, and filter
+    blocks alike. It exposes the statistics the cache experiments need
+    (hit/miss/eviction counters) and the two hooks the compaction–cache
+    interaction study (E13) uses: {!evict_file} (what happens implicitly
+    when compaction deletes an input file) and pre-populating via
+    {!insert} (Leaper-style refill after compaction). *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] in bytes. A zero capacity disables caching (every lookup
+    misses, inserts are dropped). *)
+
+val capacity : t -> int
+
+val set_capacity : t -> int -> unit
+(** Adjust the byte budget at runtime (evicting LRU entries if shrinking) —
+    the hook adaptive memory management (§2.3.1) turns. *)
+
+val used_bytes : t -> int
+val block_count : t -> int
+
+val find : t -> file:string -> off:int -> string option
+(** Moves the block to most-recently-used on hit. *)
+
+val insert : t -> file:string -> off:int -> string -> unit
+(** Inserts (replacing any previous block at that key) and evicts LRU
+    entries until within capacity. Blocks larger than the whole capacity
+    are not cached. *)
+
+val get_or_load : t -> file:string -> off:int -> (unit -> string) -> string
+(** [get_or_load t ~file ~off load] returns the cached block or calls
+    [load], caches the result, and returns it. *)
+
+val evict_file : t -> string -> int
+(** Drop every cached block of a file; returns how many were dropped. *)
+
+val clear : t -> unit
+
+(** {1 Statistics} *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val hit_rate : t -> float
+(** hits / (hits + misses); 0 when no lookups happened. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,182 @@
+type mem_file = {
+  buf : Buffer.t;
+  mutable synced : int;  (** crash-durable prefix length *)
+  mutable sealed : bool;
+  mutable writing : bool;
+}
+
+type backend =
+  | Mem of (string, mem_file) Hashtbl.t
+  | Disk of { dir : string; open_writers : (string, unit) Hashtbl.t }
+
+type t = {
+  backend : backend;
+  page_size : int;
+  io : Io_stats.t;
+  mutable syncs : int;
+}
+
+type writer = {
+  dev : t;
+  name : string;
+  cls : Io_stats.op_class;
+  mutable w_written : int;
+  sink : sink;
+  mutable closed : bool;
+}
+
+and sink = Mem_sink of mem_file | Disk_sink of out_channel
+
+let in_memory ?(page_size = 4096) () =
+  { backend = Mem (Hashtbl.create 64); page_size; io = Io_stats.create (); syncs = 0 }
+
+let on_disk ?(page_size = 4096) ~dir () =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  { backend = Disk { dir; open_writers = Hashtbl.create 8 }; page_size; io = Io_stats.create (); syncs = 0 }
+
+let page_size t = t.page_size
+let stats t = t.io
+let sync_count t = t.syncs
+
+let pages_of t ~off ~len =
+  if len = 0 then 0
+  else (((off + len - 1) / t.page_size) - (off / t.page_size)) + 1
+
+let disk_path dir name = Filename.concat dir name
+
+let open_writer t ~cls name =
+  match t.backend with
+  | Mem files ->
+    (match Hashtbl.find_opt files name with
+    | Some f when f.writing -> invalid_arg ("Device.open_writer: already open: " ^ name)
+    | _ -> ());
+    let f = { buf = Buffer.create 4096; synced = 0; sealed = false; writing = true } in
+    Hashtbl.replace files name f;
+    { dev = t; name; cls; w_written = 0; sink = Mem_sink f; closed = false }
+  | Disk d ->
+    if Hashtbl.mem d.open_writers name then
+      invalid_arg ("Device.open_writer: already open: " ^ name);
+    Hashtbl.replace d.open_writers name ();
+    let oc = open_out_bin (disk_path d.dir name) in
+    { dev = t; name; cls; w_written = 0; sink = Disk_sink oc; closed = false }
+
+let check_open w = if w.closed then invalid_arg "Device: writer is closed"
+
+let account_write w len =
+  let pages = pages_of w.dev ~off:w.w_written ~len in
+  Io_stats.record_write w.dev.io w.cls ~pages ~bytes:len;
+  w.w_written <- w.w_written + len
+
+let append w s =
+  check_open w;
+  (match w.sink with
+  | Mem_sink f ->
+    if f.sealed then invalid_arg "Device.append: file sealed (crashed?)";
+    Buffer.add_string f.buf s
+  | Disk_sink oc -> output_string oc s);
+  account_write w (String.length s)
+
+let append_buffer w b =
+  check_open w;
+  (match w.sink with
+  | Mem_sink f ->
+    if f.sealed then invalid_arg "Device.append: file sealed (crashed?)";
+    Buffer.add_buffer f.buf b
+  | Disk_sink oc -> Buffer.output_buffer oc b);
+  account_write w (Buffer.length b)
+
+let written w = w.w_written
+
+let sync w =
+  check_open w;
+  w.dev.syncs <- w.dev.syncs + 1;
+  match w.sink with
+  | Mem_sink f -> f.synced <- Buffer.length f.buf
+  | Disk_sink oc -> flush oc
+
+let close w =
+  if not w.closed then begin
+    sync w;
+    w.closed <- true;
+    match w.sink with
+    | Mem_sink f ->
+      f.sealed <- true;
+      f.writing <- false
+    | Disk_sink oc ->
+      close_out oc;
+      (match w.dev.backend with
+      | Disk d -> Hashtbl.remove d.open_writers w.name
+      | Mem _ -> assert false)
+  end
+
+let find_mem files name =
+  match Hashtbl.find_opt files name with
+  | Some f -> f
+  | None -> raise Not_found
+
+let read t ~cls name ~off ~len =
+  if off < 0 || len < 0 then invalid_arg "Device.read: negative range";
+  let data =
+    match t.backend with
+    | Mem files ->
+      let f = find_mem files name in
+      let n = Buffer.length f.buf in
+      if off + len > n then invalid_arg "Device.read: out of bounds";
+      Buffer.sub f.buf off len
+    | Disk d ->
+      let path = disk_path d.dir name in
+      if not (Sys.file_exists path) then raise Not_found;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          if off + len > in_channel_length ic then invalid_arg "Device.read: out of bounds";
+          seek_in ic off;
+          really_input_string ic len)
+  in
+  Io_stats.record_read t.io cls ~pages:(pages_of t ~off ~len) ~bytes:len;
+  data
+
+let size t name =
+  match t.backend with
+  | Mem files -> Buffer.length (find_mem files name).buf
+  | Disk d ->
+    let path = disk_path d.dir name in
+    if not (Sys.file_exists path) then raise Not_found;
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> in_channel_length ic)
+
+let exists t name =
+  match t.backend with
+  | Mem files -> Hashtbl.mem files name
+  | Disk d -> Sys.file_exists (disk_path d.dir name)
+
+let delete t name =
+  match t.backend with
+  | Mem files -> Hashtbl.remove files name
+  | Disk d ->
+    let path = disk_path d.dir name in
+    if Sys.file_exists path then Sys.remove path
+
+let list_files t =
+  match t.backend with
+  | Mem files -> Hashtbl.fold (fun k _ acc -> k :: acc) files [] |> List.sort String.compare
+  | Disk d -> Sys.readdir d.dir |> Array.to_list |> List.sort String.compare
+
+let total_bytes t =
+  match t.backend with
+  | Mem files -> Hashtbl.fold (fun _ f acc -> acc + Buffer.length f.buf) files 0
+  | Disk d ->
+    Sys.readdir d.dir |> Array.to_list
+    |> List.fold_left (fun acc name -> acc + size t name) 0
+
+let crash t =
+  match t.backend with
+  | Disk _ -> invalid_arg "Device.crash: only supported on the in-memory backend"
+  | Mem files ->
+    Hashtbl.iter
+      (fun _ f ->
+        Buffer.truncate f.buf f.synced;
+        f.sealed <- true;
+        f.writing <- false)
+      files

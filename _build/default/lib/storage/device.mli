@@ -1,0 +1,67 @@
+(** The block-device / file-system abstraction underneath the engine.
+
+    Files are append-only while being written and immutable once closed —
+    exactly the discipline LSM components need (§2.1.1.C). The device
+    charges every read and write to an {!Io_stats.op_class} at page
+    granularity, which is what the experiments measure.
+
+    Two backends:
+    - {!in_memory} — the default substrate for tests and benchmarks. It can
+      also simulate a crash ({!crash}): all bytes not covered by an explicit
+      {!sync} are lost, which is how WAL recovery is exercised.
+    - {!on_disk} — real files under a directory, for running the engine
+      against an actual file system. *)
+
+type t
+type writer
+
+val in_memory : ?page_size:int -> unit -> t
+(** [page_size] defaults to 4096 bytes. *)
+
+val on_disk : ?page_size:int -> dir:string -> unit -> t
+(** Stores files under [dir] (created if missing). *)
+
+val page_size : t -> int
+val stats : t -> Io_stats.t
+val sync_count : t -> int
+
+(** {1 Writing} *)
+
+val open_writer : t -> cls:Io_stats.op_class -> string -> writer
+(** Creates (or truncates) the named file for appending.
+    @raise Invalid_argument if a writer is already open on that name. *)
+
+val append : writer -> string -> unit
+val append_buffer : writer -> Buffer.t -> unit
+val written : writer -> int
+(** Bytes appended so far (= current file size). *)
+
+val sync : writer -> unit
+(** Make all appended bytes crash-durable. *)
+
+val close : writer -> unit
+(** Seal the file (implies {!sync}); it becomes immutable and readable. *)
+
+(** {1 Reading} *)
+
+val read : t -> cls:Io_stats.op_class -> string -> off:int -> len:int -> string
+(** @raise Not_found if the file does not exist.
+    @raise Invalid_argument if the range is out of bounds. *)
+
+val size : t -> string -> int
+val exists : t -> string -> bool
+val delete : t -> string -> unit
+(** Removing a missing file is a no-op. *)
+
+val list_files : t -> string list
+(** Sorted file names. *)
+
+val total_bytes : t -> int
+(** Sum of all file sizes: the space-amplification numerator. *)
+
+(** {1 Fault injection} *)
+
+val crash : t -> unit
+(** In-memory backend only: discard all unsynced bytes and seal every file,
+    as a power failure would. Open writers become unusable.
+    @raise Invalid_argument on the on-disk backend. *)

@@ -1,0 +1,43 @@
+(** Per-class I/O accounting.
+
+    The paper states every tradeoff in terms of I/O counts — write
+    amplification, read amplification, superfluous lookup I/Os — so the
+    device attributes every page touched to an operation class and the
+    experiments read the totals from here. *)
+
+type op_class =
+  | C_user_write  (** WAL and memtable-path writes issued for user puts *)
+  | C_user_read  (** pages read serving gets and scans *)
+  | C_flush  (** pages written by memtable flushes *)
+  | C_compaction_read
+  | C_compaction_write
+  | C_gc  (** value-log garbage collection (kv-separation) *)
+  | C_misc
+
+val all_classes : op_class list
+val class_name : op_class -> string
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val record_read : t -> op_class -> pages:int -> bytes:int -> unit
+val record_write : t -> op_class -> pages:int -> bytes:int -> unit
+
+val pages_read : ?cls:op_class -> t -> int
+val pages_written : ?cls:op_class -> t -> int
+val bytes_read : ?cls:op_class -> t -> int
+val bytes_written : ?cls:op_class -> t -> int
+
+val write_amplification : t -> user_bytes:int -> float
+(** Total device bytes written divided by logical user bytes ingested. *)
+
+val snapshot : t -> (op_class * (int * int * int * int)) list
+(** Per class: (pages_read, bytes_read, pages_written, bytes_written). *)
+
+val diff : t -> t -> t
+(** [diff now before] — counters accumulated between two snapshots. *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+module Codec = Lsm_util.Codec
+module Crc32c = Lsm_util.Crc32c
+module Entry = Lsm_record.Entry
+
+type t = { wname : string; writer : Device.writer; mutable closed : bool }
+
+let create dev ~name =
+  { wname = name; writer = Device.open_writer dev ~cls:Io_stats.C_user_write name; closed = false }
+
+let frame_record payload =
+  let b = Buffer.create (String.length payload + 8) in
+  let crc = Crc32c.mask (Crc32c.string payload) in
+  Codec.put_u32 b (Int32.to_int crc land 0xffffffff);
+  Codec.put_u32 b (String.length payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let append t ?(sync = true) entries =
+  if t.closed then invalid_arg "Wal.append: closed";
+  match entries with
+  | [] -> ()
+  | entries ->
+    let payload = Buffer.create 256 in
+    Codec.put_varint payload (List.length entries);
+    List.iter (Entry.encode payload) entries;
+    Device.append t.writer (frame_record (Buffer.contents payload));
+    if sync then Device.sync t.writer
+
+let size t = Device.written t.writer
+let name t = t.wname
+
+let close t =
+  if not t.closed then begin
+    Device.close t.writer;
+    t.closed <- true
+  end
+
+let replay dev ~name f =
+  if not (Device.exists dev name) then 0
+  else begin
+    let len = Device.size dev name in
+    let data = Device.read dev ~cls:Io_stats.C_misc name ~off:0 ~len in
+    let r = Codec.reader data in
+    let batches = ref 0 in
+    (try
+       while Codec.remaining r >= 8 do
+         let stored_crc = Int32.of_int (Codec.get_u32 r) in
+         let plen = Codec.get_u32 r in
+         if plen > Codec.remaining r then raise Exit;
+         let payload = Codec.get_raw r plen in
+         if Crc32c.mask (Crc32c.string payload) <> stored_crc then raise Exit;
+         let pr = Codec.reader payload in
+         let count = Codec.get_varint pr in
+         let entries = List.init count (fun _ -> Entry.decode pr) in
+         f entries;
+         incr batches
+       done
+     with Exit | Codec.Corrupt _ -> ());
+    !batches
+  end

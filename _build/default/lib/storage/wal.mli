@@ -1,0 +1,29 @@
+(** Write-ahead log: crash durability for the memtable.
+
+    Each user write batch is framed as one checksummed record; on restart,
+    {!replay} folds over the intact prefix of the log and silently stops at
+    the first torn or corrupt record — the standard contract that makes a
+    crashed tail harmless (the lost suffix was never acknowledged if the
+    caller synced per batch).
+
+    Frame layout: [u32 masked-crc32c | u32 payload-len | payload], where the
+    payload is a varint entry count followed by the encoded entries. *)
+
+type t
+
+val create : Device.t -> name:string -> t
+(** Opens a fresh log file for appending (truncates an existing one). *)
+
+val append : t -> ?sync:bool -> Lsm_record.Entry.t list -> unit
+(** Appends one batch as one record. [sync] (default [true]) makes the
+    record crash-durable before returning. Empty batches are ignored. *)
+
+val size : t -> int
+val name : t -> string
+val close : t -> unit
+
+val replay :
+  Device.t -> name:string -> (Lsm_record.Entry.t list -> unit) -> int
+(** [replay dev ~name f] applies [f] to each intact batch in order and
+    returns the number of batches recovered. A missing file recovers zero
+    batches. Corruption past the intact prefix is ignored (torn tail). *)

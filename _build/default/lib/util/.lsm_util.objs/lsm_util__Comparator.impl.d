@@ -1,0 +1,1 @@
+lib/util/comparator.ml: Bytes Char String

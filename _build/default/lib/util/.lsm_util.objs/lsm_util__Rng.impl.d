@@ -1,0 +1,1 @@
+lib/util/rng.ml: Array Char Hashing Int64 String

@@ -1,0 +1,1 @@
+lib/util/zipf.ml: Float Hashing Int64 Rng

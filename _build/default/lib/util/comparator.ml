@@ -1,0 +1,42 @@
+type t = { name : string; compare : string -> string -> int }
+
+let bytewise = { name = "bytewise"; compare = String.compare }
+
+let reverse_bytewise =
+  { name = "reverse-bytewise"; compare = (fun a b -> String.compare b a) }
+
+let common_prefix_len a b =
+  let n = min (String.length a) (String.length b) in
+  let rec loop i = if i < n && a.[i] = b.[i] then loop (i + 1) else i in
+  loop 0
+
+let shortest_separator c a b =
+  if c.name <> bytewise.name then a
+  else
+    let p = common_prefix_len a b in
+    if p >= String.length a then a (* a is a prefix of b *)
+    else
+      let byte = Char.code a.[p] in
+      if byte < 0xff && (p + 1 > String.length b || byte + 1 < Char.code b.[p]) then begin
+        let s = Bytes.of_string (String.sub a 0 (p + 1)) in
+        Bytes.set s p (Char.chr (byte + 1));
+        let s = Bytes.to_string s in
+        assert (c.compare a s <= 0 && c.compare s b < 0);
+        s
+      end
+      else a
+
+let short_successor c k =
+  if c.name <> bytewise.name then k
+  else
+    let n = String.length k in
+    let rec find i = if i >= n then None else if k.[i] <> '\xff' then Some i else find (i + 1) in
+    match find 0 with
+    | None -> k (* all 0xff: no short successor *)
+    | Some i ->
+      let s = Bytes.of_string (String.sub k 0 (i + 1)) in
+      Bytes.set s i (Char.chr (Char.code k.[i] + 1));
+      Bytes.to_string s
+
+let min_key c a b = if c.compare a b <= 0 then a else b
+let max_key c a b = if c.compare a b >= 0 then a else b

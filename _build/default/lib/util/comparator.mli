@@ -1,0 +1,24 @@
+(** User-key comparators and the key-manipulation helpers the SSTable
+    index uses to keep fence pointers short. *)
+
+type t = {
+  name : string;
+  compare : string -> string -> int;
+}
+
+val bytewise : t
+(** Lexicographic comparison on bytes — the default everywhere. *)
+
+val reverse_bytewise : t
+
+val shortest_separator : t -> string -> string -> string
+(** [shortest_separator c a b] with [compare a b < 0] is a short key [s]
+    with [a <= s < b]; used as the fence key between two data blocks.
+    Falls back to [a] when no shorter separator exists.
+    Only meaningful for {!bytewise}; other comparators return [a]. *)
+
+val short_successor : t -> string -> string
+(** A short key [>= k]; used as the fence key after the last block. *)
+
+val min_key : t -> string -> string -> string
+val max_key : t -> string -> string -> string

@@ -1,0 +1,42 @@
+let polynomial = 0x82f63b78l
+
+let table =
+  lazy
+    (let t = Array.make 256 0l in
+     for i = 0 to 255 do
+       let c = ref (Int32.of_int i) in
+       for _ = 0 to 7 do
+         let lsb = Int32.logand !c 1l in
+         c := Int32.shift_right_logical !c 1;
+         if lsb = 1l then c := Int32.logxor !c polynomial
+       done;
+       t.(i) <- !c
+     done;
+     t)
+
+let sub ?(init = 0l) s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32c.sub: out of bounds";
+  let t = Lazy.force table in
+  let c = ref (Int32.lognot init) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xffl)
+    in
+    c := Int32.logxor (Int32.shift_right_logical !c 8) t.(idx)
+  done;
+  Int32.lognot !c
+
+let string ?init s = sub ?init s ~pos:0 ~len:(String.length s)
+
+let mask_delta = 0xa282ead8l
+
+let mask crc =
+  let rotated =
+    Int32.logor (Int32.shift_right_logical crc 15) (Int32.shift_left crc 17)
+  in
+  Int32.add rotated mask_delta
+
+let unmask masked =
+  let rotated = Int32.sub masked mask_delta in
+  Int32.logor (Int32.shift_right_logical rotated 17) (Int32.shift_left rotated 15)

@@ -1,0 +1,14 @@
+(** CRC-32C (Castagnoli) checksums, as used by the block and WAL formats. *)
+
+val string : ?init:int32 -> string -> int32
+(** [string s] is the CRC-32C of [s]. [init] continues a running checksum. *)
+
+val sub : ?init:int32 -> string -> pos:int -> len:int -> int32
+(** Checksum of a substring. *)
+
+val mask : int32 -> int32
+(** Rotate-and-offset masking (à la LevelDB) so that checksums of data that
+    itself embeds checksums remain well-distributed. *)
+
+val unmask : int32 -> int32
+(** Inverse of {!mask}. *)

@@ -1,0 +1,1 @@
+lib/workload/kv_store.ml: Lsm_core Lsm_storage Option

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Bytes Format Fun Int64 Kv_store Lsm_storage Lsm_util Printf Spec Sys

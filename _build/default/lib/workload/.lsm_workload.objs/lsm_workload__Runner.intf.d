@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Format Kv_store Spec

@@ -1,0 +1,34 @@
+module Db = Lsm_core.Db
+
+type t = {
+  store_name : string;
+  put : key:string -> string -> unit;
+  get : string -> string option;
+  scan : lo:string -> hi:string option -> limit:int -> (string * string) list;
+  delete : string -> unit;
+  rmw : key:string -> string -> unit;
+  flush : unit -> unit;
+  io_stats : unit -> Lsm_storage.Io_stats.t;
+  user_bytes : unit -> int;
+  space_bytes : unit -> int;
+}
+
+let of_db db =
+  {
+    store_name = "lsm";
+    put = (fun ~key value -> Db.put db ~key value);
+    get = (fun key -> Db.get db key);
+    scan = (fun ~lo ~hi ~limit -> Db.scan db ~limit ~lo ~hi ());
+    delete = (fun key -> Db.delete db key);
+    rmw =
+      (fun ~key operand ->
+        match (Db.config db).Lsm_core.Config.merge_operator with
+        | Some _ -> Db.merge db ~key operand
+        | None ->
+          let base = Option.value ~default:"" (Db.get db key) in
+          Db.put db ~key (base ^ operand));
+    flush = (fun () -> Db.flush db);
+    io_stats = (fun () -> Db.io_stats db);
+    user_bytes = (fun () -> (Db.stats db).Lsm_core.Stats.user_bytes_ingested);
+    space_bytes = (fun () -> Lsm_storage.Device.total_bytes (Db.device db));
+  }

@@ -1,0 +1,153 @@
+module Rng = Lsm_util.Rng
+module Zipf = Lsm_util.Zipf
+module Io_stats = Lsm_storage.Io_stats
+
+type result = {
+  spec_name : string;
+  store_name : string;
+  preload_ops : int;
+  measured_ops : int;
+  elapsed_cpu_s : float;
+  ops_per_sec : float;
+  user_bytes : int;
+  device_bytes_written : int;
+  device_bytes_read : int;
+  write_amplification : float;
+  space_bytes : int;
+  reads_performed : int;
+  reads_found : int;
+}
+
+let keyspace_key encoding i =
+  match encoding with
+  | Spec.Ycsb_style -> Printf.sprintf "user%012d" i
+  | Spec.Binary8 ->
+    let b = Bytes.create 8 in
+    Bytes.set_int64_be b 0 (Int64.of_int i);
+    Bytes.unsafe_to_string b
+
+(* Stateful key chooser over a growing keyspace. *)
+type chooser = {
+  mutable inserted : int;  (** keys 0 .. inserted-1 exist *)
+  pick_existing : unit -> int;
+  rng : Rng.t;
+}
+
+let make_chooser (spec : Spec.t) rng =
+  let upper = max 1 (spec.preload + spec.operations) in
+  let zipf =
+    match spec.distribution with
+    | Spec.Zipfian { theta } | Spec.Latest { theta } -> Some (Zipf.create ~theta upper)
+    | Spec.Uniform | Spec.Sequential -> None
+  in
+  let seq_cursor = ref 0 in
+  let rec chooser =
+    {
+      inserted = max 1 spec.preload;
+      pick_existing =
+        (fun () ->
+          let n = max 1 chooser.inserted in
+          match (spec.distribution, zipf) with
+          | Spec.Uniform, _ -> Rng.int rng n
+          | Spec.Sequential, _ ->
+            let k = !seq_cursor mod n in
+            incr seq_cursor;
+            k
+          | Spec.Zipfian _, Some z -> Zipf.next_scrambled z rng mod n
+          | Spec.Latest _, Some z -> n - 1 - (Zipf.next z rng mod n)
+          | (Spec.Zipfian _ | Spec.Latest _), None -> assert false);
+      rng;
+    }
+  in
+  chooser
+
+let value_of rng size = Rng.bytes rng size
+
+let preload (store : Kv_store.t) (spec : Spec.t) =
+  Spec.validate spec;
+  let rng = Rng.create spec.seed in
+  (* Shuffled load order: sequential loads would make every flush file
+     disjoint and hide compaction costs. *)
+  let order = Array.init spec.preload Fun.id in
+  Rng.shuffle rng order;
+  Array.iter
+    (fun i ->
+      store.Kv_store.put ~key:(keyspace_key spec.encoding i) (value_of rng spec.value_size))
+    order;
+  store.Kv_store.flush ()
+
+let sample_op (spec : Spec.t) rng =
+  let m = spec.mix in
+  let x = Rng.float rng (Spec.mix_sum m) in
+  if x < m.insert then Spec.Op_insert
+  else if x < m.insert +. m.update then Spec.Op_update
+  else if x < m.insert +. m.update +. m.read then Spec.Op_read
+  else if x < m.insert +. m.update +. m.read +. m.scan then
+    Spec.Op_scan { length = m.scan_length }
+  else if x < m.insert +. m.update +. m.read +. m.scan +. m.delete then Spec.Op_delete
+  else Spec.Op_rmw
+
+let run_measured_only (store : Kv_store.t) (spec : Spec.t) =
+  Spec.validate spec;
+  let rng = Rng.create (spec.seed lxor 0x5117) in
+  let chooser = make_chooser spec rng in
+  let io_before = Io_stats.copy (store.Kv_store.io_stats ()) in
+  let user_before = store.Kv_store.user_bytes () in
+  let reads = ref 0 and found = ref 0 in
+  let t0 = Sys.time () in
+  for _ = 1 to spec.operations do
+    match sample_op spec rng with
+    | Spec.Op_insert ->
+      let i = chooser.inserted in
+      chooser.inserted <- i + 1;
+      store.put ~key:(keyspace_key spec.encoding i) (value_of rng spec.value_size)
+    | Spec.Op_update ->
+      store.put
+        ~key:(keyspace_key spec.encoding (chooser.pick_existing ()))
+        (value_of rng spec.value_size)
+    | Spec.Op_read ->
+      incr reads;
+      let k = keyspace_key spec.encoding (chooser.pick_existing ()) in
+      if store.get k <> None then incr found
+    | Spec.Op_scan { length } ->
+      let lo = keyspace_key spec.encoding (chooser.pick_existing ()) in
+      ignore (store.scan ~lo ~hi:None ~limit:length)
+    | Spec.Op_delete -> store.delete (keyspace_key spec.encoding (chooser.pick_existing ()))
+    | Spec.Op_rmw ->
+      store.rmw ~key:(keyspace_key spec.encoding (chooser.pick_existing ())) "+1"
+  done;
+  let elapsed = Sys.time () -. t0 in
+  let io = Io_stats.diff (store.io_stats ()) io_before in
+  let user_bytes = store.user_bytes () - user_before in
+  {
+    spec_name = spec.name;
+    store_name = store.store_name;
+    preload_ops = spec.preload;
+    measured_ops = spec.operations;
+    elapsed_cpu_s = elapsed;
+    ops_per_sec = (if elapsed > 0.0 then float_of_int spec.operations /. elapsed else 0.0);
+    user_bytes;
+    device_bytes_written = Io_stats.bytes_written io;
+    device_bytes_read = Io_stats.bytes_read io;
+    write_amplification =
+      (if user_bytes > 0 then float_of_int (Io_stats.bytes_written io) /. float_of_int user_bytes
+       else 0.0);
+    space_bytes = store.space_bytes ();
+    reads_performed = !reads;
+    reads_found = !found;
+  }
+
+let run store spec =
+  preload store spec;
+  run_measured_only store spec
+
+let header =
+  Printf.sprintf "%-14s %-12s %9s %9s %8s %6s %12s %12s %10s" "workload" "store" "ops"
+    "ops/s" "cpu(s)" "WA" "devW(B)" "devR(B)" "space(B)"
+
+let row r =
+  Printf.sprintf "%-14s %-12s %9d %9.0f %8.2f %6.2f %12d %12d %10d" r.spec_name r.store_name
+    r.measured_ops r.ops_per_sec r.elapsed_cpu_s r.write_amplification r.device_bytes_written
+    r.device_bytes_read r.space_bytes
+
+let pp_result ppf r = Format.pp_print_string ppf (row r)

@@ -1,0 +1,38 @@
+(** Drives a {!Spec.t} against a {!Kv_store.t} and reports the metrics the
+    experiments tabulate: throughput, write amplification, per-phase I/O,
+    and space use. Deterministic for a given (spec, store) pair. *)
+
+type result = {
+  spec_name : string;
+  store_name : string;
+  preload_ops : int;
+  measured_ops : int;
+  elapsed_cpu_s : float;  (** CPU seconds of the measured phase *)
+  ops_per_sec : float;
+  user_bytes : int;
+  device_bytes_written : int;
+  device_bytes_read : int;
+  write_amplification : float;
+  space_bytes : int;
+  reads_performed : int;
+  reads_found : int;
+}
+
+val keyspace_key : Spec.key_encoding -> int -> string
+(** The canonical key for index [i] under an encoding (exposed so
+    experiments can issue targeted lookups). *)
+
+val preload : Kv_store.t -> Spec.t -> unit
+(** Load phase only: inserts keys [0 .. preload-1] (shuffled), then
+    flushes. *)
+
+val run : Kv_store.t -> Spec.t -> result
+(** Preload, then execute the measured operation phase. *)
+
+val run_measured_only : Kv_store.t -> Spec.t -> result
+(** Execute only the measured phase (caller already preloaded). *)
+
+val pp_result : Format.formatter -> result -> unit
+val header : string
+val row : result -> string
+(** Fixed-width table rendering used by the bench harness. *)

@@ -1,0 +1,156 @@
+type key_distribution =
+  | Uniform
+  | Zipfian of { theta : float }
+  | Latest of { theta : float }
+  | Sequential
+
+type key_encoding = Ycsb_style | Binary8
+
+type op =
+  | Op_insert
+  | Op_update
+  | Op_read
+  | Op_scan of { length : int }
+  | Op_delete
+  | Op_rmw
+
+type mix = {
+  insert : float;
+  update : float;
+  read : float;
+  scan : float;
+  scan_length : int;
+  delete : float;
+  rmw : float;
+}
+
+type t = {
+  name : string;
+  preload : int;
+  operations : int;
+  mix : mix;
+  distribution : key_distribution;
+  encoding : key_encoding;
+  value_size : int;
+  seed : int;
+}
+
+let mix_sum m = m.insert +. m.update +. m.read +. m.scan +. m.delete +. m.rmw
+
+let validate t =
+  if abs_float (mix_sum t.mix -. 1.0) > 0.01 then
+    invalid_arg (Printf.sprintf "Spec %s: mix sums to %.3f" t.name (mix_sum t.mix));
+  if t.preload < 0 || t.operations < 0 then invalid_arg "Spec: negative counts";
+  if t.value_size < 0 then invalid_arg "Spec: negative value size"
+
+let no_ops =
+  { insert = 0.; update = 0.; read = 0.; scan = 0.; scan_length = 100; delete = 0.; rmw = 0. }
+
+let base name =
+  {
+    name;
+    preload = 10_000;
+    operations = 10_000;
+    mix = no_ops;
+    distribution = Zipfian { theta = 0.99 };
+    encoding = Ycsb_style;
+    value_size = 100;
+    seed = 0x9c5b;
+  }
+
+let ycsb_a ?(records = 10_000) ?(operations = 10_000) () =
+  {
+    (base "ycsb-a") with
+    preload = records;
+    operations;
+    mix = { no_ops with read = 0.5; update = 0.5 };
+  }
+
+let ycsb_b ?(records = 10_000) ?(operations = 10_000) () =
+  {
+    (base "ycsb-b") with
+    preload = records;
+    operations;
+    mix = { no_ops with read = 0.95; update = 0.05 };
+  }
+
+let ycsb_c ?(records = 10_000) ?(operations = 10_000) () =
+  { (base "ycsb-c") with preload = records; operations; mix = { no_ops with read = 1.0 } }
+
+let ycsb_d ?(records = 10_000) ?(operations = 10_000) () =
+  {
+    (base "ycsb-d") with
+    preload = records;
+    operations;
+    mix = { no_ops with read = 0.95; insert = 0.05 };
+    distribution = Latest { theta = 0.99 };
+  }
+
+let ycsb_e ?(records = 10_000) ?(operations = 2_000) () =
+  {
+    (base "ycsb-e") with
+    preload = records;
+    operations;
+    mix = { no_ops with scan = 0.95; insert = 0.05; scan_length = 50 };
+  }
+
+let ycsb_f ?(records = 10_000) ?(operations = 10_000) () =
+  {
+    (base "ycsb-f") with
+    preload = records;
+    operations;
+    mix = { no_ops with read = 0.5; rmw = 0.5 };
+  }
+
+let all_ycsb =
+  [
+    ("A", ycsb_a ());
+    ("B", ycsb_b ());
+    ("C", ycsb_c ());
+    ("D", ycsb_d ());
+    ("E", ycsb_e ());
+    ("F", ycsb_f ());
+  ]
+
+let write_only ?(records = 50_000) () =
+  {
+    (base "write-only") with
+    preload = 0;
+    operations = records;
+    mix = { no_ops with insert = 1.0 };
+    distribution = Uniform;
+  }
+
+let read_heavy ?(records = 10_000) ?(operations = 20_000) () =
+  {
+    (base "read-heavy") with
+    preload = records;
+    operations;
+    mix = { no_ops with read = 0.9; update = 0.1 };
+  }
+
+let delete_heavy ?(records = 10_000) ?(operations = 20_000) () =
+  {
+    (base "delete-heavy") with
+    preload = records;
+    operations;
+    mix = { no_ops with update = 0.5; delete = 0.25; read = 0.25 };
+  }
+
+let mixed ?(records = 10_000) ?(operations = 20_000) () =
+  {
+    (base "mixed") with
+    preload = records;
+    operations;
+    mix = { no_ops with insert = 0.25; update = 0.25; read = 0.4; scan = 0.1; scan_length = 20 };
+  }
+
+let dist_name = function
+  | Uniform -> "uniform"
+  | Zipfian { theta } -> Printf.sprintf "zipf(%.2f)" theta
+  | Latest { theta } -> Printf.sprintf "latest(%.2f)" theta
+  | Sequential -> "sequential"
+
+let describe t =
+  Printf.sprintf "%s: preload=%d ops=%d dist=%s vsize=%d" t.name t.preload t.operations
+    (dist_name t.distribution) t.value_size

@@ -1,0 +1,81 @@
+(** Workload specifications: key distributions, operation mixes, and the
+    YCSB presets the evaluation uses. All generation is deterministic
+    from a seed. *)
+
+type key_distribution =
+  | Uniform
+  | Zipfian of { theta : float }  (** scrambled, YCSB-style *)
+  | Latest of { theta : float }
+      (** skewed toward recently inserted keys (YCSB workload D) *)
+  | Sequential
+
+type key_encoding =
+  | Ycsb_style  (** ["user" ^ zero-padded decimal] *)
+  | Binary8  (** 8-byte big-endian integers — what Rosetta's projection
+                 preserves order on; used by the range-filter experiment *)
+
+type op =
+  | Op_insert  (** put of a not-yet-used key *)
+  | Op_update  (** put of an existing key *)
+  | Op_read
+  | Op_scan of { length : int }
+  | Op_delete
+  | Op_rmw  (** read-modify-write via the merge operator *)
+
+type mix = {
+  insert : float;
+  update : float;
+  read : float;
+  scan : float;
+  scan_length : int;
+  delete : float;
+  rmw : float;
+}
+(** Fractions must sum to ~1. *)
+
+type t = {
+  name : string;
+  preload : int;  (** keys loaded before the measured phase *)
+  operations : int;
+  mix : mix;
+  distribution : key_distribution;
+  encoding : key_encoding;
+  value_size : int;
+  seed : int;
+}
+
+val mix_sum : mix -> float
+val validate : t -> unit
+
+(** {1 YCSB core workloads} *)
+
+val ycsb_a : ?records:int -> ?operations:int -> unit -> t
+(** 50% reads / 50% updates, zipfian. *)
+
+val ycsb_b : ?records:int -> ?operations:int -> unit -> t
+(** 95% reads / 5% updates, zipfian. *)
+
+val ycsb_c : ?records:int -> ?operations:int -> unit -> t
+(** 100% reads, zipfian. *)
+
+val ycsb_d : ?records:int -> ?operations:int -> unit -> t
+(** 95% reads / 5% inserts, latest distribution. *)
+
+val ycsb_e : ?records:int -> ?operations:int -> unit -> t
+(** 95% short scans / 5% inserts. *)
+
+val ycsb_f : ?records:int -> ?operations:int -> unit -> t
+(** 50% reads / 50% read-modify-writes. *)
+
+val all_ycsb : (string * t) list
+
+(** {1 Study workloads} *)
+
+val write_only : ?records:int -> unit -> t
+val read_heavy : ?records:int -> ?operations:int -> unit -> t
+val delete_heavy : ?records:int -> ?operations:int -> unit -> t
+(** 25% deletes — the delete-intensive profile of [23]/Lethe. *)
+
+val mixed : ?records:int -> ?operations:int -> unit -> t
+
+val describe : t -> string

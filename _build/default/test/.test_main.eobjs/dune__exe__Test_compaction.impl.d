@@ -1,0 +1,1 @@
+test/test_compaction.ml: Alcotest Lsm_compaction Lsm_sstable Lsm_util Printf String

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest List Lsm_cost Model Navigator Printf Robust

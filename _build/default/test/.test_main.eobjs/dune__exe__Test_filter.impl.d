@@ -1,0 +1,1 @@
+test/test_filter.ml: Alcotest Array Blocked_bloom Bloom Cuckoo List Lsm_filter Lsm_util Monkey Point_filter Prefix_bloom Printf QCheck QCheck_alcotest Range_filter Rosetta Surf

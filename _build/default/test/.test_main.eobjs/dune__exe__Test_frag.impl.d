@@ -1,0 +1,1 @@
+test/test_frag.ml: Alcotest Frag_db Hashtbl List Lsm_compaction Lsm_core Lsm_frag Lsm_storage Lsm_util Option Printf String

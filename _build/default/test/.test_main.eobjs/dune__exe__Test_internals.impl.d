@@ -1,0 +1,1 @@
+test/test_internals.ml: Alcotest Buffer Gen List Lsm_core Lsm_record Lsm_sstable Lsm_storage Lsm_util Manifest Merge_filter Option Printf QCheck QCheck_alcotest Version

@@ -1,0 +1,1 @@
+test/test_kvsep.ml: Alcotest Kv_db List Lsm_core Lsm_kvsep Lsm_storage Lsm_workload Printf String Value_log

@@ -1,0 +1,1 @@
+test/test_memtable.ml: Alcotest Gen Hashtbl List Lsm_memtable Lsm_record Lsm_util Memtable Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_record.ml: Alcotest Buffer Entry Iter List Lsm_record Lsm_util QCheck QCheck_alcotest String

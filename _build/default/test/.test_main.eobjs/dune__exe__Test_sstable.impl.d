@@ -1,0 +1,1 @@
+test/test_sstable.ml: Alcotest Block Buffer Bytes Char Gen List Lsm_record Lsm_sstable Lsm_storage Lsm_util Printf QCheck QCheck_alcotest Sstable String Table_cache Table_meta

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Block_cache Bytes Device Filename Gen Io_stats List Lsm_record Lsm_storage QCheck QCheck_alcotest String Wal

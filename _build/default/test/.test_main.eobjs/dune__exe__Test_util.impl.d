@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Bytes Char Codec Comparator Crc32c Fun Gen Hashing Hashtbl Histogram Int64 List Lsm_util Option Printf QCheck QCheck_alcotest Rng String Zipf

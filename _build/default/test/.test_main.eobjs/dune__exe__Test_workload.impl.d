@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Kv_store List Lsm_core Lsm_storage Lsm_workload Printf Runner Spec String

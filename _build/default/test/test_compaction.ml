@@ -1,0 +1,161 @@
+(* Tests for lsm_compaction: run caps per layout, file-picking policies. *)
+
+module Policy = Lsm_compaction.Policy
+module Picker = Lsm_compaction.Picker
+module Table_meta = Lsm_sstable.Table_meta
+
+let cmp = Lsm_util.Comparator.bytewise
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let meta ?(tombs = 0) ?(created = 0) ?(size = 100) id lo hi =
+  {
+    Table_meta.file_id = id;
+    file_name = Printf.sprintf "%d.sst" id;
+    size;
+    entries = 100;
+    point_tombstones = tombs;
+    range_tombstones = 0;
+    min_key = lo;
+    max_key = hi;
+    min_seqno = 0;
+    max_seqno = 0;
+    created_at = created;
+    data_bytes = size;
+  }
+
+(* ---------- run caps ---------- *)
+
+let test_run_caps_leveling () =
+  let p = Policy.leveled () in
+  for l = 1 to 6 do
+    check_int "always 1" 1 (Policy.run_cap p ~level:l ~last_level:6)
+  done
+
+let test_run_caps_tiering () =
+  let p = Policy.tiered ~size_ratio:6 () in
+  for l = 1 to 6 do
+    check_int "always T" 6 (Policy.run_cap p ~level:l ~last_level:6)
+  done
+
+let test_run_caps_lazy_leveling () =
+  let p = Policy.lazy_leveled ~size_ratio:5 () in
+  check_int "intermediate tiered" 5 (Policy.run_cap p ~level:2 ~last_level:4);
+  check_int "last leveled" 1 (Policy.run_cap p ~level:4 ~last_level:4)
+
+let test_run_caps_hybrid () =
+  let p =
+    { (Policy.leveled ()) with Policy.layout = Policy.Hybrid { tiered_levels = 2; runs = 4 } }
+  in
+  check_int "level 1 tiered" 4 (Policy.run_cap p ~level:1 ~last_level:5);
+  check_int "level 2 tiered" 4 (Policy.run_cap p ~level:2 ~last_level:5);
+  check_int "level 3 leveled" 1 (Policy.run_cap p ~level:3 ~last_level:5)
+
+let test_run_caps_custom () =
+  let p = { (Policy.leveled ()) with Policy.layout = Policy.Run_caps [| 3; 2; 1 |] } in
+  check_int "level 1" 3 (Policy.run_cap p ~level:1 ~last_level:5);
+  check_int "level 2" 2 (Policy.run_cap p ~level:2 ~last_level:5);
+  check_int "level 3" 1 (Policy.run_cap p ~level:3 ~last_level:5);
+  check_int "beyond array reuses last" 1 (Policy.run_cap p ~level:5 ~last_level:5)
+
+let test_level0_cap () =
+  let p = Policy.leveled () in
+  check_int "level 0 uses level0_limit" p.Policy.level0_limit
+    (Policy.run_cap p ~level:0 ~last_level:3)
+
+(* ---------- picking ---------- *)
+
+let next_level =
+  [ meta 10 "a" "f" ~size:500; meta 11 "g" "m" ~size:300; meta 12 "n" "z" ~size:800 ]
+
+let candidates ?(ttl = None) ?(now = 100) files =
+  Picker.annotate ~cmp ~now ~ttl ~next_level files
+
+let test_annotate_overlap () =
+  let cands = candidates [ meta 1 "a" "e"; meta 2 "f" "h"; meta 3 "x" "y" ] in
+  match cands with
+  | [ a; b; c ] ->
+    check_int "file 1 overlaps first next file" 500 a.Picker.overlap_bytes;
+    check_int "file 2 spans two next files" 800 b.Picker.overlap_bytes;
+    check_int "file 3 overlaps last" 800 c.Picker.overlap_bytes
+  | _ -> Alcotest.fail "expected 3 candidates"
+
+let test_pick_least_overlap () =
+  let cands = candidates [ meta 1 "a" "e"; meta 2 "f" "h"; meta 3 "x" "y" ] in
+  match Picker.pick Policy.Least_overlap ~cursor:None cands with
+  | Some m -> check_int "file 1 has least overlap" 1 m.Table_meta.file_id
+  | None -> Alcotest.fail "no pick"
+
+let test_pick_oldest () =
+  let cands =
+    candidates [ meta 1 "a" "b" ~created:50; meta 2 "c" "d" ~created:10; meta 3 "e" "f" ~created:30 ]
+  in
+  match Picker.pick Policy.Oldest_file ~cursor:None cands with
+  | Some m -> check_int "oldest file" 2 m.Table_meta.file_id
+  | None -> Alcotest.fail "no pick"
+
+let test_pick_most_tombstones () =
+  let cands =
+    candidates [ meta 1 "a" "b" ~tombs:5; meta 2 "c" "d" ~tombs:50; meta 3 "e" "f" ~tombs:0 ]
+  in
+  match Picker.pick Policy.Most_tombstones ~cursor:None cands with
+  | Some m -> check_int "densest tombstones" 2 m.Table_meta.file_id
+  | None -> Alcotest.fail "no pick"
+
+let test_pick_round_robin_cursor () =
+  let files = [ meta 1 "a" "c"; meta 2 "d" "f"; meta 3 "g" "i" ] in
+  let cands = candidates files in
+  (match Picker.pick Policy.Round_robin ~cursor:None cands with
+  | Some m -> check_int "starts at smallest" 1 m.Table_meta.file_id
+  | None -> Alcotest.fail "no pick");
+  (match Picker.pick Policy.Round_robin ~cursor:(Some "c") cands with
+  | Some m -> check_int "continues past cursor" 2 m.Table_meta.file_id
+  | None -> Alcotest.fail "no pick");
+  match Picker.pick Policy.Round_robin ~cursor:(Some "z") cands with
+  | Some m -> check_int "wraps around" 1 m.Table_meta.file_id
+  | None -> Alcotest.fail "no pick"
+
+let test_pick_expired_ttl () =
+  (* now=100, ttl=40: files created before 60 with tombstones are expired. *)
+  let files =
+    [ meta 1 "a" "b" ~tombs:1 ~created:90; meta 2 "c" "d" ~tombs:3 ~created:10;
+      meta 3 "e" "f" ~tombs:0 ~created:5 ]
+  in
+  let cands = candidates ~ttl:(Some 40) files in
+  (match Picker.pick (Policy.Expired_ttl { ttl = 40 }) ~cursor:None cands with
+  | Some m -> check_int "expired tombstone file wins" 2 m.Table_meta.file_id
+  | None -> Alcotest.fail "no pick");
+  (* Without any expired file, falls back to least overlap. *)
+  let fresh =
+    candidates ~ttl:(Some 40) [ meta 1 "a" "e" ~tombs:1 ~created:90; meta 2 "x" "y" ~created:95 ]
+  in
+  match Picker.pick (Policy.Expired_ttl { ttl = 40 }) ~cursor:None fresh with
+  | Some m -> check_int "fallback least overlap" 1 m.Table_meta.file_id
+  | None -> Alcotest.fail "no pick"
+
+let test_pick_empty () =
+  check "empty yields none" true (Picker.pick Policy.Least_overlap ~cursor:None [] = None)
+
+let test_describe () =
+  check "describes leveling" true
+    (String.length (Policy.describe (Policy.leveled ())) > 0);
+  Alcotest.(check string) "movement names" "expired-ttl(7)"
+    (Policy.movement_name (Policy.Expired_ttl { ttl = 7 }))
+
+let suite =
+  [
+    ("run caps: leveling", `Quick, test_run_caps_leveling);
+    ("run caps: tiering", `Quick, test_run_caps_tiering);
+    ("run caps: lazy leveling", `Quick, test_run_caps_lazy_leveling);
+    ("run caps: hybrid", `Quick, test_run_caps_hybrid);
+    ("run caps: custom vector", `Quick, test_run_caps_custom);
+    ("run caps: level 0", `Quick, test_level0_cap);
+    ("annotate computes overlap", `Quick, test_annotate_overlap);
+    ("pick least overlap", `Quick, test_pick_least_overlap);
+    ("pick oldest", `Quick, test_pick_oldest);
+    ("pick most tombstones", `Quick, test_pick_most_tombstones);
+    ("pick round robin with cursor", `Quick, test_pick_round_robin_cursor);
+    ("pick expired ttl (Lethe)", `Quick, test_pick_expired_ttl);
+    ("pick on empty", `Quick, test_pick_empty);
+    ("policy descriptions", `Quick, test_describe);
+  ]

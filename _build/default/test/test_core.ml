@@ -1,0 +1,692 @@
+(* Engine tests: end-to-end behaviour of the LSM tree across layouts,
+   model-based agreement, snapshots, deletes, recovery, invariants. *)
+
+module Entry = Lsm_record.Entry
+module Device = Lsm_storage.Device
+module Io_stats = Lsm_storage.Io_stats
+module Memtable = Lsm_memtable.Memtable
+module Policy = Lsm_compaction.Policy
+open Lsm_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_opt = Alcotest.(check (option string))
+
+(* Small-capacity config so flushes/compactions actually trigger in tests. *)
+let small_config ?(compaction = Policy.default) () =
+  {
+    Config.default with
+    write_buffer_size = 8 * 1024;
+    level1_capacity = 32 * 1024;
+    target_file_size = 16 * 1024;
+    block_size = 1024;
+    block_cache_bytes = 256 * 1024;
+    compaction = { compaction with Policy.size_ratio = 4; level0_limit = 2 };
+    paranoid_checks = true;
+  }
+
+let fresh ?config () =
+  let dev = Device.in_memory () in
+  let config = Option.value ~default:(small_config ()) config in
+  (dev, Db.open_db ~config ~dev ())
+
+let key i = Printf.sprintf "key%06d" i
+let value i = Printf.sprintf "value-%06d-%s" i (String.make 20 'x')
+
+(* ---------- basic operations ---------- *)
+
+let test_put_get_small () =
+  let _, db = fresh () in
+  Db.put db ~key:"alpha" "1";
+  Db.put db ~key:"beta" "2";
+  check_opt "alpha" (Some "1") (Db.get db "alpha");
+  check_opt "beta" (Some "2") (Db.get db "beta");
+  check_opt "missing" None (Db.get db "gamma");
+  Db.close db
+
+let test_update_overwrites () =
+  let _, db = fresh () in
+  Db.put db ~key:"k" "old";
+  Db.put db ~key:"k" "new";
+  check_opt "newest wins" (Some "new") (Db.get db "k");
+  Db.close db
+
+let test_delete_hides () =
+  let _, db = fresh () in
+  Db.put db ~key:"k" "v";
+  Db.delete db "k";
+  check_opt "deleted" None (Db.get db "k");
+  Db.put db ~key:"k" "back";
+  check_opt "reinserted" (Some "back") (Db.get db "k");
+  Db.close db
+
+let test_get_across_flush () =
+  let _, db = fresh () in
+  for i = 0 to 999 do
+    Db.put db ~key:(key i) (value i)
+  done;
+  Db.flush db;
+  check "flushed to disk" true (Version.file_count (Db.version db) > 0);
+  for i = 0 to 999 do
+    if Db.get db (key i) <> Some (value i) then
+      Alcotest.failf "key %d wrong after flush" i
+  done;
+  check_opt "missing still missing" None (Db.get db "nope");
+  Db.close db
+
+let test_updates_across_levels () =
+  let _, db = fresh () in
+  (* Three generations of the same keys, flushed in between: reads must
+     see the newest (LSM invariant §2.1.1.E). *)
+  for gen = 1 to 3 do
+    for i = 0 to 299 do
+      Db.put db ~key:(key i) (Printf.sprintf "gen%d-%d" gen i)
+    done;
+    Db.flush db
+  done;
+  for i = 0 to 299 do
+    if Db.get db (key i) <> Some (Printf.sprintf "gen3-%d" i) then
+      Alcotest.failf "key %d resurrected an old version" i
+  done;
+  Db.close db
+
+let test_scan_basic () =
+  let _, db = fresh () in
+  List.iter (fun k -> Db.put db ~key:k k) [ "a"; "b"; "c"; "d"; "e" ];
+  Db.delete db "c";
+  let got = Db.scan db ~lo:"b" ~hi:(Some "e") () in
+  Alcotest.(check (list (pair string string)))
+    "range excludes deleted and hi"
+    [ ("b", "b"); ("d", "d") ]
+    got;
+  Db.close db
+
+let test_scan_across_flush_and_memtable () =
+  let _, db = fresh () in
+  for i = 0 to 499 do
+    Db.put db ~key:(key i) (value i)
+  done;
+  Db.flush db;
+  (* overwrite a few in the memtable *)
+  Db.put db ~key:(key 100) "fresh100";
+  Db.delete db (key 101);
+  let got = Db.scan db ~lo:(key 99) ~hi:(Some (key 103)) () in
+  Alcotest.(check (list (pair string string)))
+    "merged view"
+    [ (key 99, value 99); (key 100, "fresh100"); (key 102, value 102) ]
+    got;
+  Db.close db
+
+let test_scan_limit () =
+  let _, db = fresh () in
+  for i = 0 to 99 do
+    Db.put db ~key:(key i) "v"
+  done;
+  check_int "limit" 7 (List.length (Db.scan db ~limit:7 ~lo:"" ~hi:None ()));
+  Db.close db
+
+let test_empty_db () =
+  let _, db = fresh () in
+  check_opt "get on empty" None (Db.get db "k");
+  check_int "scan on empty" 0 (List.length (Db.scan db ~lo:"" ~hi:None ()));
+  Db.flush db (* flush of nothing is fine *);
+  Db.close db
+
+(* ---------- model-based agreement across layouts ---------- *)
+
+let layouts =
+  [
+    ("leveled", Policy.leveled ~size_ratio:4 ());
+    ("tiered", Policy.tiered ~size_ratio:4 ());
+    ("lazy-leveled", Policy.lazy_leveled ~size_ratio:4 ());
+    ( "hybrid",
+      { (Policy.leveled ~size_ratio:4 ()) with
+        Policy.layout = Policy.Hybrid { tiered_levels = 2; runs = 4 } } );
+    ( "whole-level",
+      { (Policy.leveled ~size_ratio:4 ()) with Policy.granularity = Policy.Whole_level } );
+    ( "run-caps",
+      { (Policy.leveled ~size_ratio:4 ()) with
+        Policy.layout = Policy.Run_caps [| 3; 2; 1 |] } );
+  ]
+
+let run_model_workload db n seed =
+  (* Interleaved puts/updates/deletes over a small key space, then verify
+     every key against a Map model, via both get and scan. *)
+  let rng = Lsm_util.Rng.create seed in
+  let model = Hashtbl.create 256 in
+  let keyspace = 400 in
+  for _ = 1 to n do
+    let k = key (Lsm_util.Rng.int rng keyspace) in
+    if Lsm_util.Rng.bernoulli rng 0.25 then begin
+      Db.delete db k;
+      Hashtbl.replace model k None
+    end
+    else begin
+      let v = Printf.sprintf "v%d" (Lsm_util.Rng.int rng 1000000) in
+      Db.put db ~key:k v;
+      Hashtbl.replace model k (Some v)
+    end
+  done;
+  (* point gets *)
+  for i = 0 to keyspace - 1 do
+    let k = key i in
+    let expected = Option.join (Hashtbl.find_opt model k) in
+    let got = Db.get db k in
+    if got <> expected then
+      Alcotest.failf "get %s: got %s, expected %s" k
+        (Option.value ~default:"<none>" got)
+        (Option.value ~default:"<none>" expected)
+  done;
+  (* full scan *)
+  let expected_pairs =
+    Hashtbl.fold (fun k v acc -> match v with Some v -> (k, v) :: acc | None -> acc) model []
+    |> List.sort compare
+  in
+  let got_pairs = Db.scan db ~lo:"" ~hi:None () in
+  if got_pairs <> expected_pairs then begin
+    Alcotest.failf "scan mismatch: got %d pairs, expected %d"
+      (List.length got_pairs) (List.length expected_pairs)
+  end
+
+let test_model_layout (name, compaction) =
+  ( Printf.sprintf "model agreement (%s)" name,
+    `Quick,
+    fun () ->
+      let _, db = fresh ~config:(small_config ~compaction ()) () in
+      run_model_workload db 3000 42;
+      (match Db.check_invariants db with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invariant: %s" e);
+      check (name ^ ": compactions happened") true ((Db.stats db).Stats.compactions > 0);
+      Db.close db )
+
+let test_model_memtables kind =
+  ( Printf.sprintf "model agreement (%s buffer)" (Memtable.kind_name kind),
+    `Quick,
+    fun () ->
+      let config = { (small_config ()) with Config.memtable = kind } in
+      let _, db = fresh ~config () in
+      run_model_workload db 1500 7;
+      Db.close db )
+
+(* ---------- layout shape assertions ---------- *)
+
+let test_leveling_single_run_per_level () =
+  let _, db = fresh ~config:(small_config ~compaction:(Policy.leveled ~size_ratio:4 ()) ()) () in
+  for i = 0 to 4999 do
+    Db.put db ~key:(key i) (value i)
+  done;
+  Db.flush db;
+  let v = Db.version db in
+  for l = 1 to Version.max_levels - 1 do
+    check (Printf.sprintf "level %d has <= 1 run" l) true (Version.run_count v l <= 1)
+  done;
+  Db.close db
+
+let test_tiering_accumulates_runs () =
+  let _, db = fresh ~config:(small_config ~compaction:(Policy.tiered ~size_ratio:4 ()) ()) () in
+  for i = 0 to 4999 do
+    Db.put db ~key:(key (i mod 1000)) (value i)
+  done;
+  Db.flush db;
+  let v = Db.version db in
+  let max_runs = ref 0 in
+  for l = 1 to Version.max_levels - 1 do
+    max_runs := max !max_runs (Version.run_count v l);
+    check (Printf.sprintf "level %d under cap" l) true (Version.run_count v l <= 4)
+  done;
+  check "some level holds multiple runs" true (!max_runs > 1);
+  Db.close db
+
+let test_lazy_leveling_last_level_single_run () =
+  let _, db =
+    fresh ~config:(small_config ~compaction:(Policy.lazy_leveled ~size_ratio:4 ()) ()) ()
+  in
+  for i = 0 to 7999 do
+    Db.put db ~key:(key i) (value i)
+  done;
+  Db.flush db;
+  let v = Db.version db in
+  let last = Version.last_level v in
+  check "tree has depth" true (last >= 2);
+  check_int "last level is leveled" 1 (Version.run_count v last);
+  Db.close db
+
+(* ---------- write amplification ordering (the core tradeoff) ---------- *)
+
+let ingest_wa compaction =
+  let dev = Device.in_memory () in
+  let db = Db.open_db ~config:(small_config ~compaction ()) ~dev () in
+  for i = 0 to 14999 do
+    Db.put db ~key:(key (i mod 3000)) (value i)
+  done;
+  Db.flush db;
+  let wa = Db.write_amplification db in
+  Db.close db;
+  wa
+
+let test_tiering_writes_less_than_leveling () =
+  let wa_level = ingest_wa (Policy.leveled ~size_ratio:4 ()) in
+  let wa_tier = ingest_wa (Policy.tiered ~size_ratio:4 ()) in
+  check
+    (Printf.sprintf "tiering WA %.2f < leveling WA %.2f" wa_tier wa_level)
+    true (wa_tier < wa_level)
+
+let test_leveling_reads_fewer_runs_than_tiering () =
+  let probes compaction =
+    let dev = Device.in_memory () in
+    let db = Db.open_db ~config:(small_config ~compaction ()) ~dev () in
+    for i = 0 to 9999 do
+      Db.put db ~key:(key (i mod 2000)) (value i)
+    done;
+    Db.flush db;
+    let v = Db.version db in
+    let runs = ref 0 in
+    for l = 0 to Version.max_levels - 1 do
+      runs := !runs + Version.run_count v l
+    done;
+    Db.close db;
+    !runs
+  in
+  let r_level = probes (Policy.leveled ~size_ratio:4 ()) in
+  let r_tier = probes (Policy.tiered ~size_ratio:4 ()) in
+  check
+    (Printf.sprintf "leveling %d runs <= tiering %d runs" r_level r_tier)
+    true (r_level <= r_tier)
+
+(* ---------- snapshots ---------- *)
+
+let test_snapshot_isolation () =
+  let _, db = fresh () in
+  Db.put db ~key:"k" "v1";
+  let snap = Db.snapshot db in
+  Db.put db ~key:"k" "v2";
+  Db.delete db "other";
+  check_opt "snapshot sees v1" (Some "v1") (Db.get db ~snapshot:snap "k");
+  check_opt "latest sees v2" (Some "v2") (Db.get db "k");
+  Db.release db snap;
+  Db.close db
+
+let test_snapshot_survives_flush_and_compaction () =
+  let _, db = fresh () in
+  Db.put db ~key:"stable" "original";
+  let snap = Db.snapshot db in
+  for i = 0 to 4999 do
+    Db.put db ~key:(key i) (value i)
+  done;
+  Db.put db ~key:"stable" "changed";
+  Db.major_compact db;
+  check_opt "snapshot pierces compaction" (Some "original") (Db.get db ~snapshot:snap "stable");
+  check_opt "latest" (Some "changed") (Db.get db "stable");
+  Db.release db snap;
+  (* After release, another major compaction may GC the old version. *)
+  Db.major_compact db;
+  check_opt "still latest" (Some "changed") (Db.get db "stable");
+  Db.close db
+
+let test_snapshot_scan () =
+  let _, db = fresh () in
+  Db.put db ~key:"a" "1";
+  Db.put db ~key:"b" "2";
+  let snap = Db.snapshot db in
+  Db.delete db "a";
+  Db.put db ~key:"c" "3";
+  let got = Db.scan db ~snapshot:snap ~lo:"" ~hi:None () in
+  Alcotest.(check (list (pair string string))) "snapshot view" [ ("a", "1"); ("b", "2") ] got;
+  Db.release db snap;
+  Db.close db
+
+(* ---------- tombstone GC ---------- *)
+
+let test_tombstones_purged_at_bottom () =
+  let _, db = fresh () in
+  for i = 0 to 999 do
+    Db.put db ~key:(key i) (value i)
+  done;
+  for i = 0 to 999 do
+    Db.delete db (key i)
+  done;
+  Db.major_compact db;
+  Db.major_compact db;
+  let v = Db.version db in
+  let files = Version.all_files v in
+  let tombs =
+    List.fold_left (fun a (f : Lsm_sstable.Table_meta.t) -> a + f.point_tombstones) 0 files
+  in
+  check_int "all tombstones persisted away" 0 tombs;
+  check_int "no visible keys" 0 (List.length (Db.scan db ~lo:"" ~hi:None ()));
+  Db.close db
+
+let test_single_delete_cancels () =
+  let _, db = fresh () in
+  Db.put db ~key:"once" "v";
+  Db.single_delete db "once";
+  check_opt "hidden" None (Db.get db "once");
+  Db.major_compact db;
+  check_opt "still hidden after compaction" None (Db.get db "once");
+  Db.close db
+
+(* ---------- range deletes ---------- *)
+
+let test_range_delete_memtable () =
+  let _, db = fresh () in
+  List.iter (fun k -> Db.put db ~key:k "v") [ "a"; "b"; "c"; "d"; "e" ];
+  Db.range_delete db ~lo:"b" ~hi:"d";
+  check_opt "a survives" (Some "v") (Db.get db "a");
+  check_opt "b dead" None (Db.get db "b");
+  check_opt "c dead" None (Db.get db "c");
+  check_opt "d survives (exclusive)" (Some "v") (Db.get db "d");
+  let got = List.map fst (Db.scan db ~lo:"" ~hi:None ()) in
+  Alcotest.(check (list string)) "scan skips range" [ "a"; "d"; "e" ] got;
+  Db.close db
+
+let test_range_delete_across_flush () =
+  let _, db = fresh () in
+  for i = 0 to 299 do
+    Db.put db ~key:(key i) (value i)
+  done;
+  Db.flush db;
+  Db.range_delete db ~lo:(key 100) ~hi:(key 200);
+  Db.flush db;
+  check_opt "inside dead" None (Db.get db (key 150));
+  check_opt "below live" (Some (value 99)) (Db.get db (key 99));
+  check_opt "above live" (Some (value 200)) (Db.get db (key 200));
+  check_int "scan count" 200 (List.length (Db.scan db ~lo:"" ~hi:None ()));
+  (* compaction applies the range tombstone physically *)
+  Db.major_compact db;
+  check_opt "still dead after compaction" None (Db.get db (key 150));
+  check_int "scan count after compaction" 200 (List.length (Db.scan db ~lo:"" ~hi:None ()));
+  Db.close db
+
+let test_range_delete_then_reinsert () =
+  let _, db = fresh () in
+  Db.put db ~key:"m" "old";
+  Db.range_delete db ~lo:"a" ~hi:"z";
+  Db.put db ~key:"m" "new";
+  check_opt "reinsert after range delete" (Some "new") (Db.get db "m");
+  Db.major_compact db;
+  check_opt "survives compaction" (Some "new") (Db.get db "m");
+  Db.close db
+
+(* ---------- merge operator ---------- *)
+
+let test_merge_operator_counter () =
+  let plus key base operands =
+    ignore key;
+    let start = match base with Some b -> int_of_string b | None -> 0 in
+    string_of_int (List.fold_left (fun a op -> a + int_of_string op) start operands)
+  in
+  let config = { (small_config ()) with Config.merge_operator = Some plus } in
+  let _, db = fresh ~config () in
+  Db.put db ~key:"ctr" "10";
+  Db.merge db ~key:"ctr" "5";
+  Db.merge db ~key:"ctr" "7";
+  check_opt "10+5+7" (Some "22") (Db.get db "ctr");
+  Db.flush db;
+  check_opt "after flush" (Some "22") (Db.get db "ctr");
+  Db.merge db ~key:"fresh" "3";
+  check_opt "merge without base" (Some "3") (Db.get db "fresh");
+  (* merges visible through scan too *)
+  let got = Db.scan db ~lo:"ctr" ~hi:(Some "ctr\x00") () in
+  Alcotest.(check (list (pair string string))) "scan resolves merge" [ ("ctr", "22") ] got;
+  Db.close db
+
+let test_merge_without_operator_acts_as_put () =
+  let _, db = fresh () in
+  Db.put db ~key:"k" "base";
+  Db.merge db ~key:"k" "operand";
+  check_opt "newest operand wins" (Some "operand") (Db.get db "k");
+  Db.close db
+
+(* ---------- recovery ---------- *)
+
+let test_recovery_from_wal () =
+  let dev = Device.in_memory () in
+  let config = small_config () in
+  let db = Db.open_db ~config ~dev () in
+  Db.put db ~key:"a" "1";
+  Db.put db ~key:"b" "2";
+  Db.delete db "a";
+  Db.close db;
+  let db2 = Db.open_db ~config ~dev () in
+  check_opt "deleted stays deleted" None (Db.get db2 "a");
+  check_opt "put recovered" (Some "2") (Db.get db2 "b");
+  Db.close db2
+
+let test_recovery_after_crash () =
+  let dev = Device.in_memory () in
+  let config = { (small_config ()) with Config.wal_sync_every_write = true } in
+  let db = Db.open_db ~config ~dev () in
+  for i = 0 to 2999 do
+    Db.put db ~key:(key i) (value i)
+  done;
+  (* No clean close: power failure. *)
+  Device.crash dev;
+  let db2 = Db.open_db ~config ~dev () in
+  for i = 0 to 2999 do
+    if Db.get db2 (key i) <> Some (value i) then Alcotest.failf "lost key %d after crash" i
+  done;
+  Db.close db2
+
+let test_recovery_preserves_levels () =
+  let dev = Device.in_memory () in
+  let config = small_config () in
+  let db = Db.open_db ~config ~dev () in
+  for i = 0 to 4999 do
+    Db.put db ~key:(key i) (value i)
+  done;
+  Db.flush db;
+  let files_before = Version.file_count (Db.version db) in
+  check "built a tree" true (files_before > 1);
+  Db.close db;
+  let db2 = Db.open_db ~config ~dev () in
+  check_int "same files after recovery" files_before (Version.file_count (Db.version db2));
+  for i = 0 to 4999 do
+    if Db.get db2 (key i) <> Some (value i) then Alcotest.failf "lost key %d" i
+  done;
+  Db.close db2
+
+let test_unsynced_tail_lost_but_prefix_kept () =
+  let dev = Device.in_memory () in
+  (* No per-write sync: batches become durable only via explicit syncs. *)
+  let config = { (small_config ()) with Config.wal_sync_every_write = false } in
+  let db = Db.open_db ~config ~dev () in
+  Db.put db ~key:"durable" "yes";
+  (* Force the WAL to sync by flushing — flush closes (and syncs) the wal. *)
+  Db.flush db;
+  Db.put db ~key:"volatile" "gone";
+  Device.crash dev;
+  let db2 = Db.open_db ~config ~dev () in
+  check_opt "synced data survives" (Some "yes") (Db.get db2 "durable");
+  check_opt "unsynced tail lost" None (Db.get db2 "volatile");
+  Db.close db2
+
+(* ---------- stats & accounting ---------- *)
+
+let test_stats_accounting () =
+  let _, db = fresh () in
+  for i = 0 to 999 do
+    Db.put db ~key:(key i) (value i)
+  done;
+  ignore (Db.get db (key 0));
+  ignore (Db.scan db ~lo:"" ~hi:(Some (key 10)) ());
+  let s = Db.stats db in
+  check_int "puts" 1000 s.Stats.user_puts;
+  check_int "gets" 1 s.Stats.user_gets;
+  check_int "scans" 1 s.Stats.user_scans;
+  check "ingested bytes counted" true (s.Stats.user_bytes_ingested > 1000 * 30);
+  Db.close db
+
+let test_write_amp_reported () =
+  let _, db = fresh () in
+  for i = 0 to 9999 do
+    Db.put db ~key:(key (i mod 1000)) (value i)
+  done;
+  Db.flush db;
+  let wa = Db.write_amplification db in
+  check (Printf.sprintf "WA %.2f sensible" wa) true (wa >= 1.0 && wa < 100.0);
+  Db.close db
+
+let test_filters_cut_probes () =
+  let probes filter =
+    let config = { (small_config ()) with Config.filter } in
+    let dev = Device.in_memory () in
+    let db = Db.open_db ~config ~dev () in
+    for i = 0 to 4999 do
+      Db.put db ~key:(key i) (value i)
+    done;
+    Db.flush db;
+    (* Zero-result lookups: filters should avoid nearly all probes. *)
+    for i = 0 to 999 do
+      ignore (Db.get db (Printf.sprintf "absent%06d" i))
+    done;
+    let p = (Db.stats db).Stats.runs_probed in
+    Db.close db;
+    p
+  in
+  let with_bloom = probes (Lsm_filter.Point_filter.Bloom { bits_per_key = 10.0 }) in
+  let without = probes Lsm_filter.Point_filter.No_filter in
+  check
+    (Printf.sprintf "bloom probes %d << no-filter probes %d" with_bloom without)
+    true
+    (with_bloom * 5 < without || without = 0)
+
+let test_paranoid_invariants_hold () =
+  let _, db = fresh () in
+  (* paranoid_checks is on in small_config: any violation would raise. *)
+  run_model_workload db 2000 99;
+  Db.major_compact db;
+  (match Db.check_invariants db with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariant: %s" e);
+  Db.close db
+
+let test_space_amp_shrinks_with_compaction () =
+  let _, db = fresh ~config:(small_config ~compaction:(Policy.tiered ~size_ratio:4 ()) ()) () in
+  for i = 0 to 9999 do
+    Db.put db ~key:(key (i mod 500)) (value i)
+  done;
+  Db.flush db;
+  let before = Db.space_amplification db in
+  (* Force full consolidation by switching to a major compact loop. *)
+  Db.major_compact db;
+  let after = Db.space_amplification db in
+  check (Printf.sprintf "space amp %.2f -> %.2f" before after) true (after <= before);
+  Db.close db
+
+(* ---------- model-based property across random op streams ---------- *)
+
+let prop_db_matches_map =
+  QCheck.Test.make ~name:"db = Map model (random ops incl. range deletes)" ~count:15
+    QCheck.(
+      list_of_size
+        Gen.(50 -- 400)
+        (triple (int_bound 60) (int_bound 99) (option (string_gen_of_size Gen.(0 -- 10) Gen.printable))))
+    (fun ops ->
+      let dev = Device.in_memory () in
+      let db = Db.open_db ~config:(small_config ()) ~dev () in
+      let model = ref [] in
+      (* model: assoc list key -> value *)
+      let set k v = model := (k, v) :: List.remove_assoc k !model in
+      let unset k = model := List.remove_assoc k !model in
+      List.iter
+        (fun (k, action, vopt) ->
+          let k = key k in
+          match (action mod 10, vopt) with
+          | (0 | 1 | 2 | 3 | 4 | 5), Some v ->
+            Db.put db ~key:k v;
+            set k v
+          | (0 | 1 | 2 | 3 | 4 | 5), None ->
+            Db.put db ~key:k "";
+            set k ""
+          | (6 | 7), _ ->
+            Db.delete db k;
+            unset k
+          | 8, _ ->
+            let hi = k ^ "\xff" in
+            Db.range_delete db ~lo:k ~hi;
+            List.iter
+              (fun (mk, _) -> if mk >= k && mk < hi then unset mk)
+              (List.of_seq (List.to_seq !model))
+          | _, _ -> Db.flush db)
+        ops;
+      let ok = ref true in
+      for i = 0 to 60 do
+        let k = key i in
+        let expected = List.assoc_opt k !model in
+        if Db.get db k <> expected then ok := false
+      done;
+      let scan_got = Db.scan db ~lo:"" ~hi:None () in
+      let scan_expected = List.sort compare !model in
+      if scan_got <> scan_expected then ok := false;
+      Db.close db;
+      !ok)
+
+(* Reopen-equivalence: recover after every burst, state must match. *)
+let prop_recovery_preserves_state =
+  QCheck.Test.make ~name:"close/reopen preserves state" ~count:10
+    QCheck.(list_of_size Gen.(10 -- 150) (pair (int_bound 50) (int_bound 1000)))
+    (fun ops ->
+      let dev = Device.in_memory () in
+      let config = small_config () in
+      let db = ref (Db.open_db ~config ~dev ()) in
+      let model = Hashtbl.create 64 in
+      List.iteri
+        (fun i (k, v) ->
+          let k = key k in
+          Db.put !db ~key:k (string_of_int v);
+          Hashtbl.replace model k (string_of_int v);
+          if i mod 40 = 39 then begin
+            Db.close !db;
+            db := Db.open_db ~config ~dev ()
+          end)
+        ops;
+      let ok =
+        Hashtbl.fold (fun k v acc -> acc && Db.get !db k = Some v) model true
+      in
+      Db.close !db;
+      ok)
+
+let qt t =
+  let name, _speed, fn = QCheck_alcotest.to_alcotest t in
+  (name, `Quick, fn)
+
+let suite =
+  [
+    ("put/get", `Quick, test_put_get_small);
+    ("update overwrites", `Quick, test_update_overwrites);
+    ("delete hides", `Quick, test_delete_hides);
+    ("get across flush", `Quick, test_get_across_flush);
+    ("updates across levels", `Quick, test_updates_across_levels);
+    ("scan basic", `Quick, test_scan_basic);
+    ("scan across flush+memtable", `Quick, test_scan_across_flush_and_memtable);
+    ("scan limit", `Quick, test_scan_limit);
+    ("empty db", `Quick, test_empty_db);
+    ("leveling keeps single run per level", `Quick, test_leveling_single_run_per_level);
+    ("tiering accumulates runs", `Quick, test_tiering_accumulates_runs);
+    ("lazy leveling: last level single run", `Quick, test_lazy_leveling_last_level_single_run);
+    ("tiering WA < leveling WA", `Quick, test_tiering_writes_less_than_leveling);
+    ("leveling runs <= tiering runs", `Quick, test_leveling_reads_fewer_runs_than_tiering);
+    ("snapshot isolation", `Quick, test_snapshot_isolation);
+    ("snapshot survives compaction", `Quick, test_snapshot_survives_flush_and_compaction);
+    ("snapshot scan", `Quick, test_snapshot_scan);
+    ("tombstones purged at bottom", `Quick, test_tombstones_purged_at_bottom);
+    ("single delete cancels", `Quick, test_single_delete_cancels);
+    ("range delete in memtable", `Quick, test_range_delete_memtable);
+    ("range delete across flush", `Quick, test_range_delete_across_flush);
+    ("range delete then reinsert", `Quick, test_range_delete_then_reinsert);
+    ("merge operator (counter)", `Quick, test_merge_operator_counter);
+    ("merge without operator", `Quick, test_merge_without_operator_acts_as_put);
+    ("recovery from wal", `Quick, test_recovery_from_wal);
+    ("recovery after crash", `Quick, test_recovery_after_crash);
+    ("recovery preserves levels", `Quick, test_recovery_preserves_levels);
+    ("unsynced tail lost, prefix kept", `Quick, test_unsynced_tail_lost_but_prefix_kept);
+    ("stats accounting", `Quick, test_stats_accounting);
+    ("write amp reported", `Quick, test_write_amp_reported);
+    ("filters cut probes", `Quick, test_filters_cut_probes);
+    ("paranoid invariants hold", `Quick, test_paranoid_invariants_hold);
+    ("space amp shrinks with compaction", `Quick, test_space_amp_shrinks_with_compaction);
+  ]
+  @ List.map test_model_layout layouts
+  @ List.map test_model_memtables Memtable.all_kinds
+  @ [ qt prop_db_matches_map; qt prop_recovery_preserves_state ]

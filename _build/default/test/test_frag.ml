@@ -1,0 +1,172 @@
+(* Tests for lsm_frag: guarded fragmented LSM correctness and its
+   write-amplification advantage over leveled compaction. *)
+
+module Device = Lsm_storage.Device
+open Lsm_frag
+
+let check = Alcotest.(check bool)
+let check_opt = Alcotest.(check (option string))
+
+let small_config =
+  {
+    Frag_db.default_config with
+    write_buffer_size = 8 * 1024;
+    level0_limit = 2;
+    level1_capacity = 16 * 1024;
+    target_file_size = 8 * 1024;
+    block_size = 1024;
+    guard_stride_base = 512;
+    size_ratio = 4;
+  }
+
+let fresh () =
+  let dev = Device.in_memory () in
+  (dev, Frag_db.create ~config:small_config ~dev ())
+
+let key i = Printf.sprintf "key%06d" i
+let value i = Printf.sprintf "val-%06d-%s" i (String.make 24 'x')
+
+let test_put_get () =
+  let _, db = fresh () in
+  Frag_db.put db ~key:"a" "1";
+  Frag_db.put db ~key:"b" "2";
+  check_opt "a" (Some "1") (Frag_db.get db "a");
+  check_opt "missing" None (Frag_db.get db "zzz")
+
+let test_roundtrip_through_compactions () =
+  let _, db = fresh () in
+  for i = 0 to 4999 do
+    Frag_db.put db ~key:(key i) (value i)
+  done;
+  Frag_db.flush db;
+  check "compactions ran" true (Frag_db.compactions db > 0);
+  check "guards were created" true (Frag_db.guard_count db 1 > 1);
+  for i = 0 to 4999 do
+    if Frag_db.get db (key i) <> Some (value i) then Alcotest.failf "key %d wrong" i
+  done
+
+let test_updates_newest_wins () =
+  let _, db = fresh () in
+  for gen = 1 to 3 do
+    for i = 0 to 999 do
+      Frag_db.put db ~key:(key i) (Printf.sprintf "g%d-%d" gen i)
+    done;
+    Frag_db.flush db
+  done;
+  for i = 0 to 999 do
+    if Frag_db.get db (key i) <> Some (Printf.sprintf "g3-%d" i) then
+      Alcotest.failf "key %d resurrected" i
+  done
+
+let test_delete () =
+  let _, db = fresh () in
+  for i = 0 to 499 do
+    Frag_db.put db ~key:(key i) (value i)
+  done;
+  Frag_db.flush db;
+  Frag_db.delete db (key 100);
+  check_opt "deleted" None (Frag_db.get db (key 100));
+  Frag_db.flush db;
+  check_opt "deleted after flush" None (Frag_db.get db (key 100))
+
+let test_scan_ordered_and_correct () =
+  let _, db = fresh () in
+  for i = 0 to 1999 do
+    Frag_db.put db ~key:(key i) (value i)
+  done;
+  Frag_db.flush db;
+  let got = Frag_db.scan db ~lo:(key 500) ~hi:(Some (key 505)) () in
+  Alcotest.(check (list (pair string string)))
+    "scan window"
+    (List.init 5 (fun j -> (key (500 + j), value (500 + j))))
+    got
+
+let test_model_agreement () =
+  let _, db = fresh () in
+  let rng = Lsm_util.Rng.create 77 in
+  let model = Hashtbl.create 128 in
+  for _ = 1 to 4000 do
+    let k = key (Lsm_util.Rng.int rng 300) in
+    if Lsm_util.Rng.bernoulli rng 0.2 then begin
+      Frag_db.delete db k;
+      Hashtbl.replace model k None
+    end
+    else begin
+      let v = Printf.sprintf "v%d" (Lsm_util.Rng.int rng 100000) in
+      Frag_db.put db ~key:k v;
+      Hashtbl.replace model k (Some v)
+    end
+  done;
+  for i = 0 to 299 do
+    let k = key i in
+    let expected = Option.join (Hashtbl.find_opt model k) in
+    if Frag_db.get db k <> expected then Alcotest.failf "mismatch at %s" k
+  done;
+  (* scan agreement *)
+  let expected =
+    Hashtbl.fold (fun k v acc -> match v with Some v -> (k, v) :: acc | None -> acc) model []
+    |> List.sort compare
+  in
+  let got = Frag_db.scan db ~lo:"" ~hi:None () in
+  check "scan matches model" true (got = expected)
+
+let test_guard_density_grows_with_depth () =
+  let _, db = fresh () in
+  for i = 0 to 9999 do
+    Frag_db.put db ~key:(key i) (value i)
+  done;
+  Frag_db.flush db;
+  let g1 = Frag_db.guard_count db 1 in
+  let g3 = Frag_db.guard_count db 3 in
+  check (Printf.sprintf "deeper levels have >= guards (%d <= %d)" g1 g3) true (g1 <= g3)
+
+let test_flsm_wa_beats_leveled () =
+  (* The PebblesDB claim: fragmented (append-to-guard) compaction moves
+     less data than leveled (rewrite next level) compaction. *)
+  let n = 12000 in
+  let frag_wa =
+    let dev = Device.in_memory () in
+    let db = Frag_db.create ~config:small_config ~dev () in
+    for i = 0 to n - 1 do
+      Frag_db.put db ~key:(key (i mod 3000)) (value i)
+    done;
+    Frag_db.flush db;
+    Frag_db.write_amplification db
+  in
+  let leveled_wa =
+    let dev = Device.in_memory () in
+    let config =
+      {
+        Lsm_core.Config.default with
+        write_buffer_size = 8 * 1024;
+        level1_capacity = 16 * 1024;
+        target_file_size = 8 * 1024;
+        block_size = 1024;
+        wal_enabled = false;
+        compaction =
+          { (Lsm_compaction.Policy.leveled ~size_ratio:4 ()) with
+            Lsm_compaction.Policy.level0_limit = 2 };
+      }
+    in
+    let db = Lsm_core.Db.open_db ~config ~dev () in
+    for i = 0 to n - 1 do
+      Lsm_core.Db.put db ~key:(key (i mod 3000)) (value i)
+    done;
+    Lsm_core.Db.flush db;
+    Lsm_core.Db.write_amplification db
+  in
+  check
+    (Printf.sprintf "fragmented WA %.2f < leveled WA %.2f" frag_wa leveled_wa)
+    true (frag_wa < leveled_wa)
+
+let suite =
+  [
+    ("put/get", `Quick, test_put_get);
+    ("roundtrip through compactions", `Quick, test_roundtrip_through_compactions);
+    ("updates: newest wins", `Quick, test_updates_newest_wins);
+    ("delete", `Quick, test_delete);
+    ("scan ordered", `Quick, test_scan_ordered_and_correct);
+    ("model agreement", `Quick, test_model_agreement);
+    ("guard density grows with depth", `Quick, test_guard_density_grows_with_depth);
+    ("fragmented WA < leveled WA", `Quick, test_flsm_wa_beats_leveled);
+  ]

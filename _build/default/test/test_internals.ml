@@ -1,0 +1,336 @@
+(* White-box tests for the engine's trickiest internals: the MVCC
+   snapshot-stripe logic of the compaction merge filter, and the
+   version/manifest machinery. *)
+
+module Entry = Lsm_record.Entry
+module Iter = Lsm_record.Iter
+module Comparator = Lsm_util.Comparator
+module Codec = Lsm_util.Codec
+module Device = Lsm_storage.Device
+module Table_meta = Lsm_sstable.Table_meta
+open Lsm_core
+
+let cmp = Comparator.bytewise
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let e ?(kind = Entry.Put) ?(value = "") key seqno = { Entry.key; seqno; kind; value }
+
+let filtered ?(snapshots = []) ?(bottom = false) ?(rds = []) entries =
+  let sorted = List.sort (Entry.compare cmp) entries in
+  Iter.to_list
+    (Merge_filter.filtered ~cmp ~snapshots ~bottom ~range_tombstones:rds
+       (Iter.of_sorted_list cmp sorted))
+
+(* ---------- stripe function ---------- *)
+
+let test_stripe_of () =
+  let snaps = [| 10; 20; 30 |] in
+  let s = Merge_filter.stripe_of ~snapshots:snaps in
+  check_int "below first" 0 (s 5);
+  check_int "at snapshot boundary" 0 (s 10);
+  check_int "between 10 and 20" 1 (s 11);
+  check_int "at 20" 1 (s 20);
+  check_int "above all" 3 (s 31);
+  (* same stripe <=> no snapshot separates *)
+  check "5,10 same stripe" true (s 5 = s 10);
+  check "10,11 different stripes" true (s 10 <> s 11)
+
+(* ---------- shadowing ---------- *)
+
+let test_shadowed_versions_dropped () =
+  let out = filtered [ e "k" 3 ~value:"old"; e "k" 7 ~value:"new" ] in
+  check_int "one survivor" 1 (List.length out);
+  Alcotest.(check string) "newest survives" "new" (List.hd out).Entry.value
+
+let test_snapshot_preserves_old_version () =
+  (* A snapshot at 5 separates the versions: both must survive. *)
+  let out = filtered ~snapshots:[ 5 ] [ e "k" 3 ~value:"old"; e "k" 7 ~value:"new" ] in
+  check_int "both survive" 2 (List.length out)
+
+let test_same_stripe_within_snapshot_dropped () =
+  (* Snapshot at 10: versions 3 and 7 share the old stripe; only 7 kept. *)
+  let out =
+    filtered ~snapshots:[ 10 ]
+      [ e "k" 3 ~value:"a"; e "k" 7 ~value:"b"; e "k" 12 ~value:"c" ]
+  in
+  check_int "two survive" 2 (List.length out);
+  check "7 and 12 survive" true
+    (List.map (fun x -> x.Entry.seqno) out = [ 12; 7 ])
+
+let test_distinct_keys_untouched () =
+  let out = filtered [ e "a" 1; e "b" 2; e "c" 3 ] in
+  check_int "all kept" 3 (List.length out)
+
+(* ---------- tombstones ---------- *)
+
+let test_delete_kept_above_bottom () =
+  let out = filtered ~bottom:false [ e "k" 5 ~kind:Entry.Delete ] in
+  check_int "tombstone retained" 1 (List.length out)
+
+let test_delete_dropped_at_bottom () =
+  let out = filtered ~bottom:true [ e "k" 5 ~kind:Entry.Delete; e "k" 2 ~value:"v" ] in
+  check_int "tombstone and victim gone" 0 (List.length out)
+
+let test_delete_at_bottom_blocked_by_snapshot () =
+  (* A snapshot below the delete still needs the old put. *)
+  let out =
+    filtered ~bottom:true ~snapshots:[ 3 ]
+      [ e "k" 5 ~kind:Entry.Delete; e "k" 2 ~value:"v" ]
+  in
+  check_int "put survives for the snapshot" 2 (List.length out);
+  check "delete also survives (masks for latest readers)" true
+    (List.exists (fun x -> x.Entry.kind = Entry.Delete) out)
+
+let test_single_delete_cancels_put () =
+  let out =
+    filtered [ e "k" 5 ~kind:Entry.Single_delete; e "k" 2 ~value:"v"; e "other" 1 ]
+  in
+  check_int "pair annihilated, other kept" 1 (List.length out);
+  Alcotest.(check string) "other" "other" (List.hd out).Entry.key
+
+let test_single_delete_not_cancelling_across_snapshot () =
+  let out =
+    filtered ~snapshots:[ 3 ] [ e "k" 5 ~kind:Entry.Single_delete; e "k" 2 ~value:"v" ]
+  in
+  check_int "both kept across the snapshot boundary" 2 (List.length out)
+
+(* ---------- range tombstones ---------- *)
+
+let rd lo hi seqno = Entry.range_delete ~start_key:lo ~end_key:hi ~seqno
+
+let test_range_tombstone_drops_covered () =
+  let tomb = rd "b" "d" 10 in
+  let out =
+    filtered ~rds:[ tomb ]
+      [ tomb; e "a" 1 ~value:"keep"; e "b" 2 ~value:"dead"; e "c" 3 ~value:"dead"; e "d" 4 ~value:"keep" ]
+  in
+  let keys = List.map (fun x -> x.Entry.key) out in
+  check "a kept" true (List.mem "a" keys);
+  check "b dropped" false (List.exists (fun x -> x.Entry.key = "b" && x.Entry.kind = Entry.Put) out);
+  check "c dropped" false (List.exists (fun x -> x.Entry.key = "c" && x.Entry.kind = Entry.Put) out);
+  check "d kept (exclusive end)" true (List.mem "d" keys);
+  check "tombstone itself kept above bottom" true
+    (List.exists (fun x -> x.Entry.kind = Entry.Range_delete) out)
+
+let test_range_tombstone_spares_newer () =
+  let tomb = rd "a" "z" 5 in
+  let out = filtered ~rds:[ tomb ] [ tomb; e "k" 9 ~value:"newer-than-rd" ] in
+  check "newer entry survives" true
+    (List.exists (fun x -> x.Entry.kind = Entry.Put) out)
+
+let test_range_tombstone_respects_snapshot () =
+  (* Snapshot at 3 separates the rd (seq 5) from the victim (seq 2):
+     the victim must survive for the snapshot reader. *)
+  let tomb = rd "a" "z" 5 in
+  let out = filtered ~snapshots:[ 3 ] ~rds:[ tomb ] [ tomb; e "k" 2 ~value:"v" ] in
+  check "victim survives across snapshot" true
+    (List.exists (fun x -> x.Entry.kind = Entry.Put) out)
+
+let test_range_tombstone_retired_at_bottom () =
+  let tomb = rd "a" "z" 5 in
+  let out = filtered ~bottom:true ~rds:[ tomb ] [ tomb; e "k" 2 ~value:"v" ] in
+  check_int "everything retired" 0 (List.length out)
+
+(* ---------- merge operands ---------- *)
+
+let test_merge_chain_preserved () =
+  let out =
+    filtered [ e "k" 5 ~kind:Entry.Merge ~value:"+2"; e "k" 3 ~kind:Entry.Merge ~value:"+1";
+               e "k" 1 ~value:"base" ]
+  in
+  check_int "whole chain survives" 3 (List.length out)
+
+let test_put_shadows_merge_history () =
+  let out =
+    filtered [ e "k" 9 ~value:"final"; e "k" 5 ~kind:Entry.Merge ~value:"+2"; e "k" 1 ~value:"base" ]
+  in
+  check_int "put discards older history" 1 (List.length out);
+  Alcotest.(check string) "final" "final" (List.hd out).Entry.value
+
+(* ---------- version ---------- *)
+
+let meta id lo hi =
+  {
+    Table_meta.file_id = id;
+    file_name = Printf.sprintf "%d.sst" id;
+    size = 100;
+    entries = 10;
+    point_tombstones = 0;
+    range_tombstones = 0;
+    min_key = lo;
+    max_key = hi;
+    min_seqno = 0;
+    max_seqno = 0;
+    created_at = 0;
+    data_bytes = 100;
+  }
+
+let test_version_apply_add_remove () =
+  let v = Version.empty in
+  let v =
+    Version.apply v
+      { Version.added = [ (1, 7, meta 1 "a" "f"); (1, 7, meta 2 "g" "m") ]; removed = [];
+        seqno_watermark = 5 }
+  in
+  check_int "one run" 1 (Version.run_count v 1);
+  check_int "two files" 2 (Version.file_count v);
+  check_int "bytes" 200 (Version.level_bytes v 1);
+  check_int "next file id bumped" 3 v.Version.next_file_id;
+  check_int "next group bumped" 8 v.Version.next_group;
+  check_int "seqno watermark" 5 v.Version.last_seqno;
+  let v2 =
+    Version.apply v
+      { Version.added = [ (2, 9, meta 3 "a" "z") ]; removed = [ 1 ]; seqno_watermark = 6 }
+  in
+  check_int "file 1 removed" 2 (Version.file_count v2);
+  check "find moved file" true (Version.find_file v2 3 = Some (2, 9, meta 3 "a" "z"));
+  check "old version untouched (persistent)" true (Version.file_count v = 2)
+
+let test_version_remove_unknown_rejected () =
+  check "unknown id raises" true
+    (try
+       ignore (Version.apply Version.empty { Version.added = []; removed = [ 42 ]; seqno_watermark = 0 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_version_runs_newest_first () =
+  let v =
+    List.fold_left
+      (fun v (g, id) ->
+        Version.apply v
+          { Version.added = [ (1, g, meta id "a" "b") ]; removed = []; seqno_watermark = 0 })
+      Version.empty
+      [ (3, 1); (9, 2); (5, 3) ]
+  in
+  let groups = List.map (fun r -> r.Version.group) (Version.level_runs v 1) in
+  Alcotest.(check (list int)) "descending groups" [ 9; 5; 3 ] groups
+
+let test_version_invariant_detects_overlap () =
+  let v =
+    Version.apply Version.empty
+      { Version.added = [ (1, 7, meta 1 "a" "m"); (1, 7, meta 2 "g" "z") ]; removed = [];
+        seqno_watermark = 0 }
+  in
+  check "overlap detected" true
+    (match Version.check_invariants ~cmp v with Error _ -> true | Ok () -> false)
+
+let test_version_edit_roundtrip () =
+  let edit =
+    { Version.added = [ (1, 7, meta 1 "a" "f"); (3, 2, meta 9 "x" "z") ]; removed = [ 4; 5 ];
+      seqno_watermark = 123 }
+  in
+  let b = Buffer.create 64 in
+  Version.encode_edit b edit;
+  let got = Version.decode_edit (Codec.reader (Buffer.contents b)) in
+  check "roundtrip" true (got = edit)
+
+(* ---------- manifest ---------- *)
+
+let test_manifest_recover_replays_edits () =
+  let dev = Device.in_memory () in
+  let m = Manifest.create dev in
+  Manifest.log_edit m
+    { Version.added = [ (1, 7, meta 1 "a" "f") ]; removed = []; seqno_watermark = 1 };
+  Manifest.log_edit m
+    { Version.added = [ (2, 8, meta 2 "g" "z") ]; removed = [ 1 ]; seqno_watermark = 2 };
+  Manifest.close m;
+  let v = Manifest.recover dev in
+  check_int "one live file" 1 (Version.file_count v);
+  check "file 2 at level 2" true (Version.find_file v 2 <> None);
+  check_int "watermark" 2 v.Version.last_seqno
+
+let test_manifest_missing_is_empty () =
+  let v = Manifest.recover (Device.in_memory ()) in
+  check_int "empty" 0 (Version.file_count v)
+
+let test_manifest_torn_tail_ignored () =
+  let dev = Device.in_memory () in
+  let m = Manifest.create dev in
+  Manifest.log_edit m
+    { Version.added = [ (1, 7, meta 1 "a" "f") ]; removed = []; seqno_watermark = 1 };
+  Manifest.close m;
+  (* Append garbage: recovery must keep the intact prefix. *)
+  let len = Device.size dev Manifest.file_name in
+  let data = Device.read dev ~cls:Lsm_storage.Io_stats.C_misc Manifest.file_name ~off:0 ~len in
+  Device.delete dev Manifest.file_name;
+  let w = Device.open_writer dev ~cls:Lsm_storage.Io_stats.C_misc Manifest.file_name in
+  Device.append w (data ^ "\xde\xad\xbe\xef garbage");
+  Device.close w;
+  let v = Manifest.recover dev in
+  check_int "intact prefix recovered" 1 (Version.file_count v)
+
+(* ---------- randomized stripe-correctness property ---------- *)
+
+(* For arbitrary version stacks and snapshot sets, filtering must preserve
+   what every snapshot (and the latest reader) observes. *)
+let prop_merge_filter_preserves_visibility =
+  QCheck.Test.make ~name:"merge filter preserves all snapshot views" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 12) (pair (int_bound 2) (pair (int_bound 30) bool)))
+        (list_of_size Gen.(0 -- 3) (int_bound 30)))
+    (fun (versions, snapshots) ->
+      (* unique seqnos per key, bool = is_delete *)
+      let entries =
+        List.mapi
+          (fun i (k, (s, is_del)) ->
+            let key = Printf.sprintf "k%d" k in
+            let seqno = (s * 20) + i + 1 in
+            if is_del then e key seqno ~kind:Entry.Delete else e key seqno ~value:(string_of_int seqno))
+          versions
+      in
+      (* de-duplicate identical (key,seqno) pairs *)
+      let entries =
+        List.sort_uniq (fun a b -> compare (a.Entry.key, a.Entry.seqno) (b.Entry.key, b.Entry.seqno)) entries
+      in
+      let out = filtered ~snapshots ~bottom:false entries in
+      let visible_at snap es key =
+        List.filter (fun x -> x.Entry.key = key && x.Entry.seqno <= snap) es
+        |> List.fold_left
+             (fun acc x ->
+               match acc with
+               | Some (b : Entry.t) when b.Entry.seqno >= x.Entry.seqno -> acc
+               | _ -> Some x)
+             None
+        |> Option.map (fun x -> (x.Entry.kind, x.Entry.value))
+      in
+      let keys = List.sort_uniq compare (List.map (fun x -> x.Entry.key) entries) in
+      let views = max_int :: snapshots in
+      List.for_all
+        (fun snap ->
+          List.for_all (fun k -> visible_at snap entries k = visible_at snap out k) keys)
+        views)
+
+let qt t =
+  let name, _speed, fn = QCheck_alcotest.to_alcotest t in
+  (name, `Quick, fn)
+
+let suite =
+  [
+    ("stripe function", `Quick, test_stripe_of);
+    ("shadowed versions dropped", `Quick, test_shadowed_versions_dropped);
+    ("snapshot preserves old version", `Quick, test_snapshot_preserves_old_version);
+    ("same-stripe shadowing under snapshot", `Quick, test_same_stripe_within_snapshot_dropped);
+    ("distinct keys untouched", `Quick, test_distinct_keys_untouched);
+    ("delete kept above bottom", `Quick, test_delete_kept_above_bottom);
+    ("delete dropped at bottom", `Quick, test_delete_dropped_at_bottom);
+    ("delete at bottom blocked by snapshot", `Quick, test_delete_at_bottom_blocked_by_snapshot);
+    ("single delete cancels put", `Quick, test_single_delete_cancels_put);
+    ("single delete respects snapshot", `Quick, test_single_delete_not_cancelling_across_snapshot);
+    ("range tombstone drops covered", `Quick, test_range_tombstone_drops_covered);
+    ("range tombstone spares newer", `Quick, test_range_tombstone_spares_newer);
+    ("range tombstone respects snapshot", `Quick, test_range_tombstone_respects_snapshot);
+    ("range tombstone retired at bottom", `Quick, test_range_tombstone_retired_at_bottom);
+    ("merge chain preserved", `Quick, test_merge_chain_preserved);
+    ("put shadows merge history", `Quick, test_put_shadows_merge_history);
+    ("version apply add/remove", `Quick, test_version_apply_add_remove);
+    ("version rejects unknown removal", `Quick, test_version_remove_unknown_rejected);
+    ("version runs newest first", `Quick, test_version_runs_newest_first);
+    ("version invariant detects overlap", `Quick, test_version_invariant_detects_overlap);
+    ("version edit roundtrip", `Quick, test_version_edit_roundtrip);
+    ("manifest recover", `Quick, test_manifest_recover_replays_edits);
+    ("manifest missing = empty", `Quick, test_manifest_missing_is_empty);
+    ("manifest torn tail ignored", `Quick, test_manifest_torn_tail_ignored);
+    qt prop_merge_filter_preserves_visibility;
+  ]

@@ -1,0 +1,196 @@
+(* Tests for lsm_kvsep: pointer roundtrips, inline threshold, GC, and the
+   WiscKey write-amp claim on this substrate. *)
+
+module Device = Lsm_storage.Device
+module Io_stats = Lsm_storage.Io_stats
+open Lsm_kvsep
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_opt = Alcotest.(check (option string))
+
+let small_config =
+  {
+    Lsm_core.Config.default with
+    write_buffer_size = 8 * 1024;
+    level1_capacity = 32 * 1024;
+    target_file_size = 16 * 1024;
+    block_size = 1024;
+  }
+
+let fresh ?(value_threshold = 64) () =
+  let dev = Device.in_memory () in
+  (dev, Kv_db.open_db ~config:small_config ~value_threshold ~segment_bytes:(32 * 1024) ~dev ())
+
+let key i = Printf.sprintf "key%06d" i
+let big i = Printf.sprintf "%06d%s" i (String.make 200 'V')
+let small i = Printf.sprintf "s%d" i
+
+(* ---------- value log ---------- *)
+
+let test_vlog_roundtrip () =
+  let dev = Device.in_memory () in
+  let log = Value_log.open_log ~segment_bytes:1024 dev in
+  let p1 = Value_log.append log ~key:"a" ~value:"hello" in
+  let p2 = Value_log.append log ~key:"b" ~value:(String.make 100 'x') in
+  Alcotest.(check (pair string string)) "p1" ("a", "hello")
+    (Value_log.read log ~cls:Io_stats.C_user_read p1);
+  Alcotest.(check (pair string string)) "p2" ("b", String.make 100 'x')
+    (Value_log.read log ~cls:Io_stats.C_user_read p2);
+  Value_log.close log
+
+let test_vlog_rotation () =
+  let dev = Device.in_memory () in
+  let log = Value_log.open_log ~segment_bytes:256 dev in
+  for i = 0 to 19 do
+    ignore (Value_log.append log ~key:(key i) ~value:(String.make 100 'v'))
+  done;
+  check "rotated into sealed segments" true (List.length (Value_log.segments log) > 2);
+  Value_log.close log
+
+let test_vlog_pointer_codec () =
+  let p = { Value_log.segment = 42; offset = 12345; length = 678 } in
+  check "pointer roundtrip" true (Value_log.decode_pointer (Value_log.encode_pointer p) = p)
+
+let test_vlog_fold_segment () =
+  let dev = Device.in_memory () in
+  let log = Value_log.open_log ~segment_bytes:128 dev in
+  for i = 0 to 9 do
+    ignore (Value_log.append log ~key:(key i) ~value:(String.make 50 'v'))
+  done;
+  match Value_log.segments log with
+  | seg :: _ ->
+    let n =
+      Value_log.fold_segment log ~cls:Io_stats.C_gc seg ~init:0 ~f:(fun acc _ _ _ -> acc + 1)
+    in
+    check "fold sees records" true (n >= 1)
+  | [] -> Alcotest.fail "expected sealed segments"
+
+(* ---------- kv db ---------- *)
+
+let test_kvdb_large_values_roundtrip () =
+  let _, db = fresh () in
+  for i = 0 to 199 do
+    Kv_db.put db ~key:(key i) (big i)
+  done;
+  Kv_db.flush db;
+  for i = 0 to 199 do
+    if Kv_db.get db (key i) <> Some (big i) then Alcotest.failf "value %d wrong" i
+  done;
+  Kv_db.close db
+
+let test_kvdb_small_values_inline () =
+  let dev, db = fresh ~value_threshold:64 () in
+  for i = 0 to 399 do
+    Kv_db.put db ~key:(key i) (small i)
+  done;
+  check_opt "inline value" (Some (small 7)) (Kv_db.get db (key 7));
+  (* No value-log segments should have been created beyond the empty head. *)
+  let vlog_bytes = Value_log.total_bytes (Kv_db.value_log db) in
+  check_int "nothing in the value log" 0 vlog_bytes;
+  ignore dev;
+  Kv_db.close db
+
+let test_kvdb_update_and_delete () =
+  let _, db = fresh () in
+  Kv_db.put db ~key:"k" (String.make 100 'a');
+  Kv_db.put db ~key:"k" (String.make 100 'b');
+  check_opt "update wins" (Some (String.make 100 'b')) (Kv_db.get db "k");
+  Kv_db.delete db "k";
+  check_opt "deleted" None (Kv_db.get db "k");
+  Kv_db.close db
+
+let test_kvdb_scan_resolves_pointers () =
+  let _, db = fresh () in
+  for i = 0 to 49 do
+    Kv_db.put db ~key:(key i) (big i)
+  done;
+  Kv_db.flush db;
+  let got = Kv_db.scan db ~lo:(key 10) ~hi:(Some (key 13)) () in
+  Alcotest.(check (list (pair string string)))
+    "resolved scan"
+    [ (key 10, big 10); (key 11, big 11); (key 12, big 12) ]
+    got;
+  Kv_db.close db
+
+let test_gc_reclaims_dead_space () =
+  let _, db = fresh () in
+  (* Write, then overwrite everything: first-generation segments become
+     all-dead. *)
+  for i = 0 to 199 do
+    Kv_db.put db ~key:(key i) (big i)
+  done;
+  for i = 0 to 199 do
+    Kv_db.put db ~key:(key i) (big (i + 1000))
+  done;
+  Kv_db.flush db;
+  let before = Value_log.total_bytes (Kv_db.value_log db) in
+  let r = Kv_db.gc db ~max_segments:4 () in
+  let after = Value_log.total_bytes (Kv_db.value_log db) in
+  check "gc dropped segments" true (r.Kv_db.segments_dropped > 0);
+  check "dead records dropped" true (r.Kv_db.dead_dropped > 0);
+  check (Printf.sprintf "space reclaimed %d -> %d" before after) true (after < before);
+  (* Correctness preserved. *)
+  for i = 0 to 199 do
+    if Kv_db.get db (key i) <> Some (big (i + 1000)) then Alcotest.failf "key %d lost by gc" i
+  done;
+  Kv_db.close db
+
+let test_gc_preserves_live_values () =
+  let _, db = fresh () in
+  (* Enough data to rotate past the 32 KiB segment threshold, so sealed
+     (GC-eligible) segments exist. *)
+  for i = 0 to 399 do
+    Kv_db.put db ~key:(key i) (big i)
+  done;
+  Kv_db.flush db;
+  check "sealed segments exist" true (Value_log.segments (Kv_db.value_log db) <> []);
+  let r = Kv_db.gc db ~max_segments:2 () in
+  check "live values moved, not lost" true (r.Kv_db.live_moved > 0);
+  for i = 0 to 399 do
+    if Kv_db.get db (key i) <> Some (big i) then Alcotest.failf "key %d lost" i
+  done;
+  Kv_db.close db
+
+let test_wisckey_wa_beats_standard_for_big_values () =
+  let ingest_wa mk_store =
+    let dev = Device.in_memory () in
+    let store = mk_store dev in
+    for i = 0 to 1999 do
+      store.Lsm_workload.Kv_store.put ~key:(key (i mod 500)) (String.make 512 'v')
+    done;
+    store.Lsm_workload.Kv_store.flush ();
+    let io = store.Lsm_workload.Kv_store.io_stats () in
+    let flushc = Io_stats.bytes_written ~cls:Io_stats.C_flush io in
+    let compc = Io_stats.bytes_written ~cls:Io_stats.C_compaction_write io in
+    let user = store.Lsm_workload.Kv_store.user_bytes () in
+    float_of_int (flushc + compc) /. float_of_int user
+  in
+  let standard =
+    ingest_wa (fun dev ->
+        Lsm_workload.Kv_store.of_db (Lsm_core.Db.open_db ~config:small_config ~dev ()))
+  in
+  let wisckey =
+    ingest_wa (fun dev ->
+        Kv_db.to_kv_store
+          (Kv_db.open_db ~config:small_config ~value_threshold:64
+             ~segment_bytes:(64 * 1024) ~dev ()))
+  in
+  check
+    (Printf.sprintf "wisckey tree WA %.2f < standard %.2f" wisckey standard)
+    true (wisckey < standard /. 2.0)
+
+let suite =
+  [
+    ("value log roundtrip", `Quick, test_vlog_roundtrip);
+    ("value log rotation", `Quick, test_vlog_rotation);
+    ("pointer codec", `Quick, test_vlog_pointer_codec);
+    ("value log fold", `Quick, test_vlog_fold_segment);
+    ("large values roundtrip", `Quick, test_kvdb_large_values_roundtrip);
+    ("small values stay inline", `Quick, test_kvdb_small_values_inline);
+    ("update and delete", `Quick, test_kvdb_update_and_delete);
+    ("scan resolves pointers", `Quick, test_kvdb_scan_resolves_pointers);
+    ("gc reclaims dead space", `Quick, test_gc_reclaims_dead_space);
+    ("gc preserves live values", `Quick, test_gc_preserves_live_values);
+    ("wisckey cuts tree WA for big values", `Quick, test_wisckey_wa_beats_standard_for_big_values);
+  ]

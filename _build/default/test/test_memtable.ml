@@ -1,0 +1,155 @@
+(* Tests for lsm_memtable: each implementation against a Map-based model,
+   visibility under max_seqno, iterator ordering, range tombstones. *)
+
+open Lsm_memtable
+module Entry = Lsm_record.Entry
+module Iter = Lsm_record.Iter
+module Comparator = Lsm_util.Comparator
+module Rng = Lsm_util.Rng
+
+let cmp = Comparator.bytewise
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_each_kind f =
+  List.iter (fun kind -> f kind (Memtable.create ~kind ~cmp ())) Memtable.all_kinds
+
+let name k = Memtable.kind_name k
+
+let test_add_find () =
+  with_each_kind (fun k m ->
+      Memtable.add m (Entry.put ~key:"apple" ~seqno:1 "red");
+      Memtable.add m (Entry.put ~key:"banana" ~seqno:2 "yellow");
+      (match Memtable.find m "apple" with
+      | Some e -> Alcotest.(check string) (name k ^ ": value") "red" e.Entry.value
+      | None -> Alcotest.failf "%s: apple not found" (name k));
+      check (name k ^ ": missing key") true (Memtable.find m "cherry" = None);
+      check_int (name k ^ ": count") 2 (Memtable.count m))
+
+let test_versions_newest_wins () =
+  with_each_kind (fun k m ->
+      Memtable.add m (Entry.put ~key:"k" ~seqno:1 "v1");
+      Memtable.add m (Entry.put ~key:"k" ~seqno:5 "v5");
+      Memtable.add m (Entry.put ~key:"k" ~seqno:3 "v3");
+      (match Memtable.find m "k" with
+      | Some e -> Alcotest.(check string) (name k ^ ": newest") "v5" e.Entry.value
+      | None -> Alcotest.failf "%s: missing" (name k)))
+
+let test_snapshot_visibility () =
+  with_each_kind (fun k m ->
+      Memtable.add m (Entry.put ~key:"k" ~seqno:10 "new");
+      Memtable.add m (Entry.put ~key:"k" ~seqno:2 "old");
+      (match Memtable.find m ~max_seqno:5 "k" with
+      | Some e -> Alcotest.(check string) (name k ^ ": snapshot sees old") "old" e.Entry.value
+      | None -> Alcotest.failf "%s: snapshot miss" (name k));
+      check (name k ^ ": before any write") true (Memtable.find m ~max_seqno:1 "k" = None))
+
+let test_tombstone_returned () =
+  with_each_kind (fun k m ->
+      Memtable.add m (Entry.put ~key:"k" ~seqno:1 "v");
+      Memtable.add m (Entry.delete ~key:"k" ~seqno:2);
+      match Memtable.find m "k" with
+      | Some e -> check (name k ^ ": tombstone wins") true (e.Entry.kind = Entry.Delete)
+      | None -> Alcotest.failf "%s: tombstone not surfaced" (name k))
+
+let test_iterator_sorted_all_kinds () =
+  with_each_kind (fun k m ->
+      let rng = Rng.create 11 in
+      for i = 1 to 500 do
+        let key = Printf.sprintf "key%04d" (Rng.int rng 200) in
+        Memtable.add m (Entry.put ~key ~seqno:i (string_of_int i))
+      done;
+      let out = Iter.to_list (Memtable.iterator m) in
+      check_int (name k ^ ": iterator yields all") 500 (List.length out);
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> Entry.compare cmp a b < 0 && sorted rest
+        | _ -> true
+      in
+      check (name k ^ ": strictly sorted (unique seqnos)") true (sorted out))
+
+let test_iterator_seek () =
+  with_each_kind (fun k m ->
+      List.iter (fun key -> Memtable.add m (Entry.put ~key ~seqno:1 "v"))
+        [ "a"; "c"; "e"; "g" ];
+      let it = Memtable.iterator m in
+      it.Iter.seek "d";
+      check (name k ^ ": seek valid") true (it.Iter.valid ());
+      Alcotest.(check string) (name k ^ ": seek lands on e") "e" (it.Iter.entry ()).Entry.key)
+
+let test_range_tombstones_tracked () =
+  with_each_kind (fun k m ->
+      Memtable.add m (Entry.put ~key:"a" ~seqno:1 "v");
+      Memtable.add m (Entry.range_delete ~start_key:"b" ~end_key:"f" ~seqno:2);
+      check_int (name k ^ ": one range tombstone") 1 (List.length (Memtable.range_tombstones m));
+      (* find must not surface range tombstones for the start key. *)
+      check (name k ^ ": find skips range tombstone") true (Memtable.find m "b" = None);
+      (* but the iterator must include it (flush needs it). *)
+      let kinds = List.map (fun e -> e.Entry.kind) (Iter.to_list (Memtable.iterator m)) in
+      check (name k ^ ": iterator carries range delete") true (List.mem Entry.Range_delete kinds))
+
+let test_footprint_grows () =
+  with_each_kind (fun k m ->
+      let before = Memtable.footprint m in
+      Memtable.add m (Entry.put ~key:"key" ~seqno:1 (String.make 100 'v'));
+      check (name k ^ ": footprint grows by >= payload") true
+        (Memtable.footprint m - before >= 103))
+
+(* Model-based test: every implementation must agree with a reference
+   model on find across random operations and snapshots. *)
+let prop_model_agreement kind =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s = model" (Memtable.kind_name kind))
+    ~count:60
+    QCheck.(
+      list (pair (string_gen_of_size Gen.(1 -- 3) (Gen.char_range 'a' 'f')) (option string)))
+    (fun ops ->
+      let m = Memtable.create ~kind ~cmp () in
+      (* model: key -> (seqno, value option) list, newest first *)
+      let model : (string, (int * string option) list) Hashtbl.t = Hashtbl.create 16 in
+      List.iteri
+        (fun i (key, vopt) ->
+          let seqno = i + 1 in
+          (match vopt with
+          | Some v -> Memtable.add m (Entry.put ~key ~seqno v)
+          | None -> Memtable.add m (Entry.delete ~key ~seqno));
+          let prev = Option.value ~default:[] (Hashtbl.find_opt model key) in
+          Hashtbl.replace model key ((seqno, vopt) :: prev))
+        ops;
+      let n = List.length ops in
+      (* Check at several snapshot points including "latest". *)
+      List.for_all
+        (fun snap ->
+          Hashtbl.fold
+            (fun key versions ok ->
+              ok
+              &&
+              let expected =
+                List.find_opt (fun (s, _) -> s <= snap) versions
+                |> Option.map (fun (_, v) -> v)
+              in
+              let got =
+                match Memtable.find m ~max_seqno:snap key with
+                | None -> None
+                | Some e ->
+                  Some (match e.Entry.kind with Entry.Delete -> None | _ -> Some e.Entry.value)
+              in
+              got = expected)
+            model true)
+        [ n; n / 2; 1 ])
+
+let qt t =
+  let name, _speed, fn = QCheck_alcotest.to_alcotest t in
+  (name, `Quick, fn)
+
+let suite =
+  [
+    ("add/find on all kinds", `Quick, test_add_find);
+    ("newest version wins", `Quick, test_versions_newest_wins);
+    ("snapshot visibility", `Quick, test_snapshot_visibility);
+    ("tombstones surfaced", `Quick, test_tombstone_returned);
+    ("iterator sorted", `Quick, test_iterator_sorted_all_kinds);
+    ("iterator seek", `Quick, test_iterator_seek);
+    ("range tombstones tracked", `Quick, test_range_tombstones_tracked);
+    ("footprint grows", `Quick, test_footprint_grows);
+  ]
+  @ List.map (fun k -> qt (prop_model_agreement k)) Memtable.all_kinds

@@ -1,0 +1,186 @@
+(* Tests for lsm_record: entry model, orderings, iterators, k-way merge. *)
+
+open Lsm_record
+module Codec = Lsm_util.Codec
+module Comparator = Lsm_util.Comparator
+
+let cmp = Comparator.bytewise
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let e ?(kind = Entry.Put) ?(value = "") key seqno = { Entry.key; seqno; kind; value }
+
+(* ---------- Entry ---------- *)
+
+let test_entry_roundtrip_kinds () =
+  List.iter
+    (fun kind ->
+      let entry = { Entry.key = "k"; seqno = 42; kind; value = "v" } in
+      let b = Buffer.create 32 in
+      Entry.encode b entry;
+      let s = Buffer.contents b in
+      check_int "encoded_size exact" (String.length s) (Entry.encoded_size entry);
+      let got = Entry.decode (Codec.reader s) in
+      check "roundtrip" true (got = entry))
+    [ Entry.Put; Entry.Delete; Entry.Single_delete; Entry.Range_delete; Entry.Merge ]
+
+let test_entry_ordering () =
+  (* Key ascending. *)
+  check "key order" true (Entry.compare cmp (e "a" 1) (e "b" 1) < 0);
+  (* Same key: seqno descending (newest first). *)
+  check "seqno desc" true (Entry.compare cmp (e "a" 5) (e "a" 3) < 0);
+  check "equal" true (Entry.compare cmp (e "a" 5) (e "a" 5) = 0)
+
+let test_entry_constructors () =
+  let d = Entry.delete ~key:"k" ~seqno:9 in
+  check "delete is tombstone" true (Entry.is_tombstone d);
+  check "put is not" false (Entry.is_tombstone (Entry.put ~key:"k" ~seqno:1 "v"));
+  let rd = Entry.range_delete ~start_key:"a" ~end_key:"m" ~seqno:2 in
+  check "range delete carries end key" true (rd.Entry.value = "m");
+  check "range delete is tombstone" true (Entry.is_tombstone rd);
+  check "merge not tombstone" false (Entry.is_tombstone (Entry.merge ~key:"k" ~seqno:3 "+1"))
+
+let test_entry_bad_kind () =
+  Alcotest.check_raises "bad kind tag" (Codec.Corrupt "unknown entry kind 9") (fun () ->
+      ignore (Entry.kind_of_int 9))
+
+let prop_entry_roundtrip =
+  QCheck.Test.make ~name:"entry encode/decode roundtrip" ~count:500
+    QCheck.(triple string (map abs small_int) string)
+    (fun (key, seqno, value) ->
+      let entry = { Entry.key; seqno; kind = Entry.Put; value } in
+      let b = Buffer.create 32 in
+      Entry.encode b entry;
+      Entry.decode (Codec.reader (Buffer.contents b)) = entry)
+
+(* ---------- Iter over sorted arrays ---------- *)
+
+let sorted_entries = [ e "a" 3; e "a" 1; e "c" 2; e "e" 9; e "e" 4; e "g" 7 ]
+
+let test_iter_drain () =
+  let it = Iter.of_sorted_list cmp sorted_entries in
+  Alcotest.(check int) "drains all" 6 (List.length (Iter.to_list it))
+
+let test_iter_seek () =
+  let it = Iter.of_sorted_list cmp sorted_entries in
+  it.Iter.seek "c";
+  check "valid" true (it.Iter.valid ());
+  Alcotest.(check string) "lands on c" "c" (it.Iter.entry ()).Entry.key;
+  it.Iter.seek "d";
+  Alcotest.(check string) "d -> e" "e" (it.Iter.entry ()).Entry.key;
+  check_int "newest version first" 9 (it.Iter.entry ()).Entry.seqno;
+  it.Iter.seek "z";
+  check "past end" false (it.Iter.valid ())
+
+let test_iter_empty () =
+  let it = Iter.empty in
+  it.Iter.seek_to_first ();
+  check "empty invalid" false (it.Iter.valid ());
+  check_int "to_list empty" 0 (List.length (Iter.to_list Iter.empty))
+
+(* ---------- concat ---------- *)
+
+let test_concat_spans_parts () =
+  let part1 = Iter.of_sorted_list cmp [ e "a" 1; e "b" 1 ] in
+  let part2 = Iter.of_sorted_list cmp [ e "c" 1 ] in
+  let part3 = Iter.of_sorted_list cmp [ e "d" 1; e "e" 1 ] in
+  let it = Iter.concat [ part1; part2; part3 ] in
+  let keys = List.map (fun x -> x.Entry.key) (Iter.to_list it) in
+  Alcotest.(check (list string)) "all keys in order" [ "a"; "b"; "c"; "d"; "e" ] keys
+
+let test_concat_seek_across () =
+  let it =
+    Iter.concat
+      [
+        Iter.of_sorted_list cmp [ e "a" 1; e "b" 1 ];
+        Iter.of_sorted_list cmp [ e "m" 1 ];
+        Iter.of_sorted_list cmp [ e "x" 1 ];
+      ]
+  in
+  it.Iter.seek "c";
+  Alcotest.(check string) "seek into middle part" "m" (it.Iter.entry ()).Entry.key;
+  it.Iter.next ();
+  Alcotest.(check string) "crosses into last part" "x" (it.Iter.entry ()).Entry.key;
+  it.Iter.next ();
+  check "exhausted" false (it.Iter.valid ())
+
+let test_concat_with_empty_parts () =
+  let it =
+    Iter.concat [ Iter.empty; Iter.of_sorted_list cmp [ e "k" 1 ]; Iter.empty ]
+  in
+  it.Iter.seek_to_first ();
+  check "skips leading empty" true (it.Iter.valid ());
+  Alcotest.(check string) "k" "k" (it.Iter.entry ()).Entry.key;
+  it.Iter.next ();
+  check "skips trailing empty" false (it.Iter.valid ())
+
+(* ---------- merge ---------- *)
+
+let test_merge_interleaves () =
+  let a = Iter.of_sorted_list cmp [ e "a" 1; e "d" 1; e "g" 1 ] in
+  let b = Iter.of_sorted_list cmp [ e "b" 1; e "e" 1 ] in
+  let c = Iter.of_sorted_list cmp [ e "c" 1; e "f" 1 ] in
+  let keys = List.map (fun x -> x.Entry.key) (Iter.to_list (Iter.merge cmp [ a; b; c ])) in
+  Alcotest.(check (list string)) "merged order" [ "a"; "b"; "c"; "d"; "e"; "f"; "g" ] keys
+
+let test_merge_version_order () =
+  (* Same key in two sources: newest (highest seqno) must come first. *)
+  let newer = Iter.of_sorted_list cmp [ e "k" 10 ~value:"new" ] in
+  let older = Iter.of_sorted_list cmp [ e "k" 2 ~value:"old" ] in
+  let out = Iter.to_list (Iter.merge cmp [ older; newer ]) in
+  check_int "two versions" 2 (List.length out);
+  Alcotest.(check string) "newest first" "new" (List.hd out).Entry.value
+
+let test_merge_seek () =
+  let a = Iter.of_sorted_list cmp [ e "a" 1; e "m" 1 ] in
+  let b = Iter.of_sorted_list cmp [ e "c" 1; e "z" 1 ] in
+  let it = Iter.merge cmp [ a; b ] in
+  it.Iter.seek "m";
+  Alcotest.(check string) "seek m" "m" (it.Iter.entry ()).Entry.key;
+  it.Iter.next ();
+  Alcotest.(check string) "then z" "z" (it.Iter.entry ()).Entry.key
+
+let prop_merge_equals_sort =
+  (* Merging k sorted runs = sorting their concatenation (stable w.r.t.
+     entries, which are unique by construction here). *)
+  let gen =
+    QCheck.Gen.(
+      list_size (1 -- 4)
+        (list_size (0 -- 20) (pair (string_size ~gen:(char_range 'a' 'e') (1 -- 2)) (0 -- 1000))))
+  in
+  QCheck.Test.make ~name:"merge = sort of concat" ~count:200 (QCheck.make gen) (fun runs ->
+      (* Make entries globally unique via seqno tagging per (run, idx). *)
+      let runs =
+        List.mapi
+          (fun ri run ->
+            List.mapi (fun i (k, s) -> e k ((s * 100) + (ri * 10) + i)) run
+            |> List.sort (Entry.compare cmp))
+          runs
+      in
+      let iters = List.map (Iter.of_sorted_list cmp) runs in
+      let merged = Iter.to_list (Iter.merge cmp iters) in
+      let expected = List.sort (Entry.compare cmp) (List.concat runs) in
+      merged = expected)
+
+let qt t =
+  let name, _speed, fn = QCheck_alcotest.to_alcotest t in
+  (name, `Quick, fn)
+
+let suite =
+  [
+    ("entry roundtrip all kinds", `Quick, test_entry_roundtrip_kinds);
+    ("entry ordering", `Quick, test_entry_ordering);
+    ("entry constructors", `Quick, test_entry_constructors);
+    ("entry bad kind rejected", `Quick, test_entry_bad_kind);
+    ("iter drain", `Quick, test_iter_drain);
+    ("iter seek", `Quick, test_iter_seek);
+    ("iter empty", `Quick, test_iter_empty);
+    ("concat spans parts", `Quick, test_concat_spans_parts);
+    ("concat seek across parts", `Quick, test_concat_seek_across);
+    ("concat with empty parts", `Quick, test_concat_with_empty_parts);
+    ("merge interleaves", `Quick, test_merge_interleaves);
+    ("merge newest-first within key", `Quick, test_merge_version_order);
+    ("merge seek", `Quick, test_merge_seek);
+    qt prop_entry_roundtrip;
+    qt prop_merge_equals_sort;
+  ]

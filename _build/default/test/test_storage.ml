@@ -1,0 +1,281 @@
+(* Tests for lsm_storage: device accounting, crash simulation, block cache
+   LRU behaviour, WAL framing and torn-tail recovery. *)
+
+open Lsm_storage
+module Entry = Lsm_record.Entry
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ---------- Device ---------- *)
+
+let test_device_write_read () =
+  let dev = Device.in_memory () in
+  let w = Device.open_writer dev ~cls:Io_stats.C_flush "f1" in
+  Device.append w "hello ";
+  Device.append w "world";
+  check_int "written" 11 (Device.written w);
+  Device.close w;
+  check_str "read all" "hello world" (Device.read dev ~cls:Io_stats.C_user_read "f1" ~off:0 ~len:11);
+  check_str "read mid" "lo wo" (Device.read dev ~cls:Io_stats.C_user_read "f1" ~off:3 ~len:5);
+  check_int "size" 11 (Device.size dev "f1")
+
+let test_device_missing_file () =
+  let dev = Device.in_memory () in
+  check "exists false" false (Device.exists dev "nope");
+  Alcotest.check_raises "read missing" Not_found (fun () ->
+      ignore (Device.read dev ~cls:Io_stats.C_user_read "nope" ~off:0 ~len:1))
+
+let test_device_page_accounting () =
+  let dev = Device.in_memory ~page_size:4096 () in
+  let w = Device.open_writer dev ~cls:Io_stats.C_flush "f" in
+  Device.append w (String.make 10000 'x');
+  Device.close w;
+  let st = Device.stats dev in
+  check_int "write pages = ceil(10000/4096)" 3 (Io_stats.pages_written ~cls:Io_stats.C_flush st);
+  check_int "write bytes" 10000 (Io_stats.bytes_written ~cls:Io_stats.C_flush st);
+  (* Read spanning a page boundary counts both pages. *)
+  ignore (Device.read dev ~cls:Io_stats.C_user_read "f" ~off:4090 ~len:12);
+  check_int "read pages" 2 (Io_stats.pages_read ~cls:Io_stats.C_user_read st);
+  ignore (Device.read dev ~cls:Io_stats.C_user_read "f" ~off:0 ~len:0);
+  check_int "empty read adds nothing" 2 (Io_stats.pages_read ~cls:Io_stats.C_user_read st)
+
+let test_device_delete_and_list () =
+  let dev = Device.in_memory () in
+  List.iter
+    (fun n ->
+      let w = Device.open_writer dev ~cls:Io_stats.C_misc n in
+      Device.append w n;
+      Device.close w)
+    [ "b"; "a"; "c" ];
+  Alcotest.(check (list string)) "sorted listing" [ "a"; "b"; "c" ] (Device.list_files dev);
+  check_int "total bytes" 3 (Device.total_bytes dev);
+  Device.delete dev "b";
+  Alcotest.(check (list string)) "after delete" [ "a"; "c" ] (Device.list_files dev);
+  Device.delete dev "b" (* idempotent *)
+
+let test_device_crash_loses_unsynced () =
+  let dev = Device.in_memory () in
+  let w = Device.open_writer dev ~cls:Io_stats.C_user_write "log" in
+  Device.append w "durable";
+  Device.sync w;
+  Device.append w "-volatile";
+  Device.crash dev;
+  check_int "only synced prefix survives" 7 (Device.size dev "log");
+  check_str "content" "durable" (Device.read dev ~cls:Io_stats.C_misc "log" ~off:0 ~len:7);
+  Alcotest.check_raises "writer unusable after crash"
+    (Invalid_argument "Device.append: file sealed (crashed?)") (fun () -> Device.append w "x")
+
+let test_device_double_writer_rejected () =
+  let dev = Device.in_memory () in
+  let w = Device.open_writer dev ~cls:Io_stats.C_misc "f" in
+  Alcotest.check_raises "second writer" (Invalid_argument "Device.open_writer: already open: f")
+    (fun () -> ignore (Device.open_writer dev ~cls:Io_stats.C_misc "f"));
+  Device.close w
+
+let test_device_on_disk_backend () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "lsm_test_disk" in
+  let dev = Device.on_disk ~dir () in
+  let w = Device.open_writer dev ~cls:Io_stats.C_flush "t.sst" in
+  Device.append w "0123456789";
+  Device.close w;
+  check_str "read back from real file" "345" (Device.read dev ~cls:Io_stats.C_user_read "t.sst" ~off:3 ~len:3);
+  check_int "size" 10 (Device.size dev "t.sst");
+  check "listed" true (List.mem "t.sst" (Device.list_files dev));
+  Device.delete dev "t.sst";
+  check "deleted" false (Device.exists dev "t.sst")
+
+let test_io_stats_diff () =
+  let dev = Device.in_memory () in
+  let w = Device.open_writer dev ~cls:Io_stats.C_flush "f" in
+  Device.append w (String.make 100 'a');
+  Device.close w;
+  let before = Io_stats.copy (Device.stats dev) in
+  let w2 = Device.open_writer dev ~cls:Io_stats.C_flush "g" in
+  Device.append w2 (String.make 50 'b');
+  Device.close w2;
+  let d = Io_stats.diff (Device.stats dev) before in
+  check_int "diff isolates the second write" 50 (Io_stats.bytes_written d)
+
+let test_write_amplification () =
+  let st = Io_stats.create () in
+  Io_stats.record_write st Io_stats.C_flush ~pages:1 ~bytes:100;
+  Io_stats.record_write st Io_stats.C_compaction_write ~pages:3 ~bytes:300;
+  Alcotest.(check (float 0.001)) "wa" 4.0 (Io_stats.write_amplification st ~user_bytes:100)
+
+(* ---------- Block cache ---------- *)
+
+let test_cache_hit_miss () =
+  let c = Block_cache.create ~capacity:1024 in
+  check "miss on empty" true (Block_cache.find c ~file:"f" ~off:0 = None);
+  Block_cache.insert c ~file:"f" ~off:0 "data";
+  check "hit" true (Block_cache.find c ~file:"f" ~off:0 = Some "data");
+  check_int "hits" 1 (Block_cache.hits c);
+  check_int "misses" 1 (Block_cache.misses c);
+  Alcotest.(check (float 0.001)) "hit rate" 0.5 (Block_cache.hit_rate c)
+
+let test_cache_lru_eviction () =
+  let c = Block_cache.create ~capacity:30 in
+  Block_cache.insert c ~file:"f" ~off:0 (String.make 10 'a');
+  Block_cache.insert c ~file:"f" ~off:1 (String.make 10 'b');
+  Block_cache.insert c ~file:"f" ~off:2 (String.make 10 'c');
+  (* Touch block 0 so block 1 is LRU. *)
+  ignore (Block_cache.find c ~file:"f" ~off:0);
+  Block_cache.insert c ~file:"f" ~off:3 (String.make 10 'd');
+  check "0 kept (recently used)" true (Block_cache.find c ~file:"f" ~off:0 <> None);
+  check "1 evicted (LRU)" true (Block_cache.find c ~file:"f" ~off:1 = None);
+  check "2 kept" true (Block_cache.find c ~file:"f" ~off:2 <> None);
+  check_int "one eviction" 1 (Block_cache.evictions c);
+  check "within capacity" true (Block_cache.used_bytes c <= 30)
+
+let test_cache_oversized_not_cached () =
+  let c = Block_cache.create ~capacity:8 in
+  Block_cache.insert c ~file:"f" ~off:0 (String.make 100 'x');
+  check "not cached" true (Block_cache.find c ~file:"f" ~off:0 = None);
+  check_int "usage zero" 0 (Block_cache.used_bytes c)
+
+let test_cache_zero_capacity () =
+  let c = Block_cache.create ~capacity:0 in
+  Block_cache.insert c ~file:"f" ~off:0 "x";
+  check "never caches" true (Block_cache.find c ~file:"f" ~off:0 = None)
+
+let test_cache_evict_file () =
+  let c = Block_cache.create ~capacity:1000 in
+  Block_cache.insert c ~file:"a" ~off:0 "11";
+  Block_cache.insert c ~file:"a" ~off:1 "22";
+  Block_cache.insert c ~file:"b" ~off:0 "33";
+  check_int "evicts both of a" 2 (Block_cache.evict_file c "a");
+  check "b survives" true (Block_cache.find c ~file:"b" ~off:0 <> None);
+  check_int "count" 1 (Block_cache.block_count c)
+
+let test_cache_replace_same_key () =
+  let c = Block_cache.create ~capacity:100 in
+  Block_cache.insert c ~file:"f" ~off:0 "old";
+  Block_cache.insert c ~file:"f" ~off:0 "newer";
+  check "replaced" true (Block_cache.find c ~file:"f" ~off:0 = Some "newer");
+  check_int "usage reflects replacement" 5 (Block_cache.used_bytes c)
+
+let test_cache_get_or_load () =
+  let c = Block_cache.create ~capacity:100 in
+  let loads = ref 0 in
+  let load () = incr loads; "blk" in
+  check_str "first loads" "blk" (Block_cache.get_or_load c ~file:"f" ~off:7 load);
+  check_str "second cached" "blk" (Block_cache.get_or_load c ~file:"f" ~off:7 load);
+  check_int "loaded once" 1 !loads
+
+let prop_cache_never_exceeds_capacity =
+  QCheck.Test.make ~name:"cache stays within capacity" ~count:100
+    QCheck.(list (pair (int_bound 50) (int_bound 40)))
+    (fun ops ->
+      let c = Block_cache.create ~capacity:128 in
+      List.iter (fun (off, len) -> Block_cache.insert c ~file:"f" ~off (String.make len 'x')) ops;
+      Block_cache.used_bytes c <= 128)
+
+(* ---------- WAL ---------- *)
+
+let batch1 = [ Entry.put ~key:"a" ~seqno:1 "1"; Entry.delete ~key:"b" ~seqno:2 ]
+let batch2 = [ Entry.put ~key:"c" ~seqno:3 "33" ]
+
+let test_wal_roundtrip () =
+  let dev = Device.in_memory () in
+  let wal = Wal.create dev ~name:"wal" in
+  Wal.append wal batch1;
+  Wal.append wal batch2;
+  Wal.close wal;
+  let got = ref [] in
+  let n = Wal.replay dev ~name:"wal" (fun b -> got := b :: !got) in
+  check_int "two batches" 2 n;
+  check "contents preserved" true (List.rev !got = [ batch1; batch2 ])
+
+let test_wal_empty_batch_skipped () =
+  let dev = Device.in_memory () in
+  let wal = Wal.create dev ~name:"wal" in
+  Wal.append wal [];
+  check_int "nothing written" 0 (Wal.size wal);
+  Wal.close wal
+
+let test_wal_missing_file () =
+  let dev = Device.in_memory () in
+  check_int "no file -> 0 batches" 0 (Wal.replay dev ~name:"nothing" (fun _ -> assert false))
+
+let test_wal_torn_tail () =
+  let dev = Device.in_memory () in
+  let wal = Wal.create dev ~name:"wal" in
+  Wal.append wal batch1 ~sync:true;
+  (* Unsynced batch is torn away by the crash. *)
+  Wal.append wal batch2 ~sync:false;
+  Device.crash dev;
+  let got = ref [] in
+  let n = Wal.replay dev ~name:"wal" (fun b -> got := b :: !got) in
+  check_int "only the synced batch" 1 n;
+  check "it is batch1" true (!got = [ batch1 ])
+
+let test_wal_corrupt_record_stops_replay () =
+  let dev = Device.in_memory () in
+  let wal = Wal.create dev ~name:"wal" in
+  Wal.append wal batch1;
+  Wal.append wal batch2;
+  Wal.close wal;
+  (* Corrupt a byte inside the second record: replay keeps batch1 only. *)
+  let len = Device.size dev "wal" in
+  let all = Device.read dev ~cls:Io_stats.C_misc "wal" ~off:0 ~len in
+  let corrupted = Bytes.of_string all in
+  Bytes.set corrupted (len - 1) '\xff';
+  let w = Device.open_writer dev ~cls:Io_stats.C_misc "wal2" in
+  Device.append w (Bytes.to_string corrupted);
+  Device.close w;
+  let n = Wal.replay dev ~name:"wal2" (fun _ -> ()) in
+  check_int "stops at corruption" 1 n
+
+let prop_wal_replay_preserves_batches =
+  QCheck.Test.make ~name:"wal replay = appended batches" ~count:100
+    QCheck.(
+      list_of_size
+        Gen.(0 -- 12)
+        (list_of_size Gen.(0 -- 12)
+           (pair (string_gen_of_size Gen.(1 -- 8) Gen.printable)
+              (string_gen_of_size Gen.(0 -- 32) Gen.printable))))
+    (fun batches ->
+      let batches =
+        List.map (fun b -> List.mapi (fun i (k, v) -> Entry.put ~key:k ~seqno:i v) b) batches
+        |> List.filter (fun b -> b <> [])
+      in
+      let dev = Device.in_memory () in
+      let wal = Wal.create dev ~name:"w" in
+      List.iter (Wal.append wal) batches;
+      Wal.close wal;
+      let got = ref [] in
+      ignore (Wal.replay dev ~name:"w" (fun b -> got := b :: !got));
+      List.rev !got = batches)
+
+let qt t =
+  let name, _speed, fn = QCheck_alcotest.to_alcotest t in
+  (name, `Quick, fn)
+
+let suite =
+  [
+    ("device write/read", `Quick, test_device_write_read);
+    ("device missing file", `Quick, test_device_missing_file);
+    ("device page accounting", `Quick, test_device_page_accounting);
+    ("device delete & list", `Quick, test_device_delete_and_list);
+    ("device crash loses unsynced bytes", `Quick, test_device_crash_loses_unsynced);
+    ("device rejects double writer", `Quick, test_device_double_writer_rejected);
+    ("device on-disk backend", `Quick, test_device_on_disk_backend);
+    ("io stats diff", `Quick, test_io_stats_diff);
+    ("write amplification", `Quick, test_write_amplification);
+    ("cache hit/miss", `Quick, test_cache_hit_miss);
+    ("cache LRU eviction order", `Quick, test_cache_lru_eviction);
+    ("cache rejects oversized blocks", `Quick, test_cache_oversized_not_cached);
+    ("cache zero capacity", `Quick, test_cache_zero_capacity);
+    ("cache evict file", `Quick, test_cache_evict_file);
+    ("cache replace same key", `Quick, test_cache_replace_same_key);
+    ("cache get_or_load", `Quick, test_cache_get_or_load);
+    ("wal roundtrip", `Quick, test_wal_roundtrip);
+    ("wal skips empty batches", `Quick, test_wal_empty_batch_skipped);
+    ("wal missing file", `Quick, test_wal_missing_file);
+    ("wal torn tail after crash", `Quick, test_wal_torn_tail);
+    ("wal stops at corrupt record", `Quick, test_wal_corrupt_record_stops_replay);
+    qt prop_cache_never_exceeds_capacity;
+    qt prop_wal_replay_preserves_batches;
+  ]

@@ -1,0 +1,342 @@
+(* Unit and property tests for lsm_util: codecs, checksums, hashing, rng,
+   zipf, histograms, comparators. *)
+
+open Lsm_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ---------- Codec ---------- *)
+
+let test_codec_fixed () =
+  let b = Buffer.create 16 in
+  Codec.put_u8 b 0xab;
+  Codec.put_u16 b 0xbeef;
+  Codec.put_u32 b 0xdeadbeef;
+  Codec.put_u64 b 0x1122334455667788L;
+  let r = Codec.reader (Buffer.contents b) in
+  check_int "u8" 0xab (Codec.get_u8 r);
+  check_int "u16" 0xbeef (Codec.get_u16 r);
+  check_int "u32" 0xdeadbeef (Codec.get_u32 r);
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Codec.get_u64 r);
+  check "at end" true (Codec.at_end r)
+
+let test_codec_varint_known () =
+  let enc v =
+    let b = Buffer.create 8 in
+    Codec.put_varint b v;
+    Buffer.contents b
+  in
+  check_str "0" "\x00" (enc 0);
+  check_str "127" "\x7f" (enc 127);
+  check_str "128" "\x80\x01" (enc 128);
+  check_str "300" "\xac\x02" (enc 300)
+
+let test_codec_truncated () =
+  let r = Codec.reader "\x80" in
+  Alcotest.check_raises "truncated varint" (Codec.Corrupt "truncated input at 1 (need 1)")
+    (fun () -> ignore (Codec.get_varint r))
+
+let test_codec_negative_rejected () =
+  let b = Buffer.create 4 in
+  Alcotest.check_raises "negative" (Invalid_argument "Codec.put_varint: negative") (fun () ->
+      Codec.put_varint b (-1))
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:1000
+    QCheck.(map abs small_int)
+    (fun v ->
+      let b = Buffer.create 8 in
+      Codec.put_varint b v;
+      let s = Buffer.contents b in
+      String.length s = Codec.varint_size v && Codec.get_varint (Codec.reader s) = v)
+
+let prop_varint_roundtrip_large =
+  QCheck.Test.make ~name:"varint roundtrip (64-bit)" ~count:1000
+    QCheck.(map Int64.abs int64)
+    (fun v64 ->
+      let v = Int64.to_int v64 |> abs in
+      let b = Buffer.create 10 in
+      Codec.put_varint b v;
+      Codec.get_varint (Codec.reader (Buffer.contents b)) = v)
+
+let prop_lp_string_roundtrip =
+  QCheck.Test.make ~name:"lp_string roundtrip" ~count:500 QCheck.string (fun s ->
+      let b = Buffer.create 16 in
+      Codec.put_lp_string b s;
+      Codec.get_lp_string (Codec.reader (Buffer.contents b)) = s)
+
+let prop_mixed_stream =
+  QCheck.Test.make ~name:"mixed codec stream" ~count:300
+    QCheck.(
+      list_of_size
+        Gen.(0 -- 20)
+        (pair (map abs small_int) (string_gen_of_size Gen.(0 -- 40) Gen.printable)))
+    (fun items ->
+      let b = Buffer.create 64 in
+      List.iter
+        (fun (n, s) ->
+          Codec.put_varint b n;
+          Codec.put_lp_string b s)
+        items;
+      let r = Codec.reader (Buffer.contents b) in
+      List.for_all (fun (n, s) -> Codec.get_varint r = n && Codec.get_lp_string r = s) items
+      && Codec.at_end r)
+
+(* ---------- Crc32c ---------- *)
+
+let test_crc_known_vectors () =
+  (* Standard CRC-32C test vector: "123456789" -> 0xE3069283. *)
+  Alcotest.(check int32) "check value" 0xE3069283l (Crc32c.string "123456789");
+  Alcotest.(check int32) "empty" 0l (Crc32c.string "")
+
+let test_crc_mask_roundtrip () =
+  let crc = Crc32c.string "hello world" in
+  Alcotest.(check int32) "unmask . mask = id" crc (Crc32c.unmask (Crc32c.mask crc));
+  check "mask changes value" true (Crc32c.mask crc <> crc)
+
+let prop_crc_detects_flip =
+  QCheck.Test.make ~name:"crc detects single-byte flip" ~count:300
+    QCheck.(pair (string_of_size Gen.(1 -- 64)) (int_bound 1000))
+    (fun (s, r) ->
+      String.length s = 0
+      ||
+      let i = r mod String.length s in
+      let flipped = Bytes.of_string s in
+      Bytes.set flipped i (Char.chr (Char.code s.[i] lxor 0x01));
+      Crc32c.string s <> Crc32c.string (Bytes.to_string flipped))
+
+let test_crc_sub () =
+  let s = "abcdefgh" in
+  Alcotest.(check int32) "sub = sub string" (Crc32c.string "cdef")
+    (Crc32c.sub s ~pos:2 ~len:4)
+
+(* ---------- Hashing ---------- *)
+
+let test_hash_deterministic () =
+  Alcotest.(check int64) "stable across calls" (Hashing.string64 "key1") (Hashing.string64 "key1");
+  check "different keys differ" true (Hashing.string64 "key1" <> Hashing.string64 "key2");
+  check "seed changes hash" true
+    (Hashing.string64 ~seed:1L "key1" <> Hashing.string64 ~seed:2L "key1")
+
+let test_double_hash_properties () =
+  let h1, h2 = Hashing.double_hash "some key" in
+  check "h1 non-negative" true (h1 >= 0);
+  check "h2 positive odd" true (h2 > 0 && h2 land 1 = 1)
+
+let test_fingerprint_range () =
+  for i = 0 to 199 do
+    let fp = Hashing.fingerprint (string_of_int i) ~bits:8 in
+    check "in range" true (fp >= 1 && fp < 256)
+  done
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 50 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check "bound" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float r 2.5 in
+    check "float bound" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let r = Rng.create 1 in
+  let s = Rng.split r in
+  let xs = List.init 20 (fun _ -> Rng.int r 1000000) in
+  let ys = List.init 20 (fun _ -> Rng.int s 1000000) in
+  check "streams differ" true (xs <> ys)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 3 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 100 Fun.id) sorted
+
+let test_rng_uniformity_rough () =
+  let r = Rng.create 99 in
+  let buckets = Array.make 10 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    let i = Rng.int r 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check "each bucket within 20% of expected" true
+        (abs (c - (n / 10)) < n / 10 / 5))
+    buckets
+
+(* ---------- Zipf ---------- *)
+
+let test_zipf_skew () =
+  let z = Zipf.create 1000 in
+  let r = Rng.create 5 in
+  let counts = Array.make 1000 0 in
+  let n = 50000 in
+  for _ = 1 to n do
+    let i = Zipf.next z r in
+    counts.(i) <- counts.(i) + 1
+  done;
+  (* Rank 0 must dominate: with theta=0.99 it draws >5% of mass. *)
+  check "rank 0 hot" true (counts.(0) > n / 20);
+  check "rank 0 > rank 10" true (counts.(0) > counts.(10));
+  check "rank 1 > rank 100" true (counts.(1) > counts.(100))
+
+let test_zipf_bounds () =
+  let z = Zipf.create ~theta:0.5 37 in
+  let r = Rng.create 6 in
+  for _ = 1 to 5000 do
+    let i = Zipf.next z r in
+    check "in range" true (i >= 0 && i < 37);
+    let j = Zipf.next_scrambled z r in
+    check "scrambled in range" true (j >= 0 && j < 37)
+  done
+
+let test_zipf_scrambled_spreads () =
+  let z = Zipf.create 1000 in
+  let r = Rng.create 8 in
+  let hot = Hashtbl.create 16 in
+  for _ = 1 to 10000 do
+    let i = Zipf.next_scrambled z r in
+    Hashtbl.replace hot i (1 + Option.value ~default:0 (Hashtbl.find_opt hot i))
+  done;
+  (* The hottest scrambled key should not be rank 0 of the key space in
+     general; at minimum, heat must exist away from the low ranks. *)
+  let heavy_high = Hashtbl.fold (fun k c acc -> acc || (k > 100 && c > 100)) hot false in
+  check "some hot key above rank 100" true heavy_high
+
+(* ---------- Histogram ---------- *)
+
+let test_histogram_basic () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  check_int "count" 10 (Histogram.count h);
+  check_int "total" 55 (Histogram.total h);
+  check_int "min" 1 (Histogram.min_value h);
+  check_int "max" 10 (Histogram.max_value h);
+  Alcotest.(check (float 0.001)) "mean" 5.5 (Histogram.mean h)
+
+let test_histogram_percentiles_small () =
+  let h = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.add h i
+  done;
+  (* Values below 64 are exact buckets. *)
+  check_int "p50" 50 (Histogram.percentile h 50.0);
+  check_int "p1" 1 (Histogram.percentile h 1.0);
+  check_int "p100" 100 (Histogram.percentile h 100.0)
+
+let test_histogram_percentile_error_bounded () =
+  let h = Histogram.create () in
+  let values = List.init 500 (fun i -> (i * 7919) mod 100000) in
+  List.iter (Histogram.add h) values;
+  let sorted = List.sort compare values |> Array.of_list in
+  List.iter
+    (fun p ->
+      let exact = sorted.(int_of_float (p /. 100.0 *. 499.0)) in
+      let est = Histogram.percentile h p in
+      (* Geometric buckets with 16 sub-buckets: <= ~7% relative error. *)
+      check
+        (Printf.sprintf "p%.0f within 8%%" p)
+        true
+        (abs (est - exact) <= max 2 (exact / 12)))
+    [ 50.0; 90.0; 99.0 ]
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.add a) [ 1; 2; 3 ];
+  List.iter (Histogram.add b) [ 100; 200 ];
+  Histogram.merge ~into:a b;
+  check_int "count" 5 (Histogram.count a);
+  check_int "max" 200 (Histogram.max_value a);
+  check_int "min" 1 (Histogram.min_value a)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  check_int "p50 empty" 0 (Histogram.percentile h 50.0);
+  check_int "min empty" 0 (Histogram.min_value h);
+  Alcotest.(check (float 0.0)) "mean empty" 0.0 (Histogram.mean h)
+
+(* ---------- Comparator ---------- *)
+
+let test_comparator_orders () =
+  check "bytewise" true (Comparator.bytewise.compare "a" "b" < 0);
+  check "reverse" true (Comparator.reverse_bytewise.compare "a" "b" > 0)
+
+let test_shortest_separator () =
+  let c = Comparator.bytewise in
+  let s = Comparator.shortest_separator c "abcdef" "abzz" in
+  check "a <= s" true (c.compare "abcdef" s <= 0);
+  check "s < b" true (c.compare s "abzz" < 0);
+  check "short" true (String.length s <= 3);
+  (* Prefix case: no shorter separator exists. *)
+  check_str "prefix falls back" "ab" (Comparator.shortest_separator c "ab" "abc")
+
+let test_short_successor () =
+  let c = Comparator.bytewise in
+  check "successor >= key" true (c.compare (Comparator.short_successor c "abc") "abc" >= 0);
+  check_str "plain" "b" (Comparator.short_successor c "abc");
+  check_str "all-ff unchanged" "\xff\xff" (Comparator.short_successor c "\xff\xff")
+
+let prop_separator_sound =
+  QCheck.Test.make ~name:"shortest_separator sound" ~count:500
+    QCheck.(pair (string_of_size Gen.(1 -- 12)) (string_of_size Gen.(1 -- 12)))
+    (fun (a, b) ->
+      let c = Comparator.bytewise in
+      if c.compare a b >= 0 then true
+      else
+        let s = Comparator.shortest_separator c a b in
+        c.compare a s <= 0 && c.compare s b < 0)
+
+let qt t =
+  let name, _speed, fn = QCheck_alcotest.to_alcotest t in
+  (name, `Quick, fn)
+
+let suite =
+  [
+    ("codec fixed-width roundtrip", `Quick, test_codec_fixed);
+    ("codec varint known encodings", `Quick, test_codec_varint_known);
+    ("codec truncated input raises", `Quick, test_codec_truncated);
+    ("codec rejects negative varint", `Quick, test_codec_negative_rejected);
+    ("crc32c known vectors", `Quick, test_crc_known_vectors);
+    ("crc32c mask roundtrip", `Quick, test_crc_mask_roundtrip);
+    ("crc32c substring", `Quick, test_crc_sub);
+    ("hashing deterministic", `Quick, test_hash_deterministic);
+    ("double hash shape", `Quick, test_double_hash_properties);
+    ("fingerprint range", `Quick, test_fingerprint_range);
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng bounds", `Quick, test_rng_bounds);
+    ("rng split independence", `Quick, test_rng_split_independent);
+    ("rng shuffle is permutation", `Quick, test_rng_shuffle_permutation);
+    ("rng rough uniformity", `Quick, test_rng_uniformity_rough);
+    ("zipf skew", `Quick, test_zipf_skew);
+    ("zipf bounds", `Quick, test_zipf_bounds);
+    ("zipf scrambled spreads heat", `Quick, test_zipf_scrambled_spreads);
+    ("histogram basics", `Quick, test_histogram_basic);
+    ("histogram small percentiles exact", `Quick, test_histogram_percentiles_small);
+    ("histogram percentile error bounded", `Quick, test_histogram_percentile_error_bounded);
+    ("histogram merge", `Quick, test_histogram_merge);
+    ("histogram empty", `Quick, test_histogram_empty);
+    ("comparator orders", `Quick, test_comparator_orders);
+    ("shortest separator", `Quick, test_shortest_separator);
+    ("short successor", `Quick, test_short_successor);
+    qt prop_varint_roundtrip;
+    qt prop_varint_roundtrip_large;
+    qt prop_lp_string_roundtrip;
+    qt prop_mixed_stream;
+    qt prop_crc_detects_flip;
+    qt prop_separator_sound;
+  ]

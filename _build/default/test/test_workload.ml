@@ -1,0 +1,102 @@
+(* Tests for lsm_workload: spec validity, determinism, runner metrics. *)
+
+module Device = Lsm_storage.Device
+open Lsm_workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny spec = { spec with Spec.preload = 200; operations = 300 }
+
+let store () =
+  let dev = Device.in_memory () in
+  let config =
+    {
+      Lsm_core.Config.default with
+      write_buffer_size = 4 * 1024;
+      level1_capacity = 16 * 1024;
+      target_file_size = 8 * 1024;
+      block_size = 1024;
+    }
+  in
+  Kv_store.of_db (Lsm_core.Db.open_db ~config ~dev ())
+
+let test_specs_validate () =
+  List.iter (fun (_, s) -> Spec.validate s) Spec.all_ycsb;
+  List.iter Spec.validate
+    [ Spec.write_only (); Spec.read_heavy (); Spec.delete_heavy (); Spec.mixed () ]
+
+let test_mix_sums () =
+  List.iter
+    (fun (nm, s) ->
+      check (nm ^ " mix sums to 1") true (abs_float (Spec.mix_sum s.Spec.mix -. 1.0) < 0.01))
+    Spec.all_ycsb
+
+let test_keys_deterministic_and_ordered () =
+  Alcotest.(check string) "ycsb key" "user000000000042" (Runner.keyspace_key Spec.Ycsb_style 42);
+  check "binary keys ordered" true
+    (Runner.keyspace_key Spec.Binary8 5 < Runner.keyspace_key Spec.Binary8 6);
+  check_int "binary key width" 8 (String.length (Runner.keyspace_key Spec.Binary8 123))
+
+let test_runner_basic () =
+  let r = Runner.run (store ()) (tiny (Spec.ycsb_a ())) in
+  check_int "ops recorded" 300 r.Runner.measured_ops;
+  check "reads happened" true (r.Runner.reads_performed > 0);
+  check "reads mostly found (preloaded keyspace)" true
+    (r.Runner.reads_found * 10 >= r.Runner.reads_performed * 9);
+  check "io recorded" true (r.Runner.device_bytes_written > 0)
+
+let test_runner_deterministic () =
+  let run () = Runner.run (store ()) (tiny (Spec.ycsb_a ())) in
+  let a = run () and b = run () in
+  check_int "same reads" a.Runner.reads_performed b.Runner.reads_performed;
+  check_int "same found" a.Runner.reads_found b.Runner.reads_found;
+  check_int "same device writes" a.Runner.device_bytes_written b.Runner.device_bytes_written
+
+let test_write_only_no_reads () =
+  let r = Runner.run (store ()) (tiny (Spec.write_only ())) in
+  check_int "no reads" 0 r.Runner.reads_performed;
+  check "wa >= 1" true (r.Runner.write_amplification >= 1.0)
+
+let test_inserts_grow_keyspace () =
+  let st = store () in
+  let spec = { (tiny (Spec.ycsb_d ())) with Spec.operations = 400 } in
+  let r = Runner.run st spec in
+  check "inserted keys readable" true (st.Kv_store.get (Runner.keyspace_key Spec.Ycsb_style 0) <> None);
+  check_int "ops" 400 r.Runner.measured_ops
+
+let test_all_ycsb_run () =
+  List.iter
+    (fun (nm, spec) ->
+      let r = Runner.run (store ()) (tiny spec) in
+      check (nm ^ " produced output") true (r.Runner.measured_ops = 300))
+    Spec.all_ycsb
+
+let test_delete_heavy_removes_keys () =
+  let st = store () in
+  ignore (Runner.run st (tiny (Spec.delete_heavy ())));
+  (* After 25% deletes over a zipfian keyspace, some preloaded keys die. *)
+  let gone = ref 0 in
+  for i = 0 to 199 do
+    if st.Kv_store.get (Runner.keyspace_key Spec.Ycsb_style i) = None then incr gone
+  done;
+  check (Printf.sprintf "%d keys deleted" !gone) true (!gone > 0)
+
+let test_row_renders () =
+  let r = Runner.run (store ()) (tiny (Spec.ycsb_c ())) in
+  check "header and row align-ish" true
+    (String.length Runner.header > 0 && String.length (Runner.row r) > 0)
+
+let suite =
+  [
+    ("specs validate", `Quick, test_specs_validate);
+    ("mixes sum to one", `Quick, test_mix_sums);
+    ("key encodings", `Quick, test_keys_deterministic_and_ordered);
+    ("runner basic", `Quick, test_runner_basic);
+    ("runner deterministic", `Quick, test_runner_deterministic);
+    ("write-only has no reads", `Quick, test_write_only_no_reads);
+    ("inserts grow keyspace", `Quick, test_inserts_grow_keyspace);
+    ("all ycsb presets run", `Quick, test_all_ycsb_run);
+    ("delete-heavy removes keys", `Quick, test_delete_heavy_removes_keys);
+    ("table rendering", `Quick, test_row_renders);
+  ]
