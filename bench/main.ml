@@ -3,20 +3,26 @@
    dune exec bench/main.exe              - run every experiment (E1..E14)
    dune exec bench/main.exe -- --only E3 - run one experiment
    dune exec bench/main.exe -- --micro   - Bechamel microbenchmarks
+   dune exec bench/main.exe -- --parallel - parallel-compaction bench (JSON)
    dune exec bench/main.exe -- --list    - list experiments *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse only micro list_only = function
-    | [] -> (only, micro, list_only)
-    | "--micro" :: rest -> parse only true list_only rest
-    | "--list" :: rest -> parse only micro true rest
-    | "--only" :: id :: rest -> parse (id :: only) micro list_only rest
+  let rec parse only micro list_only par = function
+    | [] -> (only, micro, list_only, par)
+    | "--micro" :: rest -> parse only true list_only par rest
+    | "--parallel" :: rest -> parse only micro list_only true rest
+    | "--list" :: rest -> parse only micro true par rest
+    | "--only" :: id :: rest -> parse (id :: only) micro list_only par rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
       exit 2
   in
-  let only, micro, list_only = parse [] false false args in
+  let only, micro, list_only, par = parse [] false false false args in
+  if par then begin
+    Parallel.run ();
+    exit 0
+  end;
   if list_only then begin
     List.iter (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title) Experiments.all;
     exit 0

@@ -18,10 +18,13 @@ type t = {
   filter_memory_bits : int;
   range_filter : Lsm_filter.Range_filter.policy;
   block_cache_bytes : int;
+  block_cache_shards : int;
+  max_open_tables : int;
   cache_refill_after_compaction : bool;
   merge_operator : (string -> string option -> string list -> string) option;
   allow_trivial_move : bool;
   compaction_bytes_per_round : int option;
+  compaction_parallelism : int;
   paranoid_checks : bool;
 }
 
@@ -44,10 +47,13 @@ let default =
     filter_memory_bits = 0;
     range_filter = Lsm_filter.Range_filter.No_range_filter;
     block_cache_bytes = 8 lsl 20;
+    block_cache_shards = 1;
+    max_open_tables = 1024;
     cache_refill_after_compaction = false;
     merge_operator = None;
     allow_trivial_move = true;
     compaction_bytes_per_round = None;
+    compaction_parallelism = 1;
     paranoid_checks = false;
   }
 
@@ -61,6 +67,10 @@ let validate t =
   if t.compaction.Policy.level0_limit < 1 then invalid_arg "Config: level0_limit must be >= 1";
   if t.monkey_filters && t.filter_memory_bits <= 0 then
     invalid_arg "Config: monkey_filters requires a filter_memory_bits budget";
+  if t.block_cache_shards < 1 then invalid_arg "Config: block_cache_shards must be >= 1";
+  if t.max_open_tables < 8 then invalid_arg "Config: max_open_tables must be >= 8";
+  if t.compaction_parallelism < 1 then
+    invalid_arg "Config: compaction_parallelism must be >= 1";
   match t.compaction_bytes_per_round with
   | Some n when n <= 0 -> invalid_arg "Config: compaction_bytes_per_round must be positive"
   | Some _ | None -> ()

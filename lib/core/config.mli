@@ -37,6 +37,13 @@ type t = {
           [monkey_filters] *)
   range_filter : Lsm_filter.Range_filter.policy;
   block_cache_bytes : int;
+  block_cache_shards : int;
+      (** stripe the block cache into this many independent mutex-guarded
+          LRUs (>= 1); raise alongside [compaction_parallelism] so
+          concurrent domains do not serialize on one cache lock *)
+  max_open_tables : int;
+      (** bound on cached open SSTable readers (RocksDB's
+          [max_open_files]); the LRU reader is dropped beyond it *)
   cache_refill_after_compaction : bool;
       (** Leaper-style: prefetch output blocks into the cache right after a
           compaction (E13) *)
@@ -55,6 +62,14 @@ type t = {
           by any single write; remaining work is deferred to later writes,
           trading a transiently deeper tree for stable write latency.
           [None] = drain all pending compactions immediately. *)
+  compaction_parallelism : int;
+      (** number of worker domains for subcompactions and {!Db.multi_get}
+          fan-out (>= 1). 1 (the default) keeps today's fully serial,
+          deterministic execution — no domains are spawned, and every
+          cost-model experiment is unaffected. K > 1 partitions each
+          merge's key space by fence-pointer boundaries into up to K
+          disjoint ranges compacted in parallel, RocksDB-subcompaction
+          style. *)
   paranoid_checks : bool;
       (** verify version invariants after every flush/compaction *)
 }

@@ -13,6 +13,7 @@ module Table_meta = Lsm_sstable.Table_meta
 module Table_cache = Lsm_sstable.Table_cache
 module Policy = Lsm_compaction.Policy
 module Picker = Lsm_compaction.Picker
+module Domain_pool = Lsm_util.Domain_pool
 
 type buffer_unit = { mt : Memtable.t; wal : Wal.t option; wal_name : string option }
 
@@ -38,6 +39,10 @@ type t = {
   mutable dyn_buffer_size : int;
       (** runtime-adjustable rotation threshold (adaptive memory, §2.3.1);
           starts at [cfg.write_buffer_size] *)
+  pool : Domain_pool.t option;
+      (** worker domains for subcompactions and multi_get fan-out;
+          [None] iff [cfg.compaction_parallelism = 1] *)
+  id_mutex : Mutex.t;  (** guards [next_file_id] across subcompaction domains *)
   mutable closed : bool;
 }
 
@@ -86,8 +91,19 @@ let install_edit t edit =
 let open_db ?(config = Config.default) ~dev () =
   Config.validate config;
   let recovered = Manifest.recover dev in
-  let cache = Block_cache.create ~capacity:config.Config.block_cache_bytes in
-  let tables = Table_cache.create ~cmp:config.Config.comparator ~dev ~cache () in
+  let cache =
+    Block_cache.create ~shards:config.Config.block_cache_shards
+      ~capacity:config.Config.block_cache_bytes ()
+  in
+  let tables =
+    Table_cache.create ~capacity:config.Config.max_open_tables
+      ~cmp:config.Config.comparator ~dev ~cache ()
+  in
+  let pool =
+    if config.Config.compaction_parallelism > 1 then
+      Some (Domain_pool.create ~size:config.Config.compaction_parallelism)
+    else None
+  in
   (* Rewrite a fresh manifest holding the recovered state as one edit. *)
   Device.delete dev Manifest.file_name;
   let manifest = Manifest.create dev in
@@ -114,6 +130,8 @@ let open_db ?(config = Config.default) ~dev () =
       rr_cursors = Hashtbl.create 8;
       table_rds = [];
       dyn_buffer_size = config.Config.write_buffer_size;
+      pool;
+      id_mutex = Mutex.create ();
       closed = false;
     }
   in
@@ -244,13 +262,21 @@ let capped_iter src ~target =
     seek_to_first = (fun () -> () (* already positioned mid-stream *));
   }
 
+(* File ids are allocated under a mutex: parallel subcompactions cut
+   output files concurrently. Serial callers pay an uncontended lock. *)
+let alloc_file_id t =
+  Mutex.lock t.id_mutex;
+  let id = t.next_file_id in
+  t.next_file_id <- t.next_file_id + 1;
+  Mutex.unlock t.id_mutex;
+  id
+
 (* Drain [src] into as many files as needed; returns their metadata. *)
 let write_run t ~cls ~filter_bits_override src =
   src.Iter.seek_to_first ();
   let metas = ref [] in
   while src.Iter.valid () do
-    let file_id = t.next_file_id in
-    t.next_file_id <- t.next_file_id + 1;
+    let file_id = alloc_file_id t in
     let name = Table_meta.file_name_of_id file_id in
     let part = capped_iter src ~target:t.cfg.Config.target_file_size in
     let props =
@@ -400,11 +426,6 @@ let file_iter t ~cls (f : Table_meta.t) =
   let reader = Table_cache.get t.tables f.file_name in
   Sstable.iterator reader ~cls ~use_cache:false ()
 
-let run_iter t ~cls (r : Version.run) =
-  match r.Version.files with
-  | [ f ] -> file_iter t ~cls f
-  | files -> Iter.concat (List.map (file_iter t ~cls) files)
-
 let rds_of_files t files =
   List.concat_map
     (fun (f : Table_meta.t) ->
@@ -422,25 +443,117 @@ let retire_files t files =
       Table_cache.evict t.tables f.file_name)
     files
 
+(* ---------------- subcompactions ---------------- *)
+
+(* Clamp a run to the key range [lo, hi) (either bound may be open).
+   Files wholly outside the range are skipped via their fence pointers;
+   the iterator seeks to [lo] and stops at the first key >= [hi]. *)
+let clamped_run_iter t ~cls ~lo ~hi (r : Version.run) =
+  let cmp = (cmp_of t).Comparator.compare in
+  let files =
+    List.filter
+      (fun (f : Table_meta.t) ->
+        (match hi with Some h -> cmp f.min_key h < 0 | None -> true)
+        && match lo with Some l -> cmp f.max_key l >= 0 | None -> true)
+      r.Version.files
+  in
+  let it =
+    match files with
+    | [ f ] -> file_iter t ~cls f
+    | files -> Iter.concat (List.map (file_iter t ~cls) files)
+  in
+  let below_hi () =
+    match hi with None -> true | Some h -> cmp (it.Iter.entry ()).Entry.key h < 0
+  in
+  {
+    Iter.valid = (fun () -> it.Iter.valid () && below_hi ());
+    entry = (fun () -> it.Iter.entry ());
+    next = it.Iter.next;
+    seek = it.Iter.seek;
+    seek_to_first =
+      (fun () ->
+        match lo with None -> it.Iter.seek_to_first () | Some l -> it.Iter.seek l);
+  }
+
+(* Cut the inputs' key space into at most [k] consecutive ranges at
+   fence-pointer boundaries (file min-keys), weighted by file size so the
+   ranges carry roughly equal bytes. Because a boundary is a user key and
+   each clamped iterator covers [lo, hi), every version of a user key
+   falls in exactly one range — the per-key GC of [Merge_filter] sees
+   the same version stream as a serial merge, so the concatenated outputs
+   are entry-for-entry identical to the serial output. Fully-overlapping
+   inputs (a stack of level-0 runs) offer no usable boundaries and fall
+   back to fewer, possibly one, range. *)
+let partition_ranges t ~input_files ~k =
+  let cmp = (cmp_of t).Comparator.compare in
+  let sorted =
+    List.sort (fun (a : Table_meta.t) (b : Table_meta.t) -> cmp a.min_key b.min_key) input_files
+  in
+  let total = List.fold_left (fun a (f : Table_meta.t) -> a + f.size) 0 input_files in
+  let target = max 1 (total / k) in
+  let bounds = ref [] in
+  let acc = ref 0 in
+  List.iter
+    (fun (f : Table_meta.t) ->
+      if
+        !acc >= target
+        && List.length !bounds < k - 1
+        && (match !bounds with b :: _ -> cmp b f.min_key < 0 | [] -> true)
+        (* a boundary at/below the global min would make an empty head range *)
+        && (match sorted with first :: _ -> cmp first.Table_meta.min_key f.min_key < 0 | [] -> false)
+      then begin
+        bounds := f.min_key :: !bounds;
+        acc := 0
+      end;
+      acc := !acc + f.size)
+    sorted;
+  let rec ranges lo = function
+    | [] -> [ (lo, None) ]
+    | b :: rest -> (lo, Some b) :: ranges (Some b) rest
+  in
+  ranges None (List.rev !bounds)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
 (* Merge [input_runs] (newest first) and write the result as one sorted
    run at [target_level] with [target_group]. [bottom] asserts that, for
    every key range the inputs cover, no data at or below [target_level]
-   exists outside the inputs — only then may tombstones be retired. *)
+   exists outside the inputs — only then may tombstones be retired.
+
+   With [compaction_parallelism] > 1 the merge is executed as parallel
+   subcompactions: the key space is partitioned at fence-pointer
+   boundaries and each range is merged, filtered, and written by a pool
+   domain; the per-range outputs concatenate (in key order) into the same
+   single sorted run a serial merge would produce, installed by one
+   version edit. *)
 let execute_merge t ~input_runs ~extra_removed ~target_level ~target_group ~bottom =
+  let t_start = now_ns () in
   let input_files = List.concat_map (fun (r : Version.run) -> r.Version.files) input_runs in
   let read_bytes = List.fold_left (fun a (f : Table_meta.t) -> a + f.size) 0 input_files in
   let input_entries = List.fold_left (fun a (f : Table_meta.t) -> a + f.entries) 0 input_files in
-  let merged =
-    Iter.merge (cmp_of t) (List.map (run_iter t ~cls:Io_stats.C_compaction_read) input_runs)
-  in
-  let filtered =
-    Merge_filter.filtered ~cmp:(cmp_of t) ~snapshots:t.snapshots ~bottom
-      ~range_tombstones:(rds_of_files t input_files)
-      merged
-  in
+  let rds = rds_of_files t input_files in
   let bits = monkey_bits t ~target_level ~incoming_entries:input_entries in
-  let metas =
+  let ranges =
+    match t.pool with
+    | Some pool when Domain_pool.size pool > 1 ->
+      partition_ranges t ~input_files ~k:(Domain_pool.size pool)
+    | _ -> [ (None, None) ]
+  in
+  let merge_range (lo, hi) =
+    let merged =
+      Iter.merge (cmp_of t)
+        (List.map (clamped_run_iter t ~cls:Io_stats.C_compaction_read ~lo ~hi) input_runs)
+    in
+    let filtered =
+      Merge_filter.filtered ~cmp:(cmp_of t) ~snapshots:t.snapshots ~bottom
+        ~range_tombstones:rds merged
+    in
     write_run t ~cls:Io_stats.C_compaction_write ~filter_bits_override:bits filtered
+  in
+  let metas =
+    match (t.pool, ranges) with
+    | Some pool, _ :: _ :: _ -> List.concat (Domain_pool.map_list pool merge_range ranges)
+    | _ -> List.concat (List.map merge_range ranges)
   in
   let written = List.fold_left (fun a (m : Table_meta.t) -> a + m.size) 0 metas in
   let edit =
@@ -453,6 +566,9 @@ let execute_merge t ~input_runs ~extra_removed ~target_level ~target_group ~bott
   install_edit t edit;
   retire_files t input_files;
   t.db_stats.Stats.compactions <- t.db_stats.Stats.compactions + 1;
+  t.db_stats.Stats.subcompactions <- t.db_stats.Stats.subcompactions + List.length ranges;
+  t.db_stats.Stats.compaction_wall_ns <-
+    t.db_stats.Stats.compaction_wall_ns + (now_ns () - t_start);
   t.db_stats.Stats.compaction_bytes_read <- t.db_stats.Stats.compaction_bytes_read + read_bytes;
   t.db_stats.Stats.compaction_bytes_written <-
     t.db_stats.Stats.compaction_bytes_written + written;
@@ -761,8 +877,10 @@ type probe_outcome =
   | Absent  (** nothing for this key in this source *)
 
 (* Probe disk runs in recency order, returning the newest visible point
-   entry; accounts filter statistics. *)
-let probe_tables t ~snap key =
+   entry; accounts filter statistics when [record] (pool domains pass
+   false — the counters are not domain-safe, and multi_get aggregates on
+   the calling domain instead). *)
+let probe_tables t ~snap ~record key =
   let cmp = cmp_of t in
   let result = ref None in
   (try
@@ -773,18 +891,21 @@ let probe_tables t ~snap key =
            | None -> ()
            | Some f -> (
              let reader = Table_cache.get t.tables f.Table_meta.file_name in
-             if not (Sstable.may_contain_key reader key) then
-               t.db_stats.Stats.filter_negatives <- t.db_stats.Stats.filter_negatives + 1
+             if not (Sstable.may_contain_key reader key) then begin
+               if record then
+                 t.db_stats.Stats.filter_negatives <- t.db_stats.Stats.filter_negatives + 1
+             end
              else begin
-               t.db_stats.Stats.runs_probed <- t.db_stats.Stats.runs_probed + 1;
+               if record then t.db_stats.Stats.runs_probed <- t.db_stats.Stats.runs_probed + 1;
                match Sstable.get reader ~cls:Io_stats.C_user_read ~max_seqno:snap key with
                | Some e -> begin
                  result := Some e;
                  raise Exit
                end
                | None ->
-                 t.db_stats.Stats.filter_false_positives <-
-                   t.db_stats.Stats.filter_false_positives + 1
+                 if record then
+                   t.db_stats.Stats.filter_false_positives <-
+                     t.db_stats.Stats.filter_false_positives + 1
              end))
          (Version.level_runs t.vers l)
      done
@@ -840,13 +961,11 @@ let resolve_merge_chain t ~snap ~rd_seq key =
     | Some f -> Some (f key base oldest_first)
     | None -> Some (List.hd (List.rev oldest_first)))
 
-let get t ?snapshot key =
-  check_open t;
-  t.clock <- t.clock + 1;
-  t.db_stats.Stats.user_gets <- t.db_stats.Stats.user_gets + 1;
-  let snap = match snapshot with Some s -> Snapshot.seqno s | None -> max_int in
+(* The full read path for one key, minus clock/statistics bookkeeping:
+   shared by {!get} (record = true) and the pool domains of {!multi_get}
+   (record = false). *)
+let lookup_value t ~snap ~record key =
   let rd_seq = covering_rd_seqno t ~snap key in
-  let probes_before = t.db_stats.Stats.runs_probed in
   let newest =
     match Memtable.find t.active.mt ~max_seqno:snap key with
     | Some e -> Found e
@@ -861,25 +980,72 @@ let get t ?snapshot key =
       match try_immutables t.immutables with
       | Found e -> Found e
       | Absent -> (
-        match probe_tables t ~snap key with Some e -> Found e | None -> Absent))
+        match probe_tables t ~snap ~record key with Some e -> Found e | None -> Absent))
   in
-  let result =
-    match newest with
-    | Absent -> None
-    | Found e ->
-      if e.Entry.seqno <= rd_seq then None
-      else begin
-        match e.Entry.kind with
-        | Entry.Put -> Some e.Entry.value
-        | Entry.Delete | Entry.Single_delete -> None
-        | Entry.Merge -> resolve_merge_chain t ~snap ~rd_seq key
-        | Entry.Range_delete -> None
-      end
-  in
+  match newest with
+  | Absent -> None
+  | Found e ->
+    if e.Entry.seqno <= rd_seq then None
+    else begin
+      match e.Entry.kind with
+      | Entry.Put -> Some e.Entry.value
+      | Entry.Delete | Entry.Single_delete -> None
+      | Entry.Merge -> resolve_merge_chain t ~snap ~rd_seq key
+      | Entry.Range_delete -> None
+    end
+
+let get t ?snapshot key =
+  check_open t;
+  t.clock <- t.clock + 1;
+  t.db_stats.Stats.user_gets <- t.db_stats.Stats.user_gets + 1;
+  let snap = match snapshot with Some s -> Snapshot.seqno s | None -> max_int in
+  let probes_before = t.db_stats.Stats.runs_probed in
+  let result = lookup_value t ~snap ~record:true key in
   Lsm_util.Histogram.add t.db_stats.Stats.get_run_probes
     (t.db_stats.Stats.runs_probed - probes_before);
   if result <> None then t.db_stats.Stats.gets_found <- t.db_stats.Stats.gets_found + 1;
   result
+
+(* Split [xs] into at most [n] contiguous chunks of near-equal length. *)
+let chunk_list n xs =
+  let len = List.length xs in
+  let per = max 1 ((len + n - 1) / n) in
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> take (k - 1) (x :: acc) rest
+  in
+  let rec split = function
+    | [] -> []
+    | xs ->
+      let c, rest = take per [] xs in
+      c :: split rest
+  in
+  split xs
+
+let multi_get t ?snapshot keys =
+  check_open t;
+  t.clock <- t.clock + 1;
+  let snap = match snapshot with Some s -> Snapshot.seqno s | None -> max_int in
+  match t.pool with
+  | Some pool when Domain_pool.size pool > 1 && List.length keys > 1 ->
+    (* One chunk per worker: the per-task overhead (queue lock, future
+       wakeup) amortizes over the chunk, and results concatenate back in
+       input order. Reads are pure — all statistics except the get count
+       are accounted here, on the calling domain. *)
+    let chunks = chunk_list (Domain_pool.size pool) keys in
+    let results =
+      List.concat
+        (Domain_pool.map_list pool
+           (fun chunk -> List.map (fun key -> lookup_value t ~snap ~record:false key) chunk)
+           chunks)
+    in
+    let n = List.length keys in
+    t.db_stats.Stats.user_gets <- t.db_stats.Stats.user_gets + n;
+    let found = List.fold_left (fun a r -> if r <> None then a + 1 else a) 0 results in
+    t.db_stats.Stats.gets_found <- t.db_stats.Stats.gets_found + found;
+    results
+  | _ -> List.map (fun key -> get t ?snapshot key) keys
 
 (* ---------------- scan ---------------- *)
 
@@ -1057,6 +1223,7 @@ let close t =
     (match t.active.wal with Some w -> Wal.close w | None -> ());
     List.iter (fun b -> match b.wal with Some w -> Wal.close w | None -> ()) t.immutables;
     Manifest.close t.manifest;
+    (match t.pool with Some p -> Domain_pool.shutdown p | None -> ());
     t.closed <- true
   end
 
@@ -1107,8 +1274,28 @@ let stats t = t.db_stats
 let io_stats t = Device.stats t.dev
 let version t = t.vers
 let block_cache t = t.cache
+let table_cache t = t.tables
 let tick t = t.clock
 let last_seqno t = t.seqno
+
+(* Every on-disk entry with its level, in probe order (level ascending,
+   newest run first, files in key order). Verification hook: two
+   databases that executed the same logical merges — serially or as
+   parallel subcompactions — dump identical lists (same keys, seqnos,
+   kinds, and values), whatever the file boundaries. *)
+let dump_entries t =
+  List.concat_map
+    (fun l ->
+      List.concat_map
+        (fun (r : Version.run) ->
+          List.concat_map
+            (fun (f : Table_meta.t) ->
+              let reader = Table_cache.get t.tables f.file_name in
+              Iter.to_list (Sstable.iterator reader ~cls:Io_stats.C_misc ~use_cache:false ())
+              |> List.map (fun e -> (l, e)))
+            r.Version.files)
+        (Version.level_runs t.vers l))
+    (List.init Version.max_levels Fun.id)
 
 let write_amplification t =
   let st = Device.stats t.dev in

@@ -1,10 +1,15 @@
 (** The LSM-tree storage engine: the paper's object of study, assembled
     from the substrate libraries.
 
-    Single-threaded by design: internal work (flush, compaction) runs
+    Single-{e writer} by design: internal work (flush, compaction) runs
     synchronously inside the triggering write, and its cost is {e
     accounted} (stall bursts, compaction I/O histograms) rather than
     hidden — which is exactly what the stall/burst experiments measure.
+    With [Config.compaction_parallelism] > 1 that shape is kept, but the
+    {e inside} of each merge fans out across a fixed pool of worker
+    domains (RocksDB-style subcompactions over disjoint key ranges), and
+    {!multi_get} shards batched point lookups over the same pool; results
+    are identical to serial execution, only wall-clock changes.
 
     External operations: {!put}, {!get}, {!scan}, {!delete} (plus
     {!single_delete}, {!range_delete}, {!merge} — §2.1.2). Internal
@@ -44,6 +49,14 @@ val apply_batch : t -> Write_batch.t -> unit
     range, one WAL record — after a crash, all or none recover. *)
 
 val get : t -> ?snapshot:Snapshot.t -> string -> string option
+
+val multi_get : t -> ?snapshot:Snapshot.t -> string list -> string option list
+(** Point-lookup fan-out: resolves every key against one coherent view of
+    the database, returning results in input order. With
+    [Config.compaction_parallelism] > 1 the lookups are sharded across
+    the worker-domain pool; otherwise this is [List.map (get t)]. Must
+    not race writes on [t] (the engine is externally single-writer; the
+    parallelism here is internal). *)
 
 val scan :
   t -> ?snapshot:Snapshot.t -> ?limit:int -> lo:string -> hi:string option ->
@@ -102,7 +115,15 @@ val stats : t -> Stats.t
 val io_stats : t -> Lsm_storage.Io_stats.t
 val version : t -> Version.t
 val block_cache : t -> Lsm_storage.Block_cache.t
+val table_cache : t -> Lsm_sstable.Table_cache.t
 val tick : t -> int
+
+val dump_entries : t -> (int * Lsm_record.Entry.t) list
+(** Every on-disk entry paired with its level, in probe order: the
+    verification hook the parallel-compaction determinism test compares
+    across engines (identical logical state = identical dumps, whatever
+    the physical file boundaries). Reads every table; debug/test only. *)
+
 val last_seqno : t -> int
 val write_amplification : t -> float
 (** Device bytes written (flush + compaction + WAL) / user bytes. *)

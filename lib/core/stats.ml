@@ -16,6 +16,8 @@ type t = {
   mutable trivial_moves : int;
   mutable compaction_bytes_read : int;
   mutable compaction_bytes_written : int;
+  mutable compaction_wall_ns : int;
+  mutable subcompactions : int;
   mutable write_stalls : int;
   stall_burst_bytes : Histogram.t;
   compaction_burst_bytes : Histogram.t;
@@ -39,6 +41,8 @@ let create () =
     trivial_moves = 0;
     compaction_bytes_read = 0;
     compaction_bytes_written = 0;
+    compaction_wall_ns = 0;
+    subcompactions = 0;
     write_stalls = 0;
     stall_burst_bytes = Histogram.create ();
     compaction_burst_bytes = Histogram.create ();
@@ -61,6 +65,8 @@ let clear t =
   t.trivial_moves <- 0;
   t.compaction_bytes_read <- 0;
   t.compaction_bytes_written <- 0;
+  t.compaction_wall_ns <- 0;
+  t.subcompactions <- 0;
   t.write_stalls <- 0;
   Histogram.clear t.stall_burst_bytes;
   Histogram.clear t.compaction_burst_bytes;

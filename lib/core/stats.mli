@@ -22,6 +22,12 @@ type t = {
       (** files relocated down without rewriting (no I/O) *)
   mutable compaction_bytes_read : int;
   mutable compaction_bytes_written : int;
+  mutable compaction_wall_ns : int;
+      (** wall-clock nanoseconds spent inside merge execution (all
+          subcompactions of a merge count once, by the slowest) *)
+  mutable subcompactions : int;
+      (** parallel key-range partitions executed across all compactions;
+          equals [compactions] when running serially *)
   mutable write_stalls : int;
       (** writes that had to wait for a synchronous flush *)
   stall_burst_bytes : Lsm_util.Histogram.t;

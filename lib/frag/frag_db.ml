@@ -60,7 +60,7 @@ type t = {
 }
 
 let create ?(config = default_config) ~dev () =
-  let cache = Block_cache.create ~capacity:(8 lsl 20) in
+  let cache = Block_cache.create ~capacity:(8 lsl 20) () in
   {
     cfg = config;
     dev;

@@ -1,23 +1,111 @@
+(* LRU list is intrusive and doubly linked, same shape as the block
+   cache's, but budgeted by reader count rather than bytes: what matters
+   is the per-reader footprint of parsed footer/index/filter blocks. One
+   mutex guards the whole structure — opens are rare next to gets, and a
+   get is just a hashtable probe plus two pointer swaps. *)
+
+type node = {
+  name : string;
+  reader : Sstable.reader;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
 type t = {
   cmp : Lsm_util.Comparator.t;
   dev : Lsm_storage.Device.t;
   cache : Lsm_storage.Block_cache.t;
-  readers : (string, Sstable.reader) Hashtbl.t;
+  m : Mutex.t;
+  mutable cap : int;
+  readers : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable opens : int;
+  mutable evictions : int;
 }
 
-let create ~cmp ~dev ~cache () = { cmp; dev; cache; readers = Hashtbl.create 64 }
+let create ?(capacity = max_int) ~cmp ~dev ~cache () =
+  if capacity < 1 then invalid_arg "Table_cache.create: capacity must be >= 1";
+  {
+    cmp;
+    dev;
+    cache;
+    m = Mutex.create ();
+    cap = capacity;
+    readers = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    opens = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let drop_node t n =
+  unlink t n;
+  Hashtbl.remove t.readers n.name
+
+let evict_until_fits t =
+  while Hashtbl.length t.readers > t.cap do
+    match t.tail with
+    | Some n ->
+      (* The reader itself stays valid for anyone still iterating it —
+         it holds only immutable parsed metadata; we merely stop caching
+         it. Its data blocks stay in the block cache (the file still
+         exists). *)
+      drop_node t n;
+      t.evictions <- t.evictions + 1
+    | None -> assert false
+  done
 
 let get t name =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.readers name with
-  | Some r -> r
+  | Some n ->
+    unlink t n;
+    push_front t n;
+    n.reader
   | None ->
+    (* Opening under the lock serializes concurrent opens of the same
+       file (one parse, one cached reader) at the cost of briefly
+       blocking other gets; opens are rare and footer+index reads small. *)
     let r = Sstable.open_reader ~cmp:t.cmp ~dev:t.dev ~cache:t.cache ~name in
-    Hashtbl.replace t.readers name r;
+    let n = { name; reader = r; prev = None; next = None } in
+    Hashtbl.replace t.readers name n;
+    push_front t n;
+    t.opens <- t.opens + 1;
+    evict_until_fits t;
     r
 
 let evict t name =
-  Hashtbl.remove t.readers name;
+  locked t (fun () ->
+      match Hashtbl.find_opt t.readers name with
+      | Some n -> drop_node t n
+      | None -> ());
   ignore (Lsm_storage.Block_cache.evict_file t.cache name)
 
-let open_count t = Hashtbl.length t.readers
+let set_capacity t capacity =
+  if capacity < 1 then invalid_arg "Table_cache.set_capacity: capacity must be >= 1";
+  locked t @@ fun () ->
+  t.cap <- capacity;
+  evict_until_fits t
+
+let capacity t = t.cap
+let open_count t = locked t (fun () -> Hashtbl.length t.readers)
+let total_opens t = t.opens
+let evictions t = t.evictions
 let block_cache t = t.cache

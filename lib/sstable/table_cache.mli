@@ -1,22 +1,49 @@
-(** Cache of opened {!Sstable.reader}s, so each file's footer, index, and
-    filter blocks are parsed once and their in-memory form is shared by
-    every get/scan/compaction touching the file. *)
+(** Bounded LRU cache of opened {!Sstable.reader}s, so each file's footer,
+    index, and filter blocks are parsed once and their in-memory form is
+    shared by every get/scan/compaction touching the file.
+
+    The cache holds at most [capacity] readers (RocksDB's
+    [max_open_files]); opening the (capacity+1)-th file silently drops
+    the least recently used reader, whose parsed blocks are re-read on
+    the next touch. A dropped reader that is still in use by an iterator
+    stays valid — readers are immutable once opened.
+
+    All operations are mutex-protected: parallel subcompactions and
+    fanned-out point lookups hit the cache from several domains. *)
 
 type t
 
 val create :
+  ?capacity:int ->
   cmp:Lsm_util.Comparator.t ->
   dev:Lsm_storage.Device.t ->
   cache:Lsm_storage.Block_cache.t ->
   unit ->
   t
+(** [capacity] (default unbounded) is the maximum number of readers kept
+    open, >= 1. *)
 
 val get : t -> string -> Sstable.reader
-(** Open (or return the cached) reader for a file name. *)
+(** Open (or return the cached) reader for a file name; marks it most
+    recently used. *)
 
 val evict : t -> string -> unit
 (** Drop the reader (call when the file is deleted); also drops the
     file's data blocks from the block cache. *)
 
+val set_capacity : t -> int -> unit
+val capacity : t -> int
+
+(** {1 Statistics} *)
+
 val open_count : t -> int
+(** Readers currently cached (<= capacity). *)
+
+val total_opens : t -> int
+(** Cumulative file opens — [total_opens - open_count] re-opens indicate
+    a too-small capacity. *)
+
+val evictions : t -> int
+(** Readers dropped by the capacity bound (not by {!evict}). *)
+
 val block_cache : t -> Lsm_storage.Block_cache.t

@@ -1,125 +1,179 @@
+(* Striped LRU: the cache is split into independent shards, each a full
+   (hashtable + intrusive doubly-linked list) LRU with its own mutex, so
+   domains running parallel subcompactions or fanned-out point lookups
+   contend only when they touch the same stripe. Keys route by hash of
+   (file, offset); stats aggregate across shards. *)
+
 type key = string * int
 
-type node = {
-  nkey : key;
-  data : string;
-  mutable prev : node option;
-  mutable next : node option;
-}
-
-type t = {
-  mutable cap : int;
-  table : (key, node) Hashtbl.t;
-  mutable head : node option;  (** most recently used *)
-  mutable tail : node option;  (** least recently used *)
-  mutable used : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-}
-
-let create ~capacity =
-  if capacity < 0 then invalid_arg "Block_cache.create: negative capacity";
-  {
-    cap = capacity;
-    table = Hashtbl.create 1024;
-    head = None;
-    tail = None;
-    used = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+module Shard = struct
+  type node = {
+    nkey : key;
+    data : string;
+    mutable prev : node option;
+    mutable next : node option;
   }
 
-let capacity t = t.cap
+  type t = {
+    m : Mutex.t;
+    mutable cap : int;
+    table : (key, node) Hashtbl.t;
+    mutable head : node option;  (** most recently used *)
+    mutable tail : node option;  (** least recently used *)
+    mutable used : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
 
-let used_bytes t = t.used
-let block_count t = Hashtbl.length t.table
+  let create ~capacity =
+    {
+      m = Mutex.create ();
+      cap = capacity;
+      table = Hashtbl.create 256;
+      head = None;
+      tail = None;
+      used = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
 
-let unlink t n =
-  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
-  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
-  n.prev <- None;
-  n.next <- None
+  let locked t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
-let push_front t n =
-  n.next <- t.head;
-  n.prev <- None;
-  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
-  t.head <- Some n
+  let unlink t n =
+    (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+    (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+    n.prev <- None;
+    n.next <- None
 
-let remove_node t n =
-  unlink t n;
-  Hashtbl.remove t.table n.nkey;
-  t.used <- t.used - String.length n.data
+  let push_front t n =
+    n.next <- t.head;
+    n.prev <- None;
+    (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+    t.head <- Some n
 
-let find t ~file ~off =
-  match Hashtbl.find_opt t.table (file, off) with
-  | Some n ->
-    t.hits <- t.hits + 1;
+  let remove_node t n =
     unlink t n;
-    push_front t n;
-    Some n.data
-  | None ->
-    t.misses <- t.misses + 1;
-    None
+    Hashtbl.remove t.table n.nkey;
+    t.used <- t.used - String.length n.data
 
-let evict_until_fits t =
-  while t.used > t.cap do
-    match t.tail with
+  let find t ~file ~off =
+    locked t @@ fun () ->
+    match Hashtbl.find_opt t.table (file, off) with
     | Some n ->
-      remove_node t n;
-      t.evictions <- t.evictions + 1
-    | None -> assert false
-  done
+      t.hits <- t.hits + 1;
+      unlink t n;
+      push_front t n;
+      Some n.data
+    | None ->
+      t.misses <- t.misses + 1;
+      None
+
+  let evict_until_fits t =
+    while t.used > t.cap do
+      match t.tail with
+      | Some n ->
+        remove_node t n;
+        t.evictions <- t.evictions + 1
+      | None -> assert false
+    done
+
+  let set_capacity t capacity =
+    locked t @@ fun () ->
+    t.cap <- capacity;
+    evict_until_fits t
+
+  let insert t ~file ~off data =
+    locked t @@ fun () ->
+    if String.length data <= t.cap && t.cap > 0 then begin
+      (match Hashtbl.find_opt t.table (file, off) with
+      | Some old -> remove_node t old
+      | None -> ());
+      let n = { nkey = (file, off); data; prev = None; next = None } in
+      Hashtbl.replace t.table n.nkey n;
+      push_front t n;
+      t.used <- t.used + String.length data;
+      evict_until_fits t
+    end
+
+  let evict_file t file =
+    locked t @@ fun () ->
+    let victims =
+      Hashtbl.fold (fun (f, _) n acc -> if String.equal f file then n :: acc else acc) t.table []
+    in
+    List.iter (remove_node t) victims;
+    List.length victims
+
+  let clear t =
+    locked t @@ fun () ->
+    Hashtbl.reset t.table;
+    t.head <- None;
+    t.tail <- None;
+    t.used <- 0
+
+  let reset_stats t =
+    locked t @@ fun () ->
+    t.hits <- 0;
+    t.misses <- 0;
+    t.evictions <- 0
+end
+
+type t = Shard.t array
+
+(* Byte budget split as evenly as integer division allows; the first
+   [capacity mod n] shards take the remainder byte each. *)
+let split_capacity ~capacity n =
+  Array.init n (fun i -> (capacity / n) + if i < capacity mod n then 1 else 0)
+
+let create ?(shards = 1) ~capacity () =
+  if capacity < 0 then invalid_arg "Block_cache.create: negative capacity";
+  if shards < 1 then invalid_arg "Block_cache.create: shards must be >= 1";
+  let caps = split_capacity ~capacity shards in
+  Array.init shards (fun i -> Shard.create ~capacity:caps.(i))
+
+let shard_count t = Array.length t
+
+let shard_of t ~file ~off =
+  let n = Array.length t in
+  if n = 1 then t.(0) else t.(Hashtbl.hash (file, off) mod n)
+
+let sum f t = Array.fold_left (fun acc s -> acc + f s) 0 t
+
+let capacity t = sum (fun (s : Shard.t) -> s.Shard.cap) t
+let used_bytes t = sum (fun (s : Shard.t) -> s.Shard.used) t
+let block_count t = sum (fun (s : Shard.t) -> Hashtbl.length s.Shard.table) t
 
 let set_capacity t capacity =
   if capacity < 0 then invalid_arg "Block_cache.set_capacity: negative capacity";
-  t.cap <- capacity;
-  evict_until_fits t
+  let caps = split_capacity ~capacity (Array.length t) in
+  Array.iteri (fun i s -> Shard.set_capacity s caps.(i)) t
 
-let insert t ~file ~off data =
-  if String.length data <= t.cap && t.cap > 0 then begin
-    (match Hashtbl.find_opt t.table (file, off) with
-    | Some old -> remove_node t old
-    | None -> ());
-    let n = { nkey = (file, off); data; prev = None; next = None } in
-    Hashtbl.replace t.table n.nkey n;
-    push_front t n;
-    t.used <- t.used + String.length data;
-    evict_until_fits t
-  end
+let find t ~file ~off = Shard.find (shard_of t ~file ~off) ~file ~off
+let insert t ~file ~off data = Shard.insert (shard_of t ~file ~off) ~file ~off data
 
 let get_or_load t ~file ~off load =
-  match find t ~file ~off with
+  let s = shard_of t ~file ~off in
+  match Shard.find s ~file ~off with
   | Some data -> data
   | None ->
+    (* Load outside the shard lock: a racing domain may load the same
+       block twice, but never blocks behind another shard's I/O. *)
     let data = load () in
-    insert t ~file ~off data;
+    Shard.insert s ~file ~off data;
     data
 
-let evict_file t file =
-  let victims =
-    Hashtbl.fold (fun (f, _) n acc -> if String.equal f file then n :: acc else acc) t.table []
-  in
-  List.iter (remove_node t) victims;
-  List.length victims
+let evict_file t file = sum (fun s -> Shard.evict_file s file) t
+let clear t = Array.iter Shard.clear t
 
-let clear t =
-  Hashtbl.reset t.table;
-  t.head <- None;
-  t.tail <- None;
-  t.used <- 0
-
-let hits t = t.hits
-let misses t = t.misses
-let evictions t = t.evictions
+let hits t = sum (fun (s : Shard.t) -> s.Shard.hits) t
+let misses t = sum (fun (s : Shard.t) -> s.Shard.misses) t
+let evictions t = sum (fun (s : Shard.t) -> s.Shard.evictions) t
 
 let hit_rate t =
-  let lookups = t.hits + t.misses in
-  if lookups = 0 then 0.0 else float_of_int t.hits /. float_of_int lookups
+  let lookups = hits t + misses t in
+  if lookups = 0 then 0.0 else float_of_int (hits t) /. float_of_int lookups
 
-let reset_stats t =
-  t.hits <- 0;
-  t.misses <- 0;
-  t.evictions <- 0
+let reset_stats t = Array.iter Shard.reset_stats t

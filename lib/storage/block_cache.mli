@@ -1,17 +1,27 @@
-(** A byte-budgeted LRU cache of data blocks, keyed by (file, offset).
+(** A byte-budgeted, sharded LRU cache of data blocks, keyed by
+    (file, offset).
 
     This is the block cache of §2.1.3: it can hold data, index, and filter
     blocks alike. It exposes the statistics the cache experiments need
     (hit/miss/eviction counters) and the two hooks the compaction–cache
     interaction study (E13) uses: {!evict_file} (what happens implicitly
     when compaction deletes an input file) and pre-populating via
-    {!insert} (Leaper-style refill after compaction). *)
+    {!insert} (Leaper-style refill after compaction).
+
+    The cache is striped into [shards] independent LRUs, each guarded by
+    its own mutex, with keys routed by hash — so it is safe (and cheap)
+    to hit from several domains at once. One shard (the default) behaves
+    exactly like the former global LRU. Statistics aggregate across
+    shards; capacity is split evenly between them. *)
 
 type t
 
-val create : capacity:int -> t
-(** [capacity] in bytes. A zero capacity disables caching (every lookup
-    misses, inserts are dropped). *)
+val create : ?shards:int -> capacity:int -> unit -> t
+(** [capacity] in bytes, split across [shards] (default 1) stripes. A
+    zero capacity disables caching (every lookup misses, inserts are
+    dropped). *)
+
+val shard_count : t -> int
 
 val capacity : t -> int
 

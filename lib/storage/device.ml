@@ -9,10 +9,16 @@ type backend =
   | Mem of (string, mem_file) Hashtbl.t
   | Disk of { dir : string; open_writers : (string, unit) Hashtbl.t }
 
+(* [m] guards the file table (Mem hashtable / Disk open-writer set) and
+   the sync counter, making concurrent reads and writer open/close from
+   several domains safe. Appends to an already-open writer deliberately
+   bypass it: each file has exactly one writer, and files become readable
+   only once sealed, so sink buffers are never shared across domains. *)
 type t = {
   backend : backend;
   page_size : int;
   io : Io_stats.t;
+  m : Mutex.t;
   mutable syncs : int;
 }
 
@@ -28,11 +34,27 @@ type writer = {
 and sink = Mem_sink of mem_file | Disk_sink of out_channel
 
 let in_memory ?(page_size = 4096) () =
-  { backend = Mem (Hashtbl.create 64); page_size; io = Io_stats.create (); syncs = 0 }
+  {
+    backend = Mem (Hashtbl.create 64);
+    page_size;
+    io = Io_stats.create ();
+    m = Mutex.create ();
+    syncs = 0;
+  }
 
 let on_disk ?(page_size = 4096) ~dir () =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  { backend = Disk { dir; open_writers = Hashtbl.create 8 }; page_size; io = Io_stats.create (); syncs = 0 }
+  {
+    backend = Disk { dir; open_writers = Hashtbl.create 8 };
+    page_size;
+    io = Io_stats.create ();
+    m = Mutex.create ();
+    syncs = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
 let page_size t = t.page_size
 let stats t = t.io
@@ -45,6 +67,7 @@ let pages_of t ~off ~len =
 let disk_path dir name = Filename.concat dir name
 
 let open_writer t ~cls name =
+  locked t @@ fun () ->
   match t.backend with
   | Mem files ->
     (match Hashtbl.find_opt files name with
@@ -89,7 +112,7 @@ let written w = w.w_written
 
 let sync w =
   check_open w;
-  w.dev.syncs <- w.dev.syncs + 1;
+  locked w.dev (fun () -> w.dev.syncs <- w.dev.syncs + 1);
   match w.sink with
   | Mem_sink f -> f.synced <- Buffer.length f.buf
   | Disk_sink oc -> flush oc
@@ -98,6 +121,7 @@ let close w =
   if not w.closed then begin
     sync w;
     w.closed <- true;
+    locked w.dev @@ fun () ->
     match w.sink with
     | Mem_sink f ->
       f.sealed <- true;
@@ -119,6 +143,7 @@ let read t ~cls name ~off ~len =
   let data =
     match t.backend with
     | Mem files ->
+      locked t @@ fun () ->
       let f = find_mem files name in
       let n = Buffer.length f.buf in
       if off + len > n then invalid_arg "Device.read: out of bounds";
@@ -139,7 +164,7 @@ let read t ~cls name ~off ~len =
 
 let size t name =
   match t.backend with
-  | Mem files -> Buffer.length (find_mem files name).buf
+  | Mem files -> locked t (fun () -> Buffer.length (find_mem files name).buf)
   | Disk d ->
     let path = disk_path d.dir name in
     if not (Sys.file_exists path) then raise Not_found;
@@ -148,24 +173,27 @@ let size t name =
 
 let exists t name =
   match t.backend with
-  | Mem files -> Hashtbl.mem files name
+  | Mem files -> locked t (fun () -> Hashtbl.mem files name)
   | Disk d -> Sys.file_exists (disk_path d.dir name)
 
 let delete t name =
   match t.backend with
-  | Mem files -> Hashtbl.remove files name
+  | Mem files -> locked t (fun () -> Hashtbl.remove files name)
   | Disk d ->
     let path = disk_path d.dir name in
     if Sys.file_exists path then Sys.remove path
 
 let list_files t =
   match t.backend with
-  | Mem files -> Hashtbl.fold (fun k _ acc -> k :: acc) files [] |> List.sort String.compare
+  | Mem files ->
+    locked t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) files [])
+    |> List.sort String.compare
   | Disk d -> Sys.readdir d.dir |> Array.to_list |> List.sort String.compare
 
 let total_bytes t =
   match t.backend with
-  | Mem files -> Hashtbl.fold (fun _ f acc -> acc + Buffer.length f.buf) files 0
+  | Mem files ->
+    locked t (fun () -> Hashtbl.fold (fun _ f acc -> acc + Buffer.length f.buf) files 0)
   | Disk d ->
     Sys.readdir d.dir |> Array.to_list
     |> List.fold_left (fun acc name -> acc + size t name) 0
@@ -174,6 +202,7 @@ let crash t =
   match t.backend with
   | Disk _ -> invalid_arg "Device.crash: only supported on the in-memory backend"
   | Mem files ->
+    locked t @@ fun () ->
     Hashtbl.iter
       (fun _ f ->
         Buffer.truncate f.buf f.synced;

@@ -30,11 +30,16 @@ let class_index = function
 
 let num_classes = 7
 
+(* The counter arrays are shared by every domain touching the device, so
+   updates go through a mutex. Reads of a live record (the accessors
+   below) stay lock-free: they are only meaningful on a quiescent device
+   anyway, and int loads cannot tear. *)
 type t = {
   pages_read : int array;
   bytes_read : int array;
   pages_written : int array;
   bytes_written : int array;
+  m : Mutex.t;
 }
 
 let create () =
@@ -43,23 +48,30 @@ let create () =
     bytes_read = Array.make num_classes 0;
     pages_written = Array.make num_classes 0;
     bytes_written = Array.make num_classes 0;
+    m = Mutex.create ();
   }
 
 let clear t =
+  Mutex.lock t.m;
   Array.fill t.pages_read 0 num_classes 0;
   Array.fill t.bytes_read 0 num_classes 0;
   Array.fill t.pages_written 0 num_classes 0;
-  Array.fill t.bytes_written 0 num_classes 0
+  Array.fill t.bytes_written 0 num_classes 0;
+  Mutex.unlock t.m
 
 let record_read t cls ~pages ~bytes =
   let i = class_index cls in
+  Mutex.lock t.m;
   t.pages_read.(i) <- t.pages_read.(i) + pages;
-  t.bytes_read.(i) <- t.bytes_read.(i) + bytes
+  t.bytes_read.(i) <- t.bytes_read.(i) + bytes;
+  Mutex.unlock t.m
 
 let record_write t cls ~pages ~bytes =
   let i = class_index cls in
+  Mutex.lock t.m;
   t.pages_written.(i) <- t.pages_written.(i) + pages;
-  t.bytes_written.(i) <- t.bytes_written.(i) + bytes
+  t.bytes_written.(i) <- t.bytes_written.(i) + bytes;
+  Mutex.unlock t.m
 
 let sum_or_one a = function
   | Some cls -> a.(class_index cls)
@@ -82,12 +94,18 @@ let snapshot t =
     all_classes
 
 let copy t =
-  {
-    pages_read = Array.copy t.pages_read;
-    bytes_read = Array.copy t.bytes_read;
-    pages_written = Array.copy t.pages_written;
-    bytes_written = Array.copy t.bytes_written;
-  }
+  Mutex.lock t.m;
+  let c =
+    {
+      pages_read = Array.copy t.pages_read;
+      bytes_read = Array.copy t.bytes_read;
+      pages_written = Array.copy t.pages_written;
+      bytes_written = Array.copy t.bytes_written;
+      m = Mutex.create ();
+    }
+  in
+  Mutex.unlock t.m;
+  c
 
 let diff now before =
   let sub a b = Array.init num_classes (fun i -> a.(i) - b.(i)) in
@@ -96,6 +114,7 @@ let diff now before =
     bytes_read = sub now.bytes_read before.bytes_read;
     pages_written = sub now.pages_written before.pages_written;
     bytes_written = sub now.bytes_written before.bytes_written;
+    m = Mutex.create ();
   }
 
 let pp ppf t =

@@ -1,0 +1,104 @@
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a state;
+}
+
+type t = {
+  m : Mutex.t;
+  work_ready : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let fulfill fut v =
+  Mutex.lock fut.fm;
+  fut.state <- v;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let worker_loop pool () =
+  let rec loop () =
+    Mutex.lock pool.m;
+    while Queue.is_empty pool.queue && not pool.stopped do
+      Condition.wait pool.work_ready pool.m
+    done;
+    match Queue.take_opt pool.queue with
+    | Some task ->
+      Mutex.unlock pool.m;
+      task ();
+      loop ()
+    | None ->
+      (* stopped and drained *)
+      Mutex.unlock pool.m
+  in
+  loop ()
+
+let create ~size =
+  if size < 0 then invalid_arg "Domain_pool.create: negative size";
+  let pool =
+    {
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      queue = Queue.create ();
+      stopped = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init size (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let size t = Array.length t.workers
+
+let run_into fut f =
+  let v = match f () with r -> Done r | exception e -> Failed e in
+  fulfill fut v
+
+let submit t f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  if Array.length t.workers = 0 then run_into fut f
+  else begin
+    Mutex.lock t.m;
+    if t.stopped then begin
+      Mutex.unlock t.m;
+      invalid_arg "Domain_pool.submit: pool is shut down"
+    end;
+    Queue.add (fun () -> run_into fut f) t.queue;
+    Condition.signal t.work_ready;
+    Mutex.unlock t.m
+  end;
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  while (match fut.state with Pending -> true | Done _ | Failed _ -> false) do
+    Condition.wait fut.fc fut.fm
+  done;
+  let st = fut.state in
+  Mutex.unlock fut.fm;
+  match st with
+  | Done v -> v
+  | Failed e -> raise e
+  | Pending -> assert false
+
+let map_list t f xs =
+  let futs = List.map (fun x -> submit t (fun () -> f x)) xs in
+  (* Settle every future before re-raising, so an early failure does not
+     leave workers racing tasks the caller has abandoned. *)
+  let results =
+    List.map (fun fut -> match await fut with v -> Ok v | exception e -> Error e) futs
+  in
+  List.map (function Ok v -> v | Error e -> raise e) results
+
+let shutdown t =
+  Mutex.lock t.m;
+  if t.stopped then Mutex.unlock t.m
+  else begin
+    t.stopped <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.workers
+  end

@@ -16,4 +16,5 @@ let () =
       ("internals", Test_internals.suite);
       ("extensions", Test_extensions.suite);
       ("more", Test_more.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -150,7 +150,7 @@ let prop_sstable_iterator_fuzz =
       | [] -> true
       | entries ->
         let dev = Device.in_memory () in
-        let cache = Block_cache.create ~capacity:(1 lsl 18) in
+        let cache = Block_cache.create ~capacity:(1 lsl 18) () in
         let config = { Lsm_sstable.Sstable.default_build_config with block_size = 256 } in
         ignore
           (Lsm_sstable.Sstable.build ~config ~cmp ~dev ~cls:Io_stats.C_flush ~name:"f.sst"
@@ -186,7 +186,7 @@ let prop_lru_matches_model =
     QCheck.(list_of_size Gen.(0 -- 120) (pair (int_bound 12) (option (int_bound 30))))
     (fun ops ->
       let capacity = 100 in
-      let cache = Block_cache.create ~capacity in
+      let cache = Block_cache.create ~capacity () in
       let model = ref [] in
       (* model: (off, data) list, most recent first *)
       let model_bytes () = List.fold_left (fun a (_, d) -> a + String.length d) 0 !model in

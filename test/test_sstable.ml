@@ -91,7 +91,7 @@ let prop_block_roundtrip =
 
 let fresh_env () =
   let dev = Device.in_memory () in
-  let cache = Block_cache.create ~capacity:(1 lsl 20) in
+  let cache = Block_cache.create ~capacity:(1 lsl 20) () in
   (dev, cache)
 
 let many_entries n =

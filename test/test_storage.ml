@@ -107,7 +107,7 @@ let test_write_amplification () =
 (* ---------- Block cache ---------- *)
 
 let test_cache_hit_miss () =
-  let c = Block_cache.create ~capacity:1024 in
+  let c = Block_cache.create ~capacity:1024 () in
   check "miss on empty" true (Block_cache.find c ~file:"f" ~off:0 = None);
   Block_cache.insert c ~file:"f" ~off:0 "data";
   check "hit" true (Block_cache.find c ~file:"f" ~off:0 = Some "data");
@@ -116,7 +116,7 @@ let test_cache_hit_miss () =
   Alcotest.(check (float 0.001)) "hit rate" 0.5 (Block_cache.hit_rate c)
 
 let test_cache_lru_eviction () =
-  let c = Block_cache.create ~capacity:30 in
+  let c = Block_cache.create ~capacity:30 () in
   Block_cache.insert c ~file:"f" ~off:0 (String.make 10 'a');
   Block_cache.insert c ~file:"f" ~off:1 (String.make 10 'b');
   Block_cache.insert c ~file:"f" ~off:2 (String.make 10 'c');
@@ -130,18 +130,18 @@ let test_cache_lru_eviction () =
   check "within capacity" true (Block_cache.used_bytes c <= 30)
 
 let test_cache_oversized_not_cached () =
-  let c = Block_cache.create ~capacity:8 in
+  let c = Block_cache.create ~capacity:8 () in
   Block_cache.insert c ~file:"f" ~off:0 (String.make 100 'x');
   check "not cached" true (Block_cache.find c ~file:"f" ~off:0 = None);
   check_int "usage zero" 0 (Block_cache.used_bytes c)
 
 let test_cache_zero_capacity () =
-  let c = Block_cache.create ~capacity:0 in
+  let c = Block_cache.create ~capacity:0 () in
   Block_cache.insert c ~file:"f" ~off:0 "x";
   check "never caches" true (Block_cache.find c ~file:"f" ~off:0 = None)
 
 let test_cache_evict_file () =
-  let c = Block_cache.create ~capacity:1000 in
+  let c = Block_cache.create ~capacity:1000 () in
   Block_cache.insert c ~file:"a" ~off:0 "11";
   Block_cache.insert c ~file:"a" ~off:1 "22";
   Block_cache.insert c ~file:"b" ~off:0 "33";
@@ -150,14 +150,14 @@ let test_cache_evict_file () =
   check_int "count" 1 (Block_cache.block_count c)
 
 let test_cache_replace_same_key () =
-  let c = Block_cache.create ~capacity:100 in
+  let c = Block_cache.create ~capacity:100 () in
   Block_cache.insert c ~file:"f" ~off:0 "old";
   Block_cache.insert c ~file:"f" ~off:0 "newer";
   check "replaced" true (Block_cache.find c ~file:"f" ~off:0 = Some "newer");
   check_int "usage reflects replacement" 5 (Block_cache.used_bytes c)
 
 let test_cache_get_or_load () =
-  let c = Block_cache.create ~capacity:100 in
+  let c = Block_cache.create ~capacity:100 () in
   let loads = ref 0 in
   let load () = incr loads; "blk" in
   check_str "first loads" "blk" (Block_cache.get_or_load c ~file:"f" ~off:7 load);
@@ -168,7 +168,7 @@ let prop_cache_never_exceeds_capacity =
   QCheck.Test.make ~name:"cache stays within capacity" ~count:100
     QCheck.(list (pair (int_bound 50) (int_bound 40)))
     (fun ops ->
-      let c = Block_cache.create ~capacity:128 in
+      let c = Block_cache.create ~capacity:128 () in
       List.iter (fun (off, len) -> Block_cache.insert c ~file:"f" ~off (String.make len 'x')) ops;
       Block_cache.used_bytes c <= 128)
 
