@@ -1,0 +1,54 @@
+(* Crash-recovery smoke bench: runs the power-loss sweeps over a seeded
+   workload and reports cycle counts, wall time, and cycles/sec. Exits
+   nonzero on any recovery-invariant violation, so it doubles as a
+   standalone durability gate (`dune exec bench/main.exe -- --crash`).
+
+   LSM_CRASH_SWEEP=full widens the workload and seed set, matching the
+   nightly CI job. *)
+
+module Harness = Lsm_workload.Crash_harness
+
+let run () =
+  let extended =
+    match Sys.getenv_opt "LSM_CRASH_SWEEP" with
+    | Some ("full" | "extended" | "1") -> true
+    | _ -> false
+  in
+  let count = if extended then 400 else 200 in
+  let seeds = if extended then [ 42; 101; 202; 303 ] else [ 42 ] in
+  Printf.printf "crash-recovery smoke (%s): %d ops/seed, seeds %s\n%!"
+    (if extended then "extended" else "quick")
+    count
+    (String.concat "," (List.map string_of_int seeds));
+  let t0 = Unix.gettimeofday () in
+  let total =
+    List.fold_left
+      (fun acc seed ->
+        let ops = Harness.gen_ops ~seed ~count in
+        let r =
+          List.fold_left Harness.merge_reports
+            (Harness.sweep_sync_points ~ops ())
+            [
+              Harness.sweep_mid_append ~samples:20 ~ops ();
+              Harness.sweep_recovery_crashes ~ops ();
+              (if extended then Harness.sweep_op_points ~ops ()
+               else Harness.sweep_op_points ~stride:9 ~ops ());
+            ]
+        in
+        Printf.printf "  seed %3d: %5d crash points, %5d cycles, %d violations\n%!" seed
+          r.Harness.points r.Harness.runs
+          (List.length r.Harness.failures);
+        Harness.merge_reports acc r)
+      { Harness.runs = 0; points = 0; failures = [] }
+      seeds
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "total: %d crash/recover/check cycles over %d points in %.1fs (%.0f cycles/s)\n"
+    total.Harness.runs total.Harness.points dt
+    (float_of_int total.Harness.runs /. dt);
+  match total.Harness.failures with
+  | [] -> print_endline "recovery invariant held at every crash point"
+  | fs ->
+    Printf.printf "FAILED: %d violations, first 10:\n" (List.length fs);
+    List.iteri (fun i f -> if i < 10 then print_endline ("  " ^ f)) fs;
+    exit 1

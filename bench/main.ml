@@ -4,21 +4,27 @@
    dune exec bench/main.exe -- --only E3 - run one experiment
    dune exec bench/main.exe -- --micro   - Bechamel microbenchmarks
    dune exec bench/main.exe -- --parallel - parallel-compaction bench (JSON)
+   dune exec bench/main.exe -- --crash   - crash-recovery fault-injection smoke
    dune exec bench/main.exe -- --list    - list experiments *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse only micro list_only par = function
-    | [] -> (only, micro, list_only, par)
-    | "--micro" :: rest -> parse only true list_only par rest
-    | "--parallel" :: rest -> parse only micro list_only true rest
-    | "--list" :: rest -> parse only micro true par rest
-    | "--only" :: id :: rest -> parse (id :: only) micro list_only par rest
+  let rec parse only micro list_only par crash = function
+    | [] -> (only, micro, list_only, par, crash)
+    | "--micro" :: rest -> parse only true list_only par crash rest
+    | "--parallel" :: rest -> parse only micro list_only true crash rest
+    | "--crash" :: rest -> parse only micro list_only par true rest
+    | "--list" :: rest -> parse only micro true par crash rest
+    | "--only" :: id :: rest -> parse (id :: only) micro list_only par crash rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
       exit 2
   in
-  let only, micro, list_only, par = parse [] false false false args in
+  let only, micro, list_only, par, crash = parse [] false false false false args in
+  if crash then begin
+    Crash_smoke.run ();
+    exit 0
+  end;
   if par then begin
     Parallel.run ();
     exit 0

@@ -50,6 +50,23 @@ let cmp_of t = t.cfg.Config.comparator
 
 let wal_name_of n = Printf.sprintf "wal-%06d.log" n
 
+(* Accept exactly the names [wal_name_of] generates. Anything else — a
+   stray "wal-backup", a truncated "wal-1" — is not ours to replay or
+   delete, and must above all not abort recovery (a [String.sub] on an
+   unchecked name used to do exactly that). *)
+let wal_seq_of_name n =
+  let plen = String.length "wal-" and slen = String.length ".log" in
+  if
+    String.length n > plen + slen
+    && String.sub n 0 plen = "wal-"
+    && Filename.check_suffix n ".log"
+  then begin
+    let stem = String.sub n plen (String.length n - plen - slen) in
+    if String.for_all (fun c -> c >= '0' && c <= '9') stem then int_of_string_opt stem
+    else None
+  end
+  else None
+
 let new_buffer t =
   let name = wal_name_of t.wal_counter in
   t.wal_counter <- t.wal_counter + 1;
@@ -61,7 +78,7 @@ let new_buffer t =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Open / recover                                                      *)
+(* Version-edit installation                                           *)
 (* ------------------------------------------------------------------ *)
 
 let rebuild_table_rds t =
@@ -87,118 +104,6 @@ let install_edit t edit =
     | Error e -> failwith ("LSM invariant violation: " ^ e)
   end;
   rebuild_table_rds t
-
-let open_db ?(config = Config.default) ~dev () =
-  Config.validate config;
-  let recovered = Manifest.recover dev in
-  let cache =
-    Block_cache.create ~shards:config.Config.block_cache_shards
-      ~capacity:config.Config.block_cache_bytes ()
-  in
-  let tables =
-    Table_cache.create ~capacity:config.Config.max_open_tables
-      ~cmp:config.Config.comparator ~dev ~cache ()
-  in
-  let pool =
-    if config.Config.compaction_parallelism > 1 then
-      Some (Domain_pool.create ~size:config.Config.compaction_parallelism)
-    else None
-  in
-  (* Rewrite a fresh manifest holding the recovered state as one edit. *)
-  Device.delete dev Manifest.file_name;
-  let manifest = Manifest.create dev in
-  let t =
-    {
-      cfg = config;
-      dev;
-      cache;
-      tables;
-      db_stats = Stats.create ();
-      active =
-        { mt = Memtable.create ~kind:config.Config.memtable ~cmp:config.Config.comparator ();
-          wal = None;
-          wal_name = None };
-      immutables = [];
-      vers = recovered;
-      manifest;
-      seqno = recovered.Version.last_seqno;
-      clock = 0;
-      snapshots = [];
-      next_file_id = recovered.Version.next_file_id;
-      next_group = recovered.Version.next_group;
-      wal_counter = 0;
-      rr_cursors = Hashtbl.create 8;
-      table_rds = [];
-      dyn_buffer_size = config.Config.write_buffer_size;
-      pool;
-      id_mutex = Mutex.create ();
-      closed = false;
-    }
-  in
-  let snapshot_edit =
-    {
-      Version.added =
-        (let out = ref [] in
-         Array.iteri
-           (fun li runs ->
-             List.iter
-               (fun (r : Version.run) ->
-                 List.iter (fun f -> out := (li, r.Version.group, f) :: !out) r.Version.files)
-               runs)
-           recovered.Version.levels;
-         !out);
-      removed = [];
-      seqno_watermark = recovered.Version.last_seqno;
-    }
-  in
-  t.vers <- Version.empty;
-  install_edit t snapshot_edit;
-  (* Orphan cleanup: a crash between writing compaction/flush outputs and
-     syncing the manifest edit leaves .sst files no version references;
-     they are dead weight (and would alias future file ids). *)
-  let live =
-    List.fold_left
-      (fun acc (f : Table_meta.t) -> f.file_name :: acc)
-      [] (Version.all_files t.vers)
-  in
-  let is_table_name n =
-    String.length n = 10
-    && Filename.check_suffix n ".sst"
-    && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub n 0 6)
-  in
-  List.iter
-    (fun name ->
-      if is_table_name name && not (List.mem name live) then Device.delete dev name)
-    (Device.list_files dev);
-  (* Replay surviving WALs into a fresh buffer (re-logged durably). *)
-  let old_wals =
-    Device.list_files dev
-    |> List.filter (fun n -> String.length n > 4 && String.sub n 0 4 = "wal-")
-  in
-  let recovered_entries = ref [] in
-  List.iter
-    (fun name -> ignore (Wal.replay dev ~name (fun batch -> recovered_entries := batch :: !recovered_entries)))
-    old_wals;
-  let batches = List.rev !recovered_entries in
-  t.wal_counter <-
-    1
-    + List.fold_left
-        (fun acc n ->
-          match int_of_string_opt (String.sub n 4 6) with Some i -> max acc i | None -> acc)
-        (-1) old_wals;
-  t.active <- new_buffer t;
-  List.iter
-    (fun batch ->
-      List.iter
-        (fun (e : Entry.t) ->
-          Memtable.add t.active.mt e;
-          if e.seqno > t.seqno then t.seqno <- e.seqno)
-        batch;
-      match t.active.wal with Some w -> Wal.append w ~sync:false batch | None -> ())
-    batches;
-  (match t.active.wal with Some w when batches <> [] -> Wal.append w [] | _ -> ());
-  List.iter (Device.delete dev) old_wals;
-  t
 
 (* ------------------------------------------------------------------ *)
 (* Writing runs of SSTables                                            *)
@@ -1189,6 +1094,134 @@ let flush t =
     flush_oldest t
   done;
   schedule_compactions t
+
+(* ------------------------------------------------------------------ *)
+(* Open / recover                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash-safety discipline (every step leaves a recoverable state):
+   1. read MANIFEST; 2. write the recovered version as one snapshot edit
+   to MANIFEST.tmp, synced; 3. atomically rename it over MANIFEST —
+   never delete-then-recreate, which has a window holding neither;
+   4. delete orphaned tables (referenced by no version); 5. replay the
+   surviving WALs and re-log their batches into a fresh WAL, which is
+   synced (or, with the WAL disabled, flushed to tables) *before* the
+   replayed logs are deleted — acknowledged writes must never have zero
+   durable homes. *)
+let open_db ?(config = Config.default) ~dev () =
+  Config.validate config;
+  let recovered = Manifest.recover dev in
+  let cache =
+    Block_cache.create ~shards:config.Config.block_cache_shards
+      ~capacity:config.Config.block_cache_bytes ()
+  in
+  let tables =
+    Table_cache.create ~capacity:config.Config.max_open_tables
+      ~cmp:config.Config.comparator ~dev ~cache ()
+  in
+  let pool =
+    if config.Config.compaction_parallelism > 1 then
+      Some (Domain_pool.create ~size:config.Config.compaction_parallelism)
+    else None
+  in
+  let manifest = Manifest.create ~name:Manifest.tmp_file_name dev in
+  let t =
+    {
+      cfg = config;
+      dev;
+      cache;
+      tables;
+      db_stats = Stats.create ();
+      active =
+        { mt = Memtable.create ~kind:config.Config.memtable ~cmp:config.Config.comparator ();
+          wal = None;
+          wal_name = None };
+      immutables = [];
+      vers = recovered;
+      manifest;
+      seqno = recovered.Version.last_seqno;
+      clock = 0;
+      snapshots = [];
+      next_file_id = recovered.Version.next_file_id;
+      next_group = recovered.Version.next_group;
+      wal_counter = 0;
+      rr_cursors = Hashtbl.create 8;
+      table_rds = [];
+      dyn_buffer_size = config.Config.write_buffer_size;
+      pool;
+      id_mutex = Mutex.create ();
+      closed = false;
+    }
+  in
+  let snapshot_edit =
+    {
+      Version.added =
+        (let out = ref [] in
+         Array.iteri
+           (fun li runs ->
+             List.iter
+               (fun (r : Version.run) ->
+                 List.iter (fun f -> out := (li, r.Version.group, f) :: !out) r.Version.files)
+               runs)
+           recovered.Version.levels;
+         !out);
+      removed = [];
+      seqno_watermark = recovered.Version.last_seqno;
+    }
+  in
+  t.vers <- Version.empty;
+  install_edit t snapshot_edit;
+  Manifest.promote t.manifest;
+  (* Orphan cleanup: a crash between writing compaction/flush outputs and
+     syncing the manifest edit leaves .sst files no version references;
+     they are dead weight (and would alias future file ids). *)
+  let live =
+    List.fold_left
+      (fun acc (f : Table_meta.t) -> f.file_name :: acc)
+      [] (Version.all_files t.vers)
+  in
+  let is_table_name n =
+    String.length n = 10
+    && Filename.check_suffix n ".sst"
+    && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub n 0 6)
+  in
+  List.iter
+    (fun name ->
+      if is_table_name name && not (List.mem name live) then Device.delete dev name)
+    (Device.list_files dev);
+  (* Replay surviving WALs (in sequence order) into a fresh buffer. *)
+  let old_wals =
+    Device.list_files dev
+    |> List.filter_map (fun n ->
+           match wal_seq_of_name n with Some s -> Some (s, n) | None -> None)
+    |> List.sort compare
+  in
+  let recovered_entries = ref [] in
+  List.iter
+    (fun (_, name) ->
+      ignore (Wal.replay dev ~name (fun batch -> recovered_entries := batch :: !recovered_entries)))
+    old_wals;
+  let batches = List.rev !recovered_entries in
+  t.wal_counter <- 1 + List.fold_left (fun acc (s, _) -> max acc s) (-1) old_wals;
+  t.active <- new_buffer t;
+  List.iter
+    (fun batch ->
+      List.iter
+        (fun (e : Entry.t) ->
+          Memtable.add t.active.mt e;
+          if e.seqno > t.seqno then t.seqno <- e.seqno)
+        batch;
+      match t.active.wal with Some w -> Wal.append w ~sync:false batch | None -> ())
+    batches;
+  (* The replayed batches were acknowledged in a previous life: they must
+     be durable again — synced into the new WAL, or flushed to tables
+     when the WAL is disabled — before the logs that held them go away. *)
+  (match t.active.wal with
+  | Some w when batches <> [] -> Wal.sync w
+  | None when batches <> [] -> flush t
+  | _ -> ());
+  List.iter (fun (_, name) -> Device.delete dev name) old_wals;
+  t
 
 let major_compact t =
   flush t;

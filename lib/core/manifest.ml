@@ -3,11 +3,13 @@ module Crc32c = Lsm_util.Crc32c
 module Device = Lsm_storage.Device
 module Io_stats = Lsm_storage.Io_stats
 
-type t = { writer : Device.writer }
+type t = { dev : Device.t; writer : Device.writer; mutable name : string }
 
 let file_name = "MANIFEST"
+let tmp_file_name = "MANIFEST.tmp"
 
-let create dev = { writer = Device.open_writer dev ~cls:Io_stats.C_misc file_name }
+let create ?(name = file_name) dev =
+  { dev; writer = Device.open_writer dev ~cls:Io_stats.C_misc name; name }
 
 let log_edit t edit =
   let payload = Buffer.create 256 in
@@ -19,6 +21,12 @@ let log_edit t edit =
   Buffer.add_string frame payload;
   Device.append t.writer (Buffer.contents frame);
   Device.sync t.writer
+
+let promote t =
+  if t.name <> file_name then begin
+    Device.rename t.dev t.name file_name;
+    t.name <- file_name
+  end
 
 let close t = Device.close t.writer
 

@@ -2,18 +2,37 @@
 
     Same checksummed framing as the WAL; recovery folds the intact prefix
     of edits over {!Version.empty} to rebuild the tree shape, then the WAL
-    replays on top. *)
+    replays on top.
+
+    {b Manifest-swap protocol.} Reopening a database compacts the edit
+    history into one snapshot edit — but the old manifest must stay
+    durable until the snapshot is: the snapshot is written and synced to
+    [MANIFEST.tmp] ({!create} with [~name:tmp_file_name]), then {!promote}
+    atomically renames it over [MANIFEST]. A crash at any instant leaves
+    exactly one readable manifest ({!recover} only ever reads
+    [MANIFEST]; a stale [MANIFEST.tmp] is truncated by the next open). *)
 
 type t
 
 val file_name : string
+(** ["MANIFEST"] — the only name {!recover} reads. *)
 
-val create : Lsm_storage.Device.t -> t
-(** Opens a fresh manifest (truncating any previous one — call only after
-    {!recover} has been consumed). *)
+val tmp_file_name : string
+(** ["MANIFEST.tmp"] — staging name for the swap protocol. *)
+
+val create : ?name:string -> Lsm_storage.Device.t -> t
+(** Opens a fresh manifest at [name] (default {!file_name}), truncating
+    any previous file of that name — call only after {!recover} has been
+    consumed, and with a [tmp_file_name] + {!promote} pair whenever an
+    existing manifest must survive a crash mid-rewrite. *)
 
 val log_edit : t -> Version.edit -> unit
 (** Appends and syncs one edit. *)
+
+val promote : t -> unit
+(** Atomically rename a manifest created under {!tmp_file_name} to
+    {!file_name}; no-op if it already is [MANIFEST]. Appending continues
+    transparently afterwards. *)
 
 val close : t -> unit
 

@@ -1,5 +1,5 @@
 type mem_file = {
-  buf : Buffer.t;
+  mutable buf : Buffer.t;
   mutable synced : int;  (** crash-durable prefix length *)
   mutable sealed : bool;
   mutable writing : bool;
@@ -9,17 +9,37 @@ type backend =
   | Mem of (string, mem_file) Hashtbl.t
   | Disk of { dir : string; open_writers : (string, unit) Hashtbl.t }
 
+exception Crashed
+
+type tear = Tear_none | Tear_keep of int | Tear_corrupt of int
+
+type crash_point = After_syncs of int | After_ops of int | After_bytes of int
+
+(* Countdown state of an armed crash; unused triggers sit at [max_int].
+   Crash planning is a test-only, single-domain facility: the workload
+   that arms a plan is the only mutator until the crash fires. *)
+type plan = {
+  mutable syncs_left : int;
+  mutable ops_left : int;
+  mutable bytes_left : int;
+  tear : tear;
+}
+
 (* [m] guards the file table (Mem hashtable / Disk open-writer set) and
    the sync counter, making concurrent reads and writer open/close from
    several domains safe. Appends to an already-open writer deliberately
    bypass it: each file has exactly one writer, and files become readable
-   only once sealed, so sink buffers are never shared across domains. *)
+   only once sealed, so sink buffers are never shared across domains.
+   (The crash-plan hook in [post_mutation] takes it only briefly.) *)
 type t = {
   backend : backend;
   page_size : int;
   io : Io_stats.t;
   m : Mutex.t;
   mutable syncs : int;
+  mutable mutations : int;  (** count of durability-relevant device ops *)
+  mutable plan : plan option;
+  mutable is_crashed : bool;
 }
 
 type writer = {
@@ -40,6 +60,9 @@ let in_memory ?(page_size = 4096) () =
     io = Io_stats.create ();
     m = Mutex.create ();
     syncs = 0;
+    mutations = 0;
+    plan = None;
+    is_crashed = false;
   }
 
 let on_disk ?(page_size = 4096) ~dir () =
@@ -50,6 +73,9 @@ let on_disk ?(page_size = 4096) ~dir () =
     io = Io_stats.create ();
     m = Mutex.create ();
     syncs = 0;
+    mutations = 0;
+    plan = None;
+    is_crashed = false;
   }
 
 let locked t f =
@@ -59,6 +85,7 @@ let locked t f =
 let page_size t = t.page_size
 let stats t = t.io
 let sync_count t = t.syncs
+let mutation_count t = t.mutations
 
 let pages_of t ~off ~len =
   if len = 0 then 0
@@ -66,22 +93,117 @@ let pages_of t ~off ~len =
 
 let disk_path dir name = Filename.concat dir name
 
-let open_writer t ~cls name =
+(* ---------------- crash machinery ---------------- *)
+
+(* Power loss, as seen by one file: everything past the synced prefix is
+   gone (Tear_none), except that the torn last page(s) being written at
+   the instant of failure may survive partially (Tear_keep) or survive
+   scrambled (Tear_corrupt). Corruption never touches synced bytes — the
+   sync contract is exactly that they are immune. Whatever survives is,
+   by definition, the new durable image. *)
+let apply_tear f tear =
+  let len = Buffer.length f.buf in
+  let keep, corrupt =
+    match tear with
+    | Tear_none -> (f.synced, false)
+    | Tear_keep n -> (min len (f.synced + max 0 n), false)
+    | Tear_corrupt n -> (min len (f.synced + max 0 n), true)
+  in
+  if keep < len || corrupt then begin
+    let data = Bytes.of_string (Buffer.sub f.buf 0 keep) in
+    if corrupt then
+      for i = f.synced to keep - 1 do
+        Bytes.set data i (Char.chr (Char.code (Bytes.get data i) lxor 0x5a))
+      done;
+    let b = Buffer.create (max 16 keep) in
+    Buffer.add_bytes b data;
+    f.buf <- b
+  end;
+  f.synced <- keep;
+  f.sealed <- true;
+  f.writing <- false
+
+(* Must be called with [t.m] held. *)
+let fire_crash_locked t tear =
+  (match t.backend with
+  | Mem files -> Hashtbl.iter (fun _ f -> apply_tear f tear) files
+  | Disk _ -> ());
+  t.plan <- None;
+  t.is_crashed <- true
+
+(* Every durability-relevant op (open/append/sync/delete/rename) funnels
+   through here after its effect has been applied; an armed plan counts
+   down and, at zero, the device dies mid-flight: the triggering call
+   raises {!Crashed} and all unsynced state is torn away. *)
+let post_mutation t ~is_sync =
+  let fired =
+    locked t @@ fun () ->
+    t.mutations <- t.mutations + 1;
+    match t.plan with
+    | None -> false
+    | Some p ->
+      if is_sync && p.syncs_left <> max_int then p.syncs_left <- p.syncs_left - 1;
+      if p.ops_left <> max_int then p.ops_left <- p.ops_left - 1;
+      if p.syncs_left <= 0 || p.ops_left <= 0 then begin
+        fire_crash_locked t p.tear;
+        true
+      end
+      else false
+  in
+  if fired then raise Crashed
+
+let check_alive t = if t.is_crashed then raise Crashed
+
+let plan_crash t ?(tear = Tear_none) point =
+  (match t.backend with
+  | Disk _ -> invalid_arg "Device.plan_crash: only supported on the in-memory backend"
+  | Mem _ -> ());
+  let p =
+    { syncs_left = max_int; ops_left = max_int; bytes_left = max_int; tear }
+  in
+  (match point with
+  | After_syncs n ->
+    if n < 1 then invalid_arg "Device.plan_crash: After_syncs needs n >= 1";
+    p.syncs_left <- n
+  | After_ops n ->
+    if n < 1 then invalid_arg "Device.plan_crash: After_ops needs n >= 1";
+    p.ops_left <- n
+  | After_bytes n ->
+    if n < 1 then invalid_arg "Device.plan_crash: After_bytes needs n >= 1";
+    p.bytes_left <- n);
+  locked t (fun () -> t.plan <- Some p)
+
+let cancel_crash_plan t = locked t (fun () -> t.plan <- None)
+let is_crashed t = t.is_crashed
+
+let revive t =
   locked t @@ fun () ->
-  match t.backend with
-  | Mem files ->
-    (match Hashtbl.find_opt files name with
-    | Some f when f.writing -> invalid_arg ("Device.open_writer: already open: " ^ name)
-    | _ -> ());
-    let f = { buf = Buffer.create 4096; synced = 0; sealed = false; writing = true } in
-    Hashtbl.replace files name f;
-    { dev = t; name; cls; w_written = 0; sink = Mem_sink f; closed = false }
-  | Disk d ->
-    if Hashtbl.mem d.open_writers name then
-      invalid_arg ("Device.open_writer: already open: " ^ name);
-    Hashtbl.replace d.open_writers name ();
-    let oc = open_out_bin (disk_path d.dir name) in
-    { dev = t; name; cls; w_written = 0; sink = Disk_sink oc; closed = false }
+  t.plan <- None;
+  t.is_crashed <- false
+
+(* ---------------- writing ---------------- *)
+
+let open_writer t ~cls name =
+  check_alive t;
+  let w =
+    locked t @@ fun () ->
+    match t.backend with
+    | Mem files ->
+      (match Hashtbl.find_opt files name with
+      | Some f when f.writing -> invalid_arg ("Device.open_writer: already open: " ^ name)
+      | _ -> ());
+      let f = { buf = Buffer.create 4096; synced = 0; sealed = false; writing = true } in
+      Hashtbl.replace files name f;
+      { dev = t; name; cls; w_written = 0; sink = Mem_sink f; closed = false }
+    | Disk d ->
+      if Hashtbl.mem d.open_writers name then
+        invalid_arg ("Device.open_writer: already open: " ^ name);
+      Hashtbl.replace d.open_writers name ();
+      let oc = open_out_bin (disk_path d.dir name) in
+      { dev = t; name; cls; w_written = 0; sink = Disk_sink oc; closed = false }
+  in
+  post_mutation t ~is_sync:false;
+  w
 
 let check_open w = if w.closed then invalid_arg "Device: writer is closed"
 
@@ -90,32 +212,51 @@ let account_write w len =
   Io_stats.record_write w.dev.io w.cls ~pages ~bytes:len;
   w.w_written <- w.w_written + len
 
+(* A byte-triggered plan fires *inside* the append: only the prefix of
+   [s] that fit before the failure instant reaches the (volatile) page
+   cache — the torn-write case CRC framing exists for. *)
+let append_prefix_on_plan w s =
+  match w.dev.plan with
+  | Some p when p.bytes_left <> max_int ->
+    if p.bytes_left <= String.length s then (String.sub s 0 p.bytes_left, true)
+    else begin
+      p.bytes_left <- p.bytes_left - String.length s;
+      (s, false)
+    end
+  | _ -> (s, false)
+
 let append w s =
   check_open w;
+  check_alive w.dev;
+  let s, tripped = append_prefix_on_plan w s in
   (match w.sink with
   | Mem_sink f ->
     if f.sealed then invalid_arg "Device.append: file sealed (crashed?)";
     Buffer.add_string f.buf s
   | Disk_sink oc -> output_string oc s);
-  account_write w (String.length s)
+  account_write w (String.length s);
+  if tripped then begin
+    locked w.dev (fun () ->
+        match w.dev.plan with
+        | Some p -> fire_crash_locked w.dev p.tear
+        | None -> fire_crash_locked w.dev Tear_none);
+    raise Crashed
+  end;
+  post_mutation w.dev ~is_sync:false
 
-let append_buffer w b =
-  check_open w;
-  (match w.sink with
-  | Mem_sink f ->
-    if f.sealed then invalid_arg "Device.append: file sealed (crashed?)";
-    Buffer.add_buffer f.buf b
-  | Disk_sink oc -> Buffer.output_buffer oc b);
-  account_write w (Buffer.length b)
+let append_buffer w b = append w (Buffer.contents b)
 
 let written w = w.w_written
 
 let sync w =
   check_open w;
-  locked w.dev (fun () -> w.dev.syncs <- w.dev.syncs + 1);
-  match w.sink with
+  check_alive w.dev;
+  (match w.sink with
   | Mem_sink f -> f.synced <- Buffer.length f.buf
-  | Disk_sink oc -> flush oc
+  | Disk_sink oc -> flush oc);
+  locked w.dev (fun () -> w.dev.syncs <- w.dev.syncs + 1);
+  Io_stats.record_sync w.dev.io w.cls;
+  post_mutation w.dev ~is_sync:true
 
 let close w =
   if not w.closed then begin
@@ -177,11 +318,35 @@ let exists t name =
   | Disk d -> Sys.file_exists (disk_path d.dir name)
 
 let delete t name =
-  match t.backend with
+  check_alive t;
+  (match t.backend with
   | Mem files -> locked t (fun () -> Hashtbl.remove files name)
   | Disk d ->
     let path = disk_path d.dir name in
-    if Sys.file_exists path then Sys.remove path
+    if Sys.file_exists path then Sys.remove path);
+  post_mutation t ~is_sync:false
+
+(* Atomic, immediately-durable replacement of [dst] by [src] — the
+   idealized POSIX [rename(2)] the manifest-swap protocol builds on. An
+   open writer keeps appending to the renamed file. *)
+let rename t src dst =
+  check_alive t;
+  if src = dst then invalid_arg "Device.rename: src = dst";
+  (match t.backend with
+  | Mem files ->
+    locked t @@ fun () ->
+    let f = find_mem files src in
+    Hashtbl.remove files src;
+    Hashtbl.replace files dst f
+  | Disk d ->
+    let sp = disk_path d.dir src in
+    if not (Sys.file_exists sp) then raise Not_found;
+    Sys.rename sp (disk_path d.dir dst);
+    if Hashtbl.mem d.open_writers src then begin
+      Hashtbl.remove d.open_writers src;
+      Hashtbl.replace d.open_writers dst ()
+    end);
+  post_mutation t ~is_sync:false
 
 let list_files t =
   match t.backend with
@@ -198,14 +363,10 @@ let total_bytes t =
     Sys.readdir d.dir |> Array.to_list
     |> List.fold_left (fun acc name -> acc + size t name) 0
 
-let crash t =
+let crash ?(tear = Tear_none) t =
   match t.backend with
   | Disk _ -> invalid_arg "Device.crash: only supported on the in-memory backend"
   | Mem files ->
     locked t @@ fun () ->
-    Hashtbl.iter
-      (fun _ f ->
-        Buffer.truncate f.buf f.synced;
-        f.sealed <- true;
-        f.writing <- false)
-      files
+    t.plan <- None;
+    Hashtbl.iter (fun _ f -> apply_tear f tear) files

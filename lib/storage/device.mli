@@ -7,13 +7,49 @@
 
     Two backends:
     - {!in_memory} — the default substrate for tests and benchmarks. It can
-      also simulate a crash ({!crash}): all bytes not covered by an explicit
-      {!sync} are lost, which is how WAL recovery is exercised.
+      also simulate power loss, either immediately ({!crash}) or at a
+      scheduled future instant ({!plan_crash}): all bytes not covered by an
+      explicit {!sync} are lost — modulo an optional torn tail — which is
+      how WAL and manifest recovery are exercised.
     - {!on_disk} — real files under a directory, for running the engine
-      against an actual file system. *)
+      against an actual file system.
+
+    {b The sync/crash contract.} {!sync} makes every byte appended so far
+    immune to any later crash; bytes appended after the last sync may, at a
+    crash, be (a) discarded, (b) partially retained (a torn page), or
+    (c) retained scrambled (a corrupt torn page) — but synced bytes are
+    never altered. {!rename} is atomic and immediately durable. Recovery
+    code must therefore treat everything past a file's last sync point as
+    arbitrary garbage, which is what the CRC framing of the WAL and
+    manifest is for. *)
 
 type t
 type writer
+
+exception Crashed
+(** Raised by the device operation during which an armed {!plan_crash}
+    fires, and by every subsequent mutating operation until {!revive}. *)
+
+(** What survives of the unsynced suffix of each file when a crash fires. *)
+type tear =
+  | Tear_none  (** lose everything past the synced prefix *)
+  | Tear_keep of int
+      (** additionally retain up to [n] unsynced bytes, intact (a torn
+          write whose prefix made it to the platter) *)
+  | Tear_corrupt of int
+      (** additionally retain up to [n] unsynced bytes, bit-flipped (a
+          torn write that scribbled the final page) — synced bytes are
+          never touched *)
+
+(** When an armed crash fires (counted from the moment of arming). *)
+type crash_point =
+  | After_syncs of int  (** immediately after the [n]-th sync completes *)
+  | After_ops of int
+      (** immediately after the [n]-th mutating device op (open / append
+          / sync / delete / rename) completes *)
+  | After_bytes of int
+      (** mid-append, once [n] more bytes have been appended: the
+          triggering append stores only the prefix that "made it" *)
 
 val in_memory : ?page_size:int -> unit -> t
 (** [page_size] defaults to 4096 bytes. *)
@@ -24,6 +60,10 @@ val on_disk : ?page_size:int -> dir:string -> unit -> t
 val page_size : t -> int
 val stats : t -> Io_stats.t
 val sync_count : t -> int
+
+val mutation_count : t -> int
+(** Total mutating device ops so far — the coordinate system of
+    [After_ops] crash points. *)
 
 (** {1 Writing} *)
 
@@ -53,15 +93,45 @@ val exists : t -> string -> bool
 val delete : t -> string -> unit
 (** Removing a missing file is a no-op. *)
 
+val rename : t -> string -> string -> unit
+(** [rename t src dst] atomically replaces [dst] (which may or may not
+    exist) with [src]. The switch is crash-atomic and immediately durable;
+    a writer open on [src] keeps appending to the renamed file.
+    @raise Not_found if [src] does not exist. *)
+
 val list_files : t -> string list
 (** Sorted file names. *)
 
 val total_bytes : t -> int
 (** Sum of all file sizes: the space-amplification numerator. *)
 
-(** {1 Fault injection} *)
+(** {1 Fault injection}
 
-val crash : t -> unit
-(** In-memory backend only: discard all unsynced bytes and seal every file,
-    as a power failure would. Open writers become unusable.
+    In-memory backend only. Typical harness loop: {!plan_crash}, run a
+    workload until it raises {!Crashed}, {!revive}, reopen the database,
+    and check the recovered state against the acknowledged prefix. *)
+
+val crash : ?tear:tear -> t -> unit
+(** Crash {e now}: discard all unsynced bytes (modulo [tear], default
+    {!Tear_none}) and seal every file, as a power failure would. Open
+    writers become unusable; the device itself stays usable, so a caller
+    can immediately exercise recovery.
     @raise Invalid_argument on the on-disk backend. *)
+
+val plan_crash : t -> ?tear:tear -> crash_point -> unit
+(** Arm a crash at a future instant. When it fires, the triggering
+    operation raises {!Crashed} after the crash semantics (truncate to
+    the synced prefix, apply [tear], seal everything) have been applied.
+    Re-arming replaces any previous plan. Test-only: the arming domain
+    must be the only mutator.
+    @raise Invalid_argument on the on-disk backend or a count < 1. *)
+
+val cancel_crash_plan : t -> unit
+
+val is_crashed : t -> bool
+(** True between a planned crash firing and {!revive}. While true, every
+    mutating operation raises {!Crashed}; reads still work. *)
+
+val revive : t -> unit
+(** Clear the crashed state ("reboot"): the surviving file images become
+    the readable, durable on-device state, ready for recovery. *)

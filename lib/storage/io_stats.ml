@@ -39,6 +39,7 @@ type t = {
   bytes_read : int array;
   pages_written : int array;
   bytes_written : int array;
+  sync_calls : int array;
   m : Mutex.t;
 }
 
@@ -48,6 +49,7 @@ let create () =
     bytes_read = Array.make num_classes 0;
     pages_written = Array.make num_classes 0;
     bytes_written = Array.make num_classes 0;
+    sync_calls = Array.make num_classes 0;
     m = Mutex.create ();
   }
 
@@ -57,6 +59,7 @@ let clear t =
   Array.fill t.bytes_read 0 num_classes 0;
   Array.fill t.pages_written 0 num_classes 0;
   Array.fill t.bytes_written 0 num_classes 0;
+  Array.fill t.sync_calls 0 num_classes 0;
   Mutex.unlock t.m
 
 let record_read t cls ~pages ~bytes =
@@ -73,6 +76,15 @@ let record_write t cls ~pages ~bytes =
   t.bytes_written.(i) <- t.bytes_written.(i) + bytes;
   Mutex.unlock t.m
 
+(* Syncs are the durability cost the WA/RA numbers do not show: a
+   per-write fsync discipline can dominate latency at identical byte
+   counts, so recovery experiments track them separately. *)
+let record_sync t cls =
+  let i = class_index cls in
+  Mutex.lock t.m;
+  t.sync_calls.(i) <- t.sync_calls.(i) + 1;
+  Mutex.unlock t.m
+
 let sum_or_one a = function
   | Some cls -> a.(class_index cls)
   | None -> Array.fold_left ( + ) 0 a
@@ -81,6 +93,7 @@ let pages_read ?cls t = sum_or_one t.pages_read cls
 let pages_written ?cls t = sum_or_one t.pages_written cls
 let bytes_read ?cls t = sum_or_one t.bytes_read cls
 let bytes_written ?cls t = sum_or_one t.bytes_written cls
+let syncs ?cls t = sum_or_one t.sync_calls cls
 
 let write_amplification t ~user_bytes =
   if user_bytes <= 0 then 0.0
@@ -101,6 +114,7 @@ let copy t =
       bytes_read = Array.copy t.bytes_read;
       pages_written = Array.copy t.pages_written;
       bytes_written = Array.copy t.bytes_written;
+      sync_calls = Array.copy t.sync_calls;
       m = Mutex.create ();
     }
   in
@@ -114,6 +128,7 @@ let diff now before =
     bytes_read = sub now.bytes_read before.bytes_read;
     pages_written = sub now.pages_written before.pages_written;
     bytes_written = sub now.bytes_written before.bytes_written;
+    sync_calls = sub now.sync_calls before.sync_calls;
     m = Mutex.create ();
   }
 
@@ -122,9 +137,10 @@ let pp ppf t =
   List.iter
     (fun cls ->
       let i = class_index cls in
-      if t.pages_read.(i) + t.pages_written.(i) > 0 then
-        Format.fprintf ppf "%-17s read %8d pages / %10d B, wrote %8d pages / %10d B@,"
+      if t.pages_read.(i) + t.pages_written.(i) + t.sync_calls.(i) > 0 then
+        Format.fprintf ppf
+          "%-17s read %8d pages / %10d B, wrote %8d pages / %10d B, %6d syncs@,"
           (class_name cls) t.pages_read.(i) t.bytes_read.(i) t.pages_written.(i)
-          t.bytes_written.(i))
+          t.bytes_written.(i) t.sync_calls.(i))
     all_classes;
   Format.fprintf ppf "@]"

@@ -24,11 +24,16 @@ val clear : t -> unit
 
 val record_read : t -> op_class -> pages:int -> bytes:int -> unit
 val record_write : t -> op_class -> pages:int -> bytes:int -> unit
+val record_sync : t -> op_class -> unit
 
 val pages_read : ?cls:op_class -> t -> int
 val pages_written : ?cls:op_class -> t -> int
 val bytes_read : ?cls:op_class -> t -> int
 val bytes_written : ?cls:op_class -> t -> int
+
+val syncs : ?cls:op_class -> t -> int
+(** Sync calls charged to each class — the durability cost that byte
+    counts alone hide (a per-write fsync discipline vs. batched syncs). *)
 
 val write_amplification : t -> user_bytes:int -> float
 (** Total device bytes written divided by logical user bytes ingested. *)

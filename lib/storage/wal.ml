@@ -26,6 +26,10 @@ let append t ?(sync = true) entries =
     Device.append t.writer (frame_record (Buffer.contents payload));
     if sync then Device.sync t.writer
 
+let sync t =
+  if t.closed then invalid_arg "Wal.sync: closed";
+  Device.sync t.writer
+
 let size t = Device.written t.writer
 let name t = t.wname
 

@@ -16,7 +16,13 @@ val create : Device.t -> name:string -> t
 
 val append : t -> ?sync:bool -> Lsm_record.Entry.t list -> unit
 (** Appends one batch as one record. [sync] (default [true]) makes the
-    record crash-durable before returning. Empty batches are ignored. *)
+    record crash-durable before returning. Empty batches are ignored —
+    including their [sync]; use {!sync} to force durability alone. *)
+
+val sync : t -> unit
+(** Make every record appended so far crash-durable. Needed after a run
+    of [append ~sync:false] (e.g. recovery re-logging) before anything
+    that assumed durability — like deleting the logs replayed from. *)
 
 val size : t -> int
 val name : t -> string

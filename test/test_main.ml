@@ -17,4 +17,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("more", Test_more.suite);
       ("parallel", Test_parallel.suite);
+      ("crash", Test_crash.suite);
     ]
