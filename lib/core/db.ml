@@ -42,7 +42,8 @@ type t = {
   pool : Domain_pool.t option;
       (** worker domains for subcompactions and multi_get fan-out;
           [None] iff [cfg.compaction_parallelism = 1] *)
-  id_mutex : Mutex.t;  (** guards [next_file_id] across subcompaction domains *)
+  id_mutex : Lsm_util.Ordered_mutex.t;
+      (** guards [next_file_id] across subcompaction domains *)
   mutable closed : bool;
 }
 
@@ -170,10 +171,9 @@ let capped_iter src ~target =
 (* File ids are allocated under a mutex: parallel subcompactions cut
    output files concurrently. Serial callers pay an uncontended lock. *)
 let alloc_file_id t =
-  Mutex.lock t.id_mutex;
+  Lsm_util.Ordered_mutex.with_lock t.id_mutex @@ fun () ->
   let id = t.next_file_id in
   t.next_file_id <- t.next_file_id + 1;
-  Mutex.unlock t.id_mutex;
   id
 
 (* Drain [src] into as many files as needed; returns their metadata. *)
@@ -1149,7 +1149,7 @@ let open_db ?(config = Config.default) ~dev () =
       table_rds = [];
       dyn_buffer_size = config.Config.write_buffer_size;
       pool;
-      id_mutex = Mutex.create ();
+      id_mutex = Lsm_util.Ordered_mutex.create ~rank:Lsm_util.Ordered_mutex.Rank.db ~name:"db.id";
       closed = false;
     }
   in

@@ -1,0 +1,23 @@
+(** Probabilistic skiplist memtable — RocksDB's default buffer.
+
+    Expected O(log n) insert and lookup, O(1) sorted-iterator creation.
+    Ordered by [Entry.compare]: user key ascending, seqno descending, so
+    the first node matching a key is its newest version. Not
+    domain-safe: a memtable belongs to one writer at a time (the engine
+    serializes writes above this layer). *)
+
+type t
+
+val implementation_name : string
+val create : cmp:Lsm_util.Comparator.t -> unit -> t
+val add : t -> Lsm_record.Entry.t -> unit
+
+val find : t -> ?max_seqno:int -> string -> Lsm_record.Entry.t option
+(** Newest visible version of the key with [seqno <= max_seqno];
+    range-delete entries are never returned. *)
+
+val count : t -> int
+val footprint : t -> int
+
+val iterator : t -> Lsm_record.Iter.t
+(** O(1) creation; coherent until the next [add]. *)

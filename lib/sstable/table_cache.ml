@@ -15,7 +15,7 @@ type t = {
   cmp : Lsm_util.Comparator.t;
   dev : Lsm_storage.Device.t;
   cache : Lsm_storage.Block_cache.t;
-  m : Mutex.t;
+  m : Lsm_util.Ordered_mutex.t;
   mutable cap : int;
   readers : (string, node) Hashtbl.t;
   mutable head : node option;
@@ -30,7 +30,7 @@ let create ?(capacity = max_int) ~cmp ~dev ~cache () =
     cmp;
     dev;
     cache;
-    m = Mutex.create ();
+    m = Lsm_util.Ordered_mutex.create ~rank:Lsm_util.Ordered_mutex.Rank.table_cache ~name:"table_cache";
     cap = capacity;
     readers = Hashtbl.create 64;
     head = None;
@@ -39,9 +39,7 @@ let create ?(capacity = max_int) ~cmp ~dev ~cache () =
     evictions = 0;
   }
 
-let locked t f =
-  Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+let locked t f = Lsm_util.Ordered_mutex.with_lock t.m f
 
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
@@ -72,24 +70,34 @@ let evict_until_fits t =
     | None -> assert false
   done
 
-let get t name =
-  locked t @@ fun () ->
+let find_and_touch t name =
   match Hashtbl.find_opt t.readers name with
   | Some n ->
     unlink t n;
     push_front t n;
-    n.reader
+    Some n.reader
+  | None -> None
+
+let get t name =
+  match locked t (fun () -> find_and_touch t name) with
+  | Some r -> r
   | None ->
-    (* Opening under the lock serializes concurrent opens of the same
-       file (one parse, one cached reader) at the cost of briefly
-       blocking other gets; opens are rare and footer+index reads small. *)
+    (* Open outside the lock: footer/index/filter I/O under the cache
+       mutex would serialize every other domain's gets behind the
+       device (lint rule R2). Two domains racing the same file may both
+       parse it; the loser's reader is discarded below — parsed
+       metadata is immutable, so either copy is equally valid. *)
     let r = Sstable.open_reader ~cmp:t.cmp ~dev:t.dev ~cache:t.cache ~name in
-    let n = { name; reader = r; prev = None; next = None } in
-    Hashtbl.replace t.readers name n;
-    push_front t n;
-    t.opens <- t.opens + 1;
-    evict_until_fits t;
-    r
+    locked t @@ fun () ->
+    (match find_and_touch t name with
+    | Some winner -> winner
+    | None ->
+      let n = { name; reader = r; prev = None; next = None } in
+      Hashtbl.replace t.readers name n;
+      push_front t n;
+      t.opens <- t.opens + 1;
+      evict_until_fits t;
+      r)
 
 let evict t name =
   locked t (fun () ->

@@ -15,7 +15,7 @@ module Shard = struct
   }
 
   type t = {
-    m : Mutex.t;
+    m : Lsm_util.Ordered_mutex.t;
     mutable cap : int;
     table : (key, node) Hashtbl.t;
     mutable head : node option;  (** most recently used *)
@@ -28,7 +28,9 @@ module Shard = struct
 
   let create ~capacity =
     {
-      m = Mutex.create ();
+      m =
+        Lsm_util.Ordered_mutex.create ~rank:Lsm_util.Ordered_mutex.Rank.block_cache_shard
+          ~name:"block_cache.shard";
       cap = capacity;
       table = Hashtbl.create 256;
       head = None;
@@ -39,9 +41,7 @@ module Shard = struct
       evictions = 0;
     }
 
-  let locked t f =
-    Mutex.lock t.m;
-    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+  let locked t f = Lsm_util.Ordered_mutex.with_lock t.m f
 
   let unlink t n =
     (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);

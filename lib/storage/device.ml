@@ -35,7 +35,7 @@ type t = {
   backend : backend;
   page_size : int;
   io : Io_stats.t;
-  m : Mutex.t;
+  m : Lsm_util.Ordered_mutex.t;
   mutable syncs : int;
   mutable mutations : int;  (** count of durability-relevant device ops *)
   mutable plan : plan option;
@@ -58,7 +58,7 @@ let in_memory ?(page_size = 4096) () =
     backend = Mem (Hashtbl.create 64);
     page_size;
     io = Io_stats.create ();
-    m = Mutex.create ();
+    m = Lsm_util.Ordered_mutex.create ~rank:Lsm_util.Ordered_mutex.Rank.device ~name:"device";
     syncs = 0;
     mutations = 0;
     plan = None;
@@ -71,16 +71,14 @@ let on_disk ?(page_size = 4096) ~dir () =
     backend = Disk { dir; open_writers = Hashtbl.create 8 };
     page_size;
     io = Io_stats.create ();
-    m = Mutex.create ();
+    m = Lsm_util.Ordered_mutex.create ~rank:Lsm_util.Ordered_mutex.Rank.device ~name:"device";
     syncs = 0;
     mutations = 0;
     plan = None;
     is_crashed = false;
   }
 
-let locked t f =
-  Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+let locked t f = Lsm_util.Ordered_mutex.with_lock t.m f
 
 let page_size t = t.page_size
 let stats t = t.io

@@ -40,8 +40,11 @@ type t = {
   pages_written : int array;
   bytes_written : int array;
   sync_calls : int array;
-  m : Mutex.t;
+  m : Lsm_util.Ordered_mutex.t;
 }
+
+let mk_mutex () =
+  Lsm_util.Ordered_mutex.create ~rank:Lsm_util.Ordered_mutex.Rank.stats ~name:"io_stats"
 
 let create () =
   {
@@ -50,40 +53,36 @@ let create () =
     pages_written = Array.make num_classes 0;
     bytes_written = Array.make num_classes 0;
     sync_calls = Array.make num_classes 0;
-    m = Mutex.create ();
+    m = mk_mutex ();
   }
 
 let clear t =
-  Mutex.lock t.m;
+  Lsm_util.Ordered_mutex.with_lock t.m @@ fun () ->
   Array.fill t.pages_read 0 num_classes 0;
   Array.fill t.bytes_read 0 num_classes 0;
   Array.fill t.pages_written 0 num_classes 0;
   Array.fill t.bytes_written 0 num_classes 0;
-  Array.fill t.sync_calls 0 num_classes 0;
-  Mutex.unlock t.m
+  Array.fill t.sync_calls 0 num_classes 0
 
 let record_read t cls ~pages ~bytes =
   let i = class_index cls in
-  Mutex.lock t.m;
+  Lsm_util.Ordered_mutex.with_lock t.m @@ fun () ->
   t.pages_read.(i) <- t.pages_read.(i) + pages;
-  t.bytes_read.(i) <- t.bytes_read.(i) + bytes;
-  Mutex.unlock t.m
+  t.bytes_read.(i) <- t.bytes_read.(i) + bytes
 
 let record_write t cls ~pages ~bytes =
   let i = class_index cls in
-  Mutex.lock t.m;
+  Lsm_util.Ordered_mutex.with_lock t.m @@ fun () ->
   t.pages_written.(i) <- t.pages_written.(i) + pages;
-  t.bytes_written.(i) <- t.bytes_written.(i) + bytes;
-  Mutex.unlock t.m
+  t.bytes_written.(i) <- t.bytes_written.(i) + bytes
 
 (* Syncs are the durability cost the WA/RA numbers do not show: a
    per-write fsync discipline can dominate latency at identical byte
    counts, so recovery experiments track them separately. *)
 let record_sync t cls =
   let i = class_index cls in
-  Mutex.lock t.m;
-  t.sync_calls.(i) <- t.sync_calls.(i) + 1;
-  Mutex.unlock t.m
+  Lsm_util.Ordered_mutex.with_lock t.m @@ fun () ->
+  t.sync_calls.(i) <- t.sync_calls.(i) + 1
 
 let sum_or_one a = function
   | Some cls -> a.(class_index cls)
@@ -107,19 +106,15 @@ let snapshot t =
     all_classes
 
 let copy t =
-  Mutex.lock t.m;
-  let c =
-    {
-      pages_read = Array.copy t.pages_read;
-      bytes_read = Array.copy t.bytes_read;
-      pages_written = Array.copy t.pages_written;
-      bytes_written = Array.copy t.bytes_written;
-      sync_calls = Array.copy t.sync_calls;
-      m = Mutex.create ();
-    }
-  in
-  Mutex.unlock t.m;
-  c
+  Lsm_util.Ordered_mutex.with_lock t.m @@ fun () ->
+  {
+    pages_read = Array.copy t.pages_read;
+    bytes_read = Array.copy t.bytes_read;
+    pages_written = Array.copy t.pages_written;
+    bytes_written = Array.copy t.bytes_written;
+    sync_calls = Array.copy t.sync_calls;
+    m = mk_mutex ();
+  }
 
 let diff now before =
   let sub a b = Array.init num_classes (fun i -> a.(i) - b.(i)) in
@@ -129,7 +124,7 @@ let diff now before =
     pages_written = sub now.pages_written before.pages_written;
     bytes_written = sub now.bytes_written before.bytes_written;
     sync_calls = sub now.sync_calls before.sync_calls;
-    m = Mutex.create ();
+    m = mk_mutex ();
   }
 
 let pp ppf t =

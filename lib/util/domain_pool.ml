@@ -1,13 +1,13 @@
 type 'a state = Pending | Done of 'a | Failed of exn
 
 type 'a future = {
-  fm : Mutex.t;
+  fm : Ordered_mutex.t;
   fc : Condition.t;
   mutable state : 'a state;
 }
 
 type t = {
-  m : Mutex.t;
+  m : Ordered_mutex.t;
   work_ready : Condition.t;
   queue : (unit -> unit) Queue.t;
   mutable stopped : bool;
@@ -15,33 +15,32 @@ type t = {
 }
 
 let fulfill fut v =
-  Mutex.lock fut.fm;
+  Ordered_mutex.with_lock fut.fm @@ fun () ->
   fut.state <- v;
-  Condition.broadcast fut.fc;
-  Mutex.unlock fut.fm
+  Condition.broadcast fut.fc
 
-let worker_loop pool () =
-  let rec loop () =
-    Mutex.lock pool.m;
+(* Take the next task (or None once stopped and drained) under the
+   queue lock, then run it outside: tasks acquire engine locks of every
+   rank, so nothing may be held while they execute. *)
+let rec worker_loop pool () =
+  let task =
+    Ordered_mutex.with_lock pool.m @@ fun () ->
     while Queue.is_empty pool.queue && not pool.stopped do
-      Condition.wait pool.work_ready pool.m
+      Ordered_mutex.wait pool.work_ready pool.m
     done;
-    match Queue.take_opt pool.queue with
-    | Some task ->
-      Mutex.unlock pool.m;
-      task ();
-      loop ()
-    | None ->
-      (* stopped and drained *)
-      Mutex.unlock pool.m
+    Queue.take_opt pool.queue
   in
-  loop ()
+  match task with
+  | Some task ->
+    task ();
+    worker_loop pool ()
+  | None -> ()
 
 let create ~size =
   if size < 0 then invalid_arg "Domain_pool.create: negative size";
   let pool =
     {
-      m = Mutex.create ();
+      m = Ordered_mutex.create ~rank:Ordered_mutex.Rank.domain_pool ~name:"domain_pool.queue";
       work_ready = Condition.create ();
       queue = Queue.create ();
       stopped = false;
@@ -58,27 +57,29 @@ let run_into fut f =
   fulfill fut v
 
 let submit t f =
-  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  let fut =
+    {
+      fm = Ordered_mutex.create ~rank:Ordered_mutex.Rank.future ~name:"domain_pool.future";
+      fc = Condition.create ();
+      state = Pending;
+    }
+  in
   if Array.length t.workers = 0 then run_into fut f
-  else begin
-    Mutex.lock t.m;
-    if t.stopped then begin
-      Mutex.unlock t.m;
-      invalid_arg "Domain_pool.submit: pool is shut down"
-    end;
-    Queue.add (fun () -> run_into fut f) t.queue;
-    Condition.signal t.work_ready;
-    Mutex.unlock t.m
-  end;
+  else
+    Ordered_mutex.with_lock t.m (fun () ->
+        if t.stopped then invalid_arg "Domain_pool.submit: pool is shut down";
+        Queue.add (fun () -> run_into fut f) t.queue;
+        Condition.signal t.work_ready);
   fut
 
 let await fut =
-  Mutex.lock fut.fm;
-  while (match fut.state with Pending -> true | Done _ | Failed _ -> false) do
-    Condition.wait fut.fc fut.fm
-  done;
-  let st = fut.state in
-  Mutex.unlock fut.fm;
+  let st =
+    Ordered_mutex.with_lock fut.fm @@ fun () ->
+    while (match fut.state with Pending -> true | Done _ | Failed _ -> false) do
+      Ordered_mutex.wait fut.fc fut.fm
+    done;
+    fut.state
+  in
   match st with
   | Done v -> v
   | Failed e -> raise e
@@ -94,11 +95,13 @@ let map_list t f xs =
   List.map (function Ok v -> v | Error e -> raise e) results
 
 let shutdown t =
-  Mutex.lock t.m;
-  if t.stopped then Mutex.unlock t.m
-  else begin
-    t.stopped <- true;
-    Condition.broadcast t.work_ready;
-    Mutex.unlock t.m;
-    Array.iter Domain.join t.workers
-  end
+  let already_stopped =
+    Ordered_mutex.with_lock t.m (fun () ->
+        if t.stopped then true
+        else begin
+          t.stopped <- true;
+          Condition.broadcast t.work_ready;
+          false
+        end)
+  in
+  if not already_stopped then Array.iter Domain.join t.workers

@@ -1,0 +1,98 @@
+(* Ranked mutex with optional runtime lock-order checking ("lockdep").
+
+   Every lock in the engine belongs to a lock class with an explicit
+   integer rank; the discipline is that a domain may only acquire locks
+   in strictly increasing rank order. Violations — acquiring downward,
+   acquiring a second lock of the same rank, or re-entering a held
+   mutex — are exactly the shapes that deadlock once two domains
+   interleave, so when checking is enabled ([LSM_LOCKDEP=1] in the
+   environment, or {!set_enforce}) they raise {!Violation} at the
+   acquisition site, turning a potential hang into a deterministic
+   test failure. With checking off the wrapper costs one load per
+   acquisition.
+
+   This module is the one blessed home of raw [Mutex.lock]/[unlock] in
+   the tree — everything else goes through {!with_lock} (enforced by
+   lint rule R1) — and its module-level state (the enforcement flag)
+   is the documented R4 allowlist entry. *)
+
+module Rank = struct
+  let db = 10
+  let table_cache = 20
+  let block_cache_shard = 30
+  let device = 40
+  let stats = 50
+  let domain_pool = 60
+  let future = 70
+end
+
+type t = { m : Mutex.t; rank : int; name : string }
+
+exception Violation of string
+
+(* Read on every acquisition from any domain, written only by tests and
+   startup: a relaxed atomic, never part of a get/set cycle. *)
+let enforce =
+  Atomic.make
+    (match Sys.getenv_opt "LSM_LOCKDEP" with
+    | Some ("1" | "true" | "on" | "yes") -> true
+    | Some _ | None -> false)
+
+let set_enforce b = Atomic.set enforce b
+let enabled () = Atomic.get enforce
+
+(* Per-domain stack of currently held locks, innermost first. Only the
+   owning domain reads or writes its own stack, so no synchronization
+   is needed beyond DLS itself. *)
+let held_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let create ~rank ~name =
+  if rank < 0 then invalid_arg "Ordered_mutex.create: negative rank";
+  { m = Mutex.create (); rank; name }
+
+let rank t = t.rank
+let name t = t.name
+
+let violation fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+
+(* Runs before [Mutex.lock], so a raise leaves nothing held. *)
+let check_acquire t held =
+  if List.exists (fun h -> h == t) !held then
+    violation "lockdep: re-entrant acquisition of %s (rank %d)" t.name t.rank;
+  match !held with
+  | [] -> ()
+  | top :: _ ->
+    if t.rank <= top.rank then
+      violation "lockdep: acquired %s (rank %d) while holding %s (rank %d); ranks must increase"
+        t.name t.rank top.name top.rank
+
+let lock t =
+  if Atomic.get enforce then begin
+    let held = Domain.DLS.get held_key in
+    check_acquire t held;
+    Mutex.lock t.m;
+    held := t :: !held
+  end
+  else Mutex.lock t.m
+
+(* Tolerates out-of-LIFO and untracked unlocks (enforcement may have
+   been toggled mid-hold by a test): drop the first matching entry. *)
+let unlock t =
+  if Atomic.get enforce then begin
+    let held = Domain.DLS.get held_key in
+    held := List.filter (fun h -> not (h == t)) !held
+  end;
+  Mutex.unlock t.m
+
+let with_lock t f =
+  lock t;
+  Fun.protect ~finally:(fun () -> unlock t) f
+
+(* [Condition.wait] atomically releases and re-acquires [t.m]. The held
+   stack deliberately keeps [t] on it for the duration: the domain is
+   blocked and acquires nothing else, and on return the mutex is held
+   again, so the stack is accurate at every point the domain runs. *)
+let wait cond t = Condition.wait cond t.m
+
+let held_names () =
+  List.rev_map (fun t -> t.name) !(Domain.DLS.get held_key)

@@ -1,0 +1,72 @@
+(** Ranked mutex with optional runtime lock-order checking ("lockdep").
+
+    Each mutex carries an integer rank; the engine-wide discipline is
+    that a domain acquires locks in strictly increasing rank order and
+    never re-enters a lock it holds. When checking is enabled (the
+    [LSM_LOCKDEP=1] environment variable, or {!set_enforce}) any
+    acquisition violating the discipline raises {!Violation} before the
+    underlying mutex is touched, turning a potential cross-domain
+    deadlock into a deterministic failure at the guilty call site.
+    Checking off costs one atomic load per acquisition.
+
+    This module is the sole blessed user of raw [Mutex.lock]/[unlock]
+    in [lib/] (lint rule R1); everything else uses {!with_lock}. *)
+
+(** The engine's lock hierarchy, lowest (outermost) rank first. See
+    DESIGN.md §9 for the rationale behind each edge. *)
+module Rank : sig
+  val db : int  (** [Db.id_mutex] — file-id allocation *)
+
+  val table_cache : int  (** [Table_cache] LRU structure lock *)
+
+  val block_cache_shard : int  (** one [Block_cache] shard *)
+
+  val device : int  (** [Device] file-table / crash-plan lock *)
+
+  val stats : int  (** [Io_stats] counter lock *)
+
+  val domain_pool : int  (** [Domain_pool] work-queue lock *)
+
+  val future : int  (** one [Domain_pool] future's settle lock *)
+end
+
+type t
+
+exception Violation of string
+(** Raised at the acquisition site on rank inversion, same-rank double
+    acquisition, or re-entrancy — only when enforcement is on, and
+    always before the underlying mutex is acquired. *)
+
+val create : rank:int -> name:string -> t
+(** [name] appears in {!Violation} messages; [rank] orders this lock in
+    the hierarchy. Raises [Invalid_argument] on negative rank. *)
+
+val rank : t -> int
+val name : t -> string
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Runs [f] with the lock held; exception-safe (the lock is released
+    on raise). This is the blessed combinator lint rule R1 points
+    raw-mutex call sites at. *)
+
+val lock : t -> unit
+(** Low-level acquire, for code whose hold scope cannot be a closure.
+    Prefer {!with_lock}. *)
+
+val unlock : t -> unit
+
+val wait : Condition.t -> t -> unit
+(** [wait cond t] — [Condition.wait] against [t]'s underlying mutex,
+    which must be held (normally: called inside [with_lock t]). The
+    lock stays attributed to the calling domain for the duration of the
+    wait; see the implementation comment for why that is sound. *)
+
+val set_enforce : bool -> unit
+(** Toggle checking at runtime (tests). Toggle only while the calling
+    domain holds no ordered mutexes. *)
+
+val enabled : unit -> bool
+
+val held_names : unit -> string list
+(** Names of the locks the calling domain currently holds, outermost
+    first. Debugging aid; meaningful only while enforcement is on. *)

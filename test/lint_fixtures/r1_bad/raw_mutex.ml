@@ -1,0 +1,9 @@
+(* Negative fixture for R1: raw mutex calls, including the classic
+   unlock-on-exception gap ([incr] standing in for code that raises). *)
+
+let m = Mutex.create ()
+
+let bump counter =
+  Mutex.lock m;
+  incr counter;
+  Mutex.unlock m

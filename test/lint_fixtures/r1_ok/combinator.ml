@@ -1,0 +1,5 @@
+(* Positive fixture for R1: the blessed combinator only. *)
+
+let m = Lsm_util.Ordered_mutex.create ~rank:10 ~name:"fixture"
+
+let bump counter = Lsm_util.Ordered_mutex.with_lock m (fun () -> incr counter)

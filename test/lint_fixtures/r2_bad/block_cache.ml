@@ -1,0 +1,15 @@
+(* Negative fixture for R2: device I/O syntactically inside a lock
+   body of a cache module (both combinator spellings and both
+   application styles). *)
+
+let find t ~file ~off =
+  with_lock t.m @@ fun () ->
+  match lookup t (file, off) with
+  | Some data -> data
+  | None -> Device.read t.dev ~cls:`Read file ~off ~len:4096
+
+let open_one t name =
+  locked t (fun () ->
+      let r = Sstable.open_reader ~cmp:t.cmp ~dev:t.dev ~cache:t.cache ~name in
+      remember t name r;
+      r)

@@ -1,0 +1,10 @@
+(* Positive fixture for R2: the lock body only touches in-memory
+   structures; the device load happens outside the critical section. *)
+
+let find t ~file ~off =
+  match with_lock t.m (fun () -> lookup t (file, off)) with
+  | Some data -> data
+  | None ->
+    let data = Device.read t.dev ~cls:`Read file ~off ~len:4096 in
+    with_lock t.m (fun () -> insert t (file, off) data);
+    data

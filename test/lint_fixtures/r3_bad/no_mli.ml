@@ -1,0 +1,5 @@
+(* Negative fixture for R3: a module with no interface file. *)
+
+type t = { mutable hidden : int }
+
+let make () = { hidden = 0 }

@@ -1,0 +1,5 @@
+(* Positive fixture for R3: sibling .mli seals the module. *)
+
+type t = { mutable hidden : int }
+
+let make () = { hidden = 0 }

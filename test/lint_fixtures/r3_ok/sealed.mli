@@ -1,0 +1,3 @@
+type t
+
+val make : unit -> t

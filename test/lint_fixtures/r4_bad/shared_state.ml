@@ -1,0 +1,10 @@
+(* Negative fixture for R4: module-level mutable state visible to every
+   domain, plus an Obj.magic. *)
+
+let table = Hashtbl.create 16
+
+let counter = ref 0
+
+let generation = Atomic.make 0
+
+let sneak (x : int) : string = Obj.magic x

@@ -1,0 +1,11 @@
+(* Positive fixture for R4: mutable state is created per call (private
+   to the caller), never at module level. *)
+
+let fresh_counter () = ref 0
+
+let fresh_table () = Hashtbl.create 16
+
+let sum_with_acc xs =
+  let acc = ref 0 in
+  List.iter (fun x -> acc := !acc + x) xs;
+  !acc

@@ -1,0 +1,10 @@
+(* Negative fixture for R5: read-modify-write split across Atomic.get
+   and Atomic.set — a lost update when two domains interleave. *)
+
+let bump c =
+  let v = Atomic.get c in
+  Atomic.set c (v + 1)
+
+let bump_field t =
+  let v = Atomic.get t.hits in
+  Atomic.set t.hits (v + 1)

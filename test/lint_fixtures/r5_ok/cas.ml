@@ -1,0 +1,11 @@
+(* Positive fixture for R5: the get/set pair is a documented CAS loop
+   (retry until the read value is still current), and lone gets or sets
+   are fine. *)
+
+let rec bump c =
+  let v = Atomic.get c in
+  if not (Atomic.compare_and_set c v (v + 1)) then bump c
+
+let read_only c = Atomic.get c
+
+let reset_only c = Atomic.set c 0

@@ -1,0 +1,9 @@
+(* Fixture: a suppression without a reason is itself a finding (R0)
+   and does not silence the underlying rule. *)
+
+let m = Mutex.create ()
+
+let bump counter =
+  (* lsm-lint: allow R1 *)
+  Mutex.lock m;
+  incr counter

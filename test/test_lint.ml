@@ -1,0 +1,76 @@
+(* lsm-lint behaves as specified on the checked-in fixture snippets:
+   each rule R1–R5 has a failing and a passing fixture, suppressions
+   need a reason, and the real lib/ tree is clean. Fixtures are parsed,
+   never compiled, so they can use raw Mutex / Obj.magic freely. *)
+
+module Lint = Lsm_lint.Lint
+
+let fixture dir = Filename.concat "lint_fixtures" dir
+
+let lint ~rules dirs = Lint.lint_paths ~rules (List.map fixture dirs)
+
+let rules_of findings = List.map (fun (f : Lint.finding) -> f.Lint.rule) findings
+
+let check_rules = Alcotest.(check (list string))
+
+let check_flagged rule ~bad ~ok ~expect () =
+  let findings = lint ~rules:[ rule ] [ bad ] in
+  check_rules
+    (Printf.sprintf "%s flags %s" rule bad)
+    (List.init expect (fun _ -> rule))
+    (rules_of findings);
+  check_rules (Printf.sprintf "%s passes %s" rule ok) [] (rules_of (lint ~rules:[ rule ] [ ok ]))
+
+let test_r1 = check_flagged "R1" ~bad:"r1_bad" ~ok:"r1_ok" ~expect:2
+let test_r2 = check_flagged "R2" ~bad:"r2_bad" ~ok:"r2_ok" ~expect:2
+let test_r3 = check_flagged "R3" ~bad:"r3_bad" ~ok:"r3_ok" ~expect:1
+let test_r4 = check_flagged "R4" ~bad:"r4_bad" ~ok:"r4_ok" ~expect:4
+let test_r5 = check_flagged "R5" ~bad:"r5_bad" ~ok:"r5_ok" ~expect:2
+
+let test_r2_only_in_cache_modules () =
+  (* The same I/O-under-lock shape in a non-cache module is not R2's
+     business: the rule is about the fan-out hot-path locks. *)
+  let findings =
+    Lint.lint_paths ~rules:[ "R2" ] [ Filename.concat (fixture "r1_bad") "raw_mutex.ml" ]
+  in
+  check_rules "non-cache module ignored" [] (rules_of findings)
+
+let test_finding_positions () =
+  let findings = lint ~rules:[ "R1" ] [ "r1_bad" ] in
+  Alcotest.(check (list int)) "R1 lines" [ 7; 9 ] (List.map (fun (f : Lint.finding) -> f.Lint.line) findings)
+
+let test_suppression_with_reason () =
+  check_rules "explained suppression silences R1" []
+    (rules_of (lint ~rules:[ "R1" ] [ "suppress_ok" ]))
+
+let test_suppression_without_reason () =
+  (* Reasonless: the suppression is rejected (R0) AND the underlying
+     finding survives. *)
+  check_rules "reasonless suppression rejected" [ "R0"; "R1" ]
+    (rules_of (lint ~rules:[ "R1" ] [ "suppress_bad" ]))
+
+let test_rule_filter () =
+  (* r4_bad also contains no R1 material; an R1-only run over it is clean. *)
+  check_rules "rule filter" [] (rules_of (lint ~rules:[ "R1" ] [ "r4_bad" ]))
+
+let test_repo_lib_clean () =
+  (* The real tree, all rules: this is exactly what the CI lint job
+     gates on. Under `dune runtest` the cwd is _build/default/test, so
+     the built lib/ sources sit one level up. *)
+  if Sys.file_exists "../lib" && Sys.is_directory "../lib" then
+    check_rules "lib/ lint-clean" [] (rules_of (Lint.lint_paths [ "../lib" ]))
+
+let suite =
+  [
+    Alcotest.test_case "R1: raw mutex fixtures" `Quick test_r1;
+    Alcotest.test_case "R2: I/O under lock fixtures" `Quick test_r2;
+    Alcotest.test_case "R3: missing mli fixtures" `Quick test_r3;
+    Alcotest.test_case "R4: shared state fixtures" `Quick test_r4;
+    Alcotest.test_case "R5: atomic pair fixtures" `Quick test_r5;
+    Alcotest.test_case "R2 scoped to cache modules" `Quick test_r2_only_in_cache_modules;
+    Alcotest.test_case "findings carry line numbers" `Quick test_finding_positions;
+    Alcotest.test_case "suppression with reason" `Quick test_suppression_with_reason;
+    Alcotest.test_case "suppression without reason" `Quick test_suppression_without_reason;
+    Alcotest.test_case "rule filtering" `Quick test_rule_filter;
+    Alcotest.test_case "repo lib/ is clean" `Quick test_repo_lib_clean;
+  ]

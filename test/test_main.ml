@@ -18,4 +18,6 @@ let () =
       ("more", Test_more.suite);
       ("parallel", Test_parallel.suite);
       ("crash", Test_crash.suite);
+      ("lint", Test_lint.suite);
+      ("lockdep", Test_lockdep.suite);
     ]

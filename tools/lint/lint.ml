@@ -1,0 +1,432 @@
+(* lsm-lint: AST-driven concurrency & invariant checks for lib/.
+
+   The engine's multi-domain correctness rests on structural invariants
+   no type checker sees — which mutex combinator is blessed, what may
+   run under a cache lock, which modules are sealed. This linter makes
+   them machine-checked. It parses each source file with the compiler's
+   own frontend (compiler-libs; parsing only, no typing, so test
+   fixtures need not compile) and walks the Parsetree.
+
+   Rules:
+     R1  raw [Mutex.lock]/[unlock]/[try_lock] call sites — everything
+         must go through [Ordered_mutex.with_lock] (exception safety +
+         lockdep); only ordered_mutex.ml itself is exempt.
+     R2  Device/Wal/Sstable calls syntactically inside a
+         [with_lock]/[locked] body in the cache modules: I/O under a
+         cache lock serializes every other domain behind the device.
+     R3  every module has an .mli sealing its internals.
+     R4  [Obj.magic] anywhere; module-level mutable state
+         ([ref]/[Hashtbl.create]/[Atomic.make] in a top-level binding)
+         outside the allowlist — hidden shared state is a data race
+         waiting for a second domain.
+     R5  [Atomic.get] and [Atomic.set] of the same location within one
+         top-level binding, with no CAS in sight: a lost-update
+         read-modify-write split across two atomic ops.
+
+   Per-site suppression: a comment [(* lsm-lint: allow R2 — reason *)]
+   on the line of (or the line before) the finding. The reason is
+   mandatory; a reasonless or malformed suppression is itself reported
+   (as rule R0) and cannot be suppressed. *)
+
+type finding = { file : string; line : int; rule : string; msg : string }
+
+let all_rules = [ "R1"; "R2"; "R3"; "R4"; "R5" ]
+
+(* Files allowed to touch raw mutexes: the blessed combinator itself. *)
+let r1_exempt = [ "ordered_mutex.ml" ]
+
+(* Modules whose locks sit on fan-out hot paths; R2 applies here. *)
+let r2_cache_modules = [ "block_cache.ml"; "table_cache.ml" ]
+let r2_io_modules = [ "Device"; "Wal"; "Sstable" ]
+let lock_combinators = [ "with_lock"; "locked" ]
+
+(* Modules allowed module-level mutable state (documented, reviewed:
+   the lockdep enforcement flag). *)
+let r4_state_allowlist = [ "ordered_mutex.ml" ]
+
+let compare_finding a b =
+  match String.compare a.file b.file with
+  | 0 -> (match compare a.line b.line with 0 -> String.compare a.rule b.rule | c -> c)
+  | c -> c
+
+(* ---------------- suppression comments ---------------- *)
+
+type suppression = { s_rules : string list; s_first : int; s_last : int }
+
+(* Scan raw source for comments, tracking comment nesting and string
+   literals (normal "..." with escapes and {tag|...|tag} quoted
+   strings). Returns (start_line, end_line, text) per comment. *)
+let comments_of_source src =
+  let n = String.length src in
+  let line = ref 1 in
+  let comments = ref [] in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  let take () =
+    let c = src.[!i] in
+    bump c;
+    incr i;
+    c
+  in
+  let rec skip_string () =
+    if !i < n then
+      match take () with
+      | '\\' ->
+        if !i < n then ignore (take ());
+        skip_string ()
+      | '"' -> ()
+      | _ -> skip_string ()
+  in
+  let rec skip_quoted tag =
+    if !i < n then
+      match take () with
+      | '|' ->
+        let tl = String.length tag in
+        if !i + tl < n && String.sub src !i tl = tag && src.[!i + tl] = '}' then begin
+          (* the tag and '}' contain no newlines *)
+          i := !i + tl + 1
+        end
+        else skip_quoted tag
+      | _ -> skip_quoted tag
+  in
+  let read_comment start =
+    let buf = Buffer.create 64 in
+    let depth = ref 1 in
+    while !depth > 0 && !i < n do
+      if src.[!i] = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        Buffer.add_string buf "(*";
+        i := !i + 2;
+        incr depth
+      end
+      else if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        i := !i + 2;
+        decr depth;
+        if !depth > 0 then Buffer.add_string buf "*)"
+      end
+      else Buffer.add_char buf (take ())
+    done;
+    comments := (start, !line, Buffer.contents buf) :: !comments
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '"' then begin
+      incr i;
+      skip_string ()
+    end
+    else if c = '{' then begin
+      let j = ref (!i + 1) in
+      while !j < n && (src.[!j] = '_' || (src.[!j] >= 'a' && src.[!j] <= 'z')) do
+        incr j
+      done;
+      if !j < n && src.[!j] = '|' then begin
+        let tag = String.sub src (!i + 1) (!j - !i - 1) in
+        i := !j + 1;
+        skip_quoted tag
+      end
+      else incr i
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let start = !line in
+      i := !i + 2;
+      read_comment start
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  List.rev !comments
+
+let rule_token tok =
+  let tok =
+    if String.length tok > 1 && tok.[String.length tok - 1] = ',' then
+      String.sub tok 0 (String.length tok - 1)
+    else tok
+  in
+  if
+    String.length tok >= 2
+    && tok.[0] = 'R'
+    && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub tok 1 (String.length tok - 1))
+  then Some tok
+  else None
+
+let find_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = if i + nn > nh then None else if String.sub hay i nn = needle then Some i else go (i + 1) in
+  go 0
+
+(* Parse suppressions out of one file's comments: valid suppressions
+   plus R0 findings for malformed / reasonless ones. *)
+let parse_suppressions file comments =
+  let sups = ref [] and bad = ref [] in
+  let r0 line msg = bad := { file; line; rule = "R0"; msg } :: !bad in
+  List.iter
+    (fun (first, last_line, text) ->
+      match find_substring text "lsm-lint" with
+      | None -> ()
+      | Some at ->
+        let rest = String.sub text at (String.length text - at) in
+        let rest =
+          match String.index_opt rest ':' with
+          | Some c -> String.sub rest (c + 1) (String.length rest - c - 1)
+          | None -> ""
+        in
+        let toks =
+          String.map (fun c -> if c = '\n' || c = '\t' || c = '\r' then ' ' else c) rest
+          |> String.split_on_char ' '
+          |> List.filter (fun s -> s <> "")
+        in
+        (match toks with
+        | "allow" :: more ->
+          let rec take_rules acc = function
+            | tok :: tl -> (
+              match rule_token tok with
+              | Some r -> take_rules (r :: acc) tl
+              | None -> (List.rev acc, tok :: tl))
+            | [] -> (List.rev acc, [])
+          in
+          let rules, reason = take_rules [] more in
+          let reason = match reason with ("\xe2\x80\x94" | "-" | "--" | ":") :: tl -> tl | tl -> tl in
+          if rules = [] then r0 first "lsm-lint comment names no rule (expected: lsm-lint: allow Rn \xe2\x80\x94 reason)"
+          else if reason = [] then
+            r0 first
+              (Printf.sprintf "suppression of %s has no reason (format: lsm-lint: allow Rn \xe2\x80\x94 reason)"
+                 (String.concat "," rules))
+          else sups := { s_rules = rules; s_first = first; s_last = last_line + 1 } :: !sups
+        | _ -> r0 first "malformed lsm-lint comment (expected: lsm-lint: allow Rn \xe2\x80\x94 reason)"))
+    comments;
+  (!sups, !bad)
+
+let suppressed sups rule line =
+  List.exists (fun s -> List.mem rule s.s_rules && line >= s.s_first && line <= s.s_last) sups
+
+(* ---------------- AST helpers ---------------- *)
+
+open Parsetree
+
+let flatten_lid lid = try Longident.flatten lid with _ -> []
+let line_of (e : expression) = e.pexp_loc.Location.loc_start.Lexing.pos_lnum
+let last_comp = function [] -> "" | l -> List.nth l (List.length l - 1)
+let head_ident e = match e.pexp_desc with Pexp_ident { txt; _ } -> flatten_lid txt | _ -> []
+
+(* Normalize [f @@ x] and [x |> f] into a direct application so the
+   idiomatic [locked t @@ fun () -> ...] is recognized as a lock body. *)
+let rec normalize_apply f args =
+  match (f.pexp_desc, args) with
+  | Pexp_ident { txt = Longident.Lident "@@"; _ }, [ (_, lhs); (_, rhs) ] -> (
+    match lhs.pexp_desc with
+    | Pexp_apply (f', args') -> normalize_apply f' (args' @ [ (Asttypes.Nolabel, rhs) ])
+    | _ -> (lhs, [ (Asttypes.Nolabel, rhs) ]))
+  | Pexp_ident { txt = Longident.Lident "|>"; _ }, [ (_, lhs); (_, rhs) ] -> (
+    match rhs.pexp_desc with
+    | Pexp_apply (f', args') -> normalize_apply f' (args' @ [ (Asttypes.Nolabel, lhs) ])
+    | _ -> (rhs, [ (Asttypes.Nolabel, lhs) ]))
+  | _ -> (f, args)
+
+(* Canonical string for an atomic location: [Atomic.get t.field] and
+   [Atomic.set t.field v] must key identically. *)
+let rec path_repr e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> String.concat "." (flatten_lid txt)
+  | Pexp_field (b, { txt; _ }) -> path_repr b ^ "." ^ last_comp (flatten_lid txt)
+  | _ -> "?"
+
+(* ---------------- per-file rule pass ---------------- *)
+
+type ctx = {
+  file : string;
+  base : string;
+  active : string -> bool;
+  mutable out : finding list;
+}
+
+let emit ctx rule line msg = ctx.out <- { file = ctx.file; line; rule; msg } :: ctx.out
+
+let check_r1 ctx e =
+  if ctx.active "R1" && not (List.mem ctx.base r1_exempt) then begin
+    let path = head_ident e in
+    let len = List.length path in
+    if len >= 2 && List.nth path (len - 2) = "Mutex" then
+      match last_comp path with
+      | ("lock" | "unlock" | "try_lock") as fn ->
+        emit ctx "R1" (line_of e)
+          (Printf.sprintf
+             "raw Mutex.%s; use Lsm_util.Ordered_mutex.with_lock (exception-safe, lockdep-checked)" fn)
+      | _ -> ()
+  end
+
+let check_r2_ident ctx e =
+  let path = head_ident e in
+  if path <> [] then begin
+    let value = last_comp path in
+    let modules = List.filteri (fun i _ -> i < List.length path - 1) path in
+    match List.find_opt (fun m -> List.mem m r2_io_modules) modules with
+    | Some m ->
+      emit ctx "R2" (line_of e)
+        (Printf.sprintf
+           "I/O call %s.%s inside a lock body; load outside the critical section (it serializes every domain behind the device)"
+           m value)
+    | None -> ()
+  end
+
+let check_r4_magic ctx e =
+  if ctx.active "R4" then
+    match head_ident e with
+    | [ "Obj"; "magic" ] ->
+      emit ctx "R4" (line_of e) "Obj.magic defeats the type system and the memory model"
+    | _ -> ()
+
+(* R4 state scan: walk a top-level binding's expression but do not
+   descend into functions — state allocated per call is private. *)
+let rec r4_state_scan ctx name e =
+  let flag kind =
+    emit ctx "R4" (line_of e)
+      (Printf.sprintf
+         "module-level mutable state: 'let %s = %s ...' is shared by every domain; move it into a value or allowlist the module"
+         name kind)
+  in
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ | Pexp_lazy _ -> ()
+  | Pexp_apply (f, args) ->
+    let f, args = normalize_apply f args in
+    (match head_ident f with
+    | [ "ref" ] -> flag "ref"
+    | [ "Hashtbl"; "create" ] -> flag "Hashtbl.create"
+    | [ "Atomic"; "make" ] -> flag "Atomic.make"
+    | _ -> ());
+    List.iter (fun (_, a) -> r4_state_scan ctx name a) args
+  | Pexp_tuple es -> List.iter (r4_state_scan ctx name) es
+  | Pexp_array es -> List.iter (r4_state_scan ctx name) es
+  | Pexp_record (fields, base) ->
+    List.iter (fun (_, v) -> r4_state_scan ctx name v) fields;
+    Option.iter (r4_state_scan ctx name) base
+  | Pexp_let (_, vbs, body) ->
+    List.iter (fun vb -> r4_state_scan ctx name vb.pvb_expr) vbs;
+    r4_state_scan ctx name body
+  | Pexp_sequence (a, b) ->
+    r4_state_scan ctx name a;
+    r4_state_scan ctx name b
+  | Pexp_constraint (inner, _) -> r4_state_scan ctx name inner
+  | Pexp_construct (_, Some inner) -> r4_state_scan ctx name inner
+  | _ -> ()
+
+(* ---- R5: Atomic.get/set pairing within one top-level binding ---- *)
+
+type r5_acc = {
+  mutable gets : (string * int) list;
+  mutable sets : (string * int) list;
+  mutable has_cas : bool;
+}
+
+let r5_collect acc e0 =
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_apply (f, args) -> (
+      let f, args = normalize_apply f args in
+      match (head_ident f, args) with
+      | [ "Atomic"; "get" ], (_, target) :: _ -> acc.gets <- (path_repr target, line_of e) :: acc.gets
+      | [ "Atomic"; "set" ], (_, target) :: _ -> acc.sets <- (path_repr target, line_of e) :: acc.sets
+      | [ "Atomic"; ("compare_and_set" | "exchange" | "fetch_and_add" | "incr" | "decr") ], _ ->
+        acc.has_cas <- true
+      | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it e0
+
+let check_r5_binding ctx vb =
+  let acc = { gets = []; sets = []; has_cas = false } in
+  r5_collect acc vb.pvb_expr;
+  if not acc.has_cas then
+    List.iter
+      (fun (path, line) ->
+        if path <> "?" && List.mem_assoc path acc.gets then
+          emit ctx "R5" line
+            (Printf.sprintf
+               "Atomic.get/Atomic.set pair on %s in one binding: a torn read-modify-write; use Atomic.compare_and_set in a documented CAS loop"
+               path))
+      (List.sort_uniq compare acc.sets)
+
+let lint_structure ctx (str : structure) =
+  let in_lock = ref 0 in
+  let expr it e =
+    check_r1 ctx e;
+    check_r4_magic ctx e;
+    if ctx.active "R2" && List.mem ctx.base r2_cache_modules && !in_lock > 0 then
+      check_r2_ident ctx e;
+    match e.pexp_desc with
+    | Pexp_apply (f0, args0) ->
+      let f, args = normalize_apply f0 args0 in
+      it.Ast_iterator.expr it f;
+      if List.mem (last_comp (head_ident f)) lock_combinators then begin
+        incr in_lock;
+        List.iter (fun (_, a) -> it.Ast_iterator.expr it a) args;
+        decr in_lock
+      end
+      else List.iter (fun (_, a) -> it.Ast_iterator.expr it a) args
+    | _ -> Ast_iterator.default_iterator.expr it e
+  in
+  let structure_item it si =
+    (match si.pstr_desc with
+    | Pstr_value (_, vbs) ->
+      List.iter
+        (fun vb ->
+          if ctx.active "R4" && not (List.mem ctx.base r4_state_allowlist) then begin
+            let name = match vb.pvb_pat.ppat_desc with Ppat_var { txt; _ } -> txt | _ -> "_" in
+            r4_state_scan ctx name vb.pvb_expr
+          end;
+          if ctx.active "R5" then check_r5_binding ctx vb)
+        vbs
+    | _ -> ());
+    Ast_iterator.default_iterator.structure_item it si
+  in
+  let iter = { Ast_iterator.default_iterator with expr; structure_item } in
+  iter.structure iter str
+
+(* ---------------- driver ---------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_impl path src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf path;
+  Parse.implementation lexbuf
+
+let lint_file ~active path =
+  let base = Filename.basename path in
+  let src = read_file path in
+  let sups, bad = parse_suppressions path (comments_of_source src) in
+  let ctx = { file = path; base; active; out = [] } in
+  (match parse_impl path src with
+  | str -> lint_structure ctx str
+  | exception exn -> emit ctx "R0" 1 (Printf.sprintf "parse error: %s" (Printexc.to_string exn)));
+  if active "R3" && not (Sys.file_exists (Filename.remove_extension path ^ ".mli")) then
+    emit ctx "R3" 1
+      (Printf.sprintf "module %s has no .mli: internal mutable state is unsealed"
+         (Filename.remove_extension base));
+  let kept = List.filter (fun f -> f.rule = "R0" || not (suppressed sups f.rule f.line)) ctx.out in
+  bad @ kept
+
+let rec collect_ml path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry -> collect_ml (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let lint_paths ?(rules = all_rules) paths =
+  let active r = List.mem r rules in
+  paths |> List.concat_map collect_ml |> List.concat_map (lint_file ~active)
+  |> List.sort compare_finding
+
+let pp_finding ppf (f : finding) = Format.fprintf ppf "%s:%d %s %s" f.file f.line f.rule f.msg
+
+let run ?rules paths =
+  let findings = lint_paths ?rules paths in
+  List.iter (fun f -> Format.printf "%a@." pp_finding f) findings;
+  if findings = [] then 0 else 1

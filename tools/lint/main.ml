@@ -1,0 +1,31 @@
+(* lsm-lint driver. Default: check lib/ (relative to the cwd, i.e. the
+   project root under `dune exec tools/lint/main.exe`) with every rule.
+   Tests point it at fixture directories with a narrowed rule set. *)
+
+let usage = "lsm-lint [--rules R1,R2,...] [path ...]\n\nRules:\n" ^
+            "  R1  raw Mutex.lock/unlock outside Ordered_mutex.with_lock\n" ^
+            "  R2  Device/Wal/Sstable I/O inside a lock body in cache modules\n" ^
+            "  R3  module without an .mli\n" ^
+            "  R4  Obj.magic / module-level mutable state\n" ^
+            "  R5  Atomic.get+set pair without a CAS loop\n"
+
+let () =
+  let rules = ref Lsm_lint.Lint.all_rules in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--rules",
+        Arg.String
+          (fun s ->
+            rules := String.split_on_char ',' s |> List.map String.trim
+                     |> List.filter (fun r -> r <> "")),
+        "R1,R2,... comma-separated subset of rules to run (default: all)" );
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  let paths = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
+  match Lsm_lint.Lint.run ~rules:!rules paths with
+  | code -> exit code
+  | exception Sys_error e ->
+    prerr_endline ("lsm-lint: " ^ e);
+    exit 2
