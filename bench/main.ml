@@ -4,29 +4,35 @@
    dune exec bench/main.exe -- --only E3 - run one experiment
    dune exec bench/main.exe -- --micro   - Bechamel microbenchmarks
    dune exec bench/main.exe -- --parallel - parallel-compaction bench (JSON)
+   dune exec bench/main.exe -- --stall   - write-stall bench, inline vs background (JSON)
    dune exec bench/main.exe -- --crash   - crash-recovery fault-injection smoke
    dune exec bench/main.exe -- --list    - list experiments *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse only micro list_only par crash = function
-    | [] -> (only, micro, list_only, par, crash)
-    | "--micro" :: rest -> parse only true list_only par crash rest
-    | "--parallel" :: rest -> parse only micro list_only true crash rest
-    | "--crash" :: rest -> parse only micro list_only par true rest
-    | "--list" :: rest -> parse only micro true par crash rest
-    | "--only" :: id :: rest -> parse (id :: only) micro list_only par crash rest
+  let rec parse only micro list_only par stall crash = function
+    | [] -> (only, micro, list_only, par, stall, crash)
+    | "--micro" :: rest -> parse only true list_only par stall crash rest
+    | "--parallel" :: rest -> parse only micro list_only true stall crash rest
+    | "--stall" :: rest -> parse only micro list_only par true crash rest
+    | "--crash" :: rest -> parse only micro list_only par stall true rest
+    | "--list" :: rest -> parse only micro true par stall crash rest
+    | "--only" :: id :: rest -> parse (id :: only) micro list_only par stall crash rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
       exit 2
   in
-  let only, micro, list_only, par, crash = parse [] false false false false args in
+  let only, micro, list_only, par, stall, crash = parse [] false false false false false args in
   if crash then begin
     Crash_smoke.run ();
     exit 0
   end;
   if par then begin
     Parallel.run ();
+    exit 0
+  end;
+  if stall then begin
+    Stall.run ();
     exit 0
   end;
   if list_only then begin

@@ -1,5 +1,7 @@
 module Policy = Lsm_compaction.Policy
 
+type backend = Inline | Background
+
 type t = {
   comparator : Lsm_util.Comparator.t;
   memtable : Lsm_memtable.Memtable.kind;
@@ -25,8 +27,20 @@ type t = {
   allow_trivial_move : bool;
   compaction_bytes_per_round : int option;
   compaction_parallelism : int;
+  compaction_backend : backend;
+  write_slowdown_trigger : int;
+  write_stop_trigger : int;
   paranoid_checks : bool;
 }
+
+(* CI's background matrix leg flips the default backend through the
+   environment so the whole tier-1 suite runs against the scheduler
+   without touching any test. Explicit [compaction_backend] settings in
+   code always win — this only changes [default]. *)
+let default_backend =
+  match Sys.getenv_opt "LSM_COMPACTION_BACKEND" with
+  | Some ("background" | "Background" | "BACKGROUND") -> Background
+  | Some _ | None -> Inline
 
 let default =
   {
@@ -54,6 +68,9 @@ let default =
     allow_trivial_move = true;
     compaction_bytes_per_round = None;
     compaction_parallelism = 1;
+    compaction_backend = default_backend;
+    write_slowdown_trigger = 20;
+    write_stop_trigger = 36;
     paranoid_checks = false;
   }
 
@@ -71,6 +88,10 @@ let validate t =
   if t.max_open_tables < 8 then invalid_arg "Config: max_open_tables must be >= 8";
   if t.compaction_parallelism < 1 then
     invalid_arg "Config: compaction_parallelism must be >= 1";
+  if t.write_slowdown_trigger < 1 then
+    invalid_arg "Config: write_slowdown_trigger must be >= 1";
+  if t.write_stop_trigger <= t.write_slowdown_trigger then
+    invalid_arg "Config: write_stop_trigger must exceed write_slowdown_trigger";
   match t.compaction_bytes_per_round with
   | Some n when n <= 0 -> invalid_arg "Config: compaction_bytes_per_round must be positive"
   | Some _ | None -> ()
@@ -89,3 +110,4 @@ let describe t =
     (Lsm_filter.Point_filter.policy_name t.filter)
     (t.block_cache_bytes / 1024)
     (if t.monkey_filters then " monkey" else "")
+  ^ (match t.compaction_backend with Inline -> "" | Background -> " bg")

@@ -7,6 +7,13 @@
     Use {!default} and override fields:
     {[ { Config.default with compaction = Policy.tiered (); write_buffer_size = 1 lsl 20 } ]} *)
 
+type backend =
+  | Inline  (** flush/compaction run synchronously inside the triggering write *)
+  | Background
+      (** flush/compaction run as jobs on the process-wide scheduler lane;
+          writes return after WAL+memtable and are throttled by
+          backpressure instead of absorbing merge work *)
+
 type t = {
   comparator : Lsm_util.Comparator.t;
   (* -- write path (§2.2.1) -- *)
@@ -70,6 +77,24 @@ type t = {
           merge's key space by fence-pointer boundaries into up to K
           disjoint ranges compacted in parallel, RocksDB-subcompaction
           style. *)
+  compaction_backend : backend;
+      (** [Inline] (default) keeps the single-writer deterministic shape
+          every cost-model experiment depends on. [Background] moves
+          flush and compaction onto the scheduler (see DESIGN.md §10):
+          logically equivalent ([Db.dump_entries] identical after
+          quiesce), but writes no longer pay for merges — they pay
+          bounded backpressure delays instead. The default flips to
+          [Background] when [LSM_COMPACTION_BACKEND=background] is in
+          the environment (CI matrix leg). *)
+  write_slowdown_trigger : int;
+      (** backpressure (background mode only): once immutable buffers +
+          L0 runs + pending scheduler jobs reach this, each write sleeps
+          a bounded delay (RocksDB's slowdown trigger) *)
+  write_stop_trigger : int;
+      (** backpressure (background mode only): once the same debt
+          measure reaches this, writes block on a condition variable
+          until the scheduler catches up; must exceed
+          [write_slowdown_trigger] *)
   paranoid_checks : bool;
       (** verify version invariants after every flush/compaction *)
 }

@@ -14,6 +14,7 @@ module Table_cache = Lsm_sstable.Table_cache
 module Policy = Lsm_compaction.Policy
 module Picker = Lsm_compaction.Picker
 module Domain_pool = Lsm_util.Domain_pool
+module Ordered_mutex = Lsm_util.Ordered_mutex
 
 type buffer_unit = { mt : Memtable.t; wal : Wal.t option; wal_name : string option }
 
@@ -24,8 +25,19 @@ type t = {
   tables : Table_cache.t;
   db_stats : Stats.t;
   mutable active : buffer_unit;
-  mutable immutables : buffer_unit list;  (** newest first *)
+  mutable immutables : buffer_unit list;  (** newest first; guarded by [buf_mutex] *)
+  mutable imm_count : int;
+      (** [List.length immutables], maintained so the per-write flush
+          trigger and backpressure debt are O(1); same guard *)
   mutable vers : Version.t;
+      (** the maintenance lane's working state — mutated only inline or
+          on the serialized background lane (never both concurrently) *)
+  mutable read_view : Version.t * (string * string * int) list;
+      (** what readers use: the installed version paired with the
+          range-tombstone list rebuilt from exactly that version, swapped
+          in one field write so a reader can never pair a new version
+          with stale tombstones (or vice versa, which would resurrect
+          range-deleted keys) *)
   mutable manifest : Manifest.t;
   mutable seqno : int;
   mutable clock : int;
@@ -34,8 +46,6 @@ type t = {
   mutable next_group : int;
   mutable wal_counter : int;
   rr_cursors : (int, string) Hashtbl.t;  (** round-robin movement cursor per level *)
-  mutable table_rds : (string * string * int) list;
-      (** live on-disk range tombstones: (lo, hi-exclusive, seqno) *)
   mutable dyn_buffer_size : int;
       (** runtime-adjustable rotation threshold (adaptive memory, §2.3.1);
           starts at [cfg.write_buffer_size] *)
@@ -44,6 +54,14 @@ type t = {
           [None] iff [cfg.compaction_parallelism = 1] *)
   id_mutex : Lsm_util.Ordered_mutex.t;
       (** guards [next_file_id] across subcompaction domains *)
+  buf_mutex : Ordered_mutex.t;
+      (** guards [immutables]/[imm_count]: the writer pushes on rotation,
+          the background flush job pops, readers snapshot *)
+  sched : Scheduler.t option;
+      (** [Some] iff [cfg.compaction_backend = Background] *)
+  pins : Version.Pins.registry;
+      (** version pin registry; deletions of compacted [.sst] files are
+          deferred through it in background mode (eager inline) *)
   mutable closed : bool;
 }
 
@@ -94,8 +112,12 @@ let rebuild_table_rds t =
           (Sstable.props reader).Sstable.Props.range_tombstones
       end)
     (Version.all_files t.vers);
-  t.table_rds <- !rds
+  !rds
 
+(* Serialized: runs inline, or on the background lane, or on a quiesced
+   foreground — never two at once. Publishing [read_view] before
+   [Pins.advance] keeps pinning conservative: a pin taken between the
+   two blocks deletions for the version it just read. *)
 let install_edit t edit =
   t.vers <- Version.apply t.vers edit;
   Manifest.log_edit t.manifest edit;
@@ -104,7 +126,8 @@ let install_edit t edit =
     | Ok () -> ()
     | Error e -> failwith ("LSM invariant violation: " ^ e)
   end;
-  rebuild_table_rds t
+  t.read_view <- (t.vers, rebuild_table_rds t);
+  Version.Pins.advance t.pins
 
 (* ------------------------------------------------------------------ *)
 (* Writing runs of SSTables                                            *)
@@ -198,11 +221,25 @@ let write_run t ~cls ~filter_bits_override src =
 (* Flush                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* The buffer the writer retires stays reachable through [immutables]
+   before [active] is swapped, so a reader snapshotting mid-rotation sees
+   the buffer at least once (twice is benign: probe order dedupes).
+   [new_buffer] creates the WAL (device I/O) outside the buffer lock. *)
 let rotate t =
   if Memtable.count t.active.mt > 0 then begin
-    t.immutables <- t.active :: t.immutables;
-    t.active <- new_buffer t
+    let fresh = new_buffer t in
+    Ordered_mutex.with_lock t.buf_mutex (fun () ->
+        t.immutables <- t.active :: t.immutables;
+        t.imm_count <- t.imm_count + 1;
+        t.active <- fresh)
   end
+
+(* Consistent reader snapshot of the memtable stack. Taking the buffer
+   lock (not just reading the fields) also orders this read against the
+   flush job's pop: a reader that no longer sees a buffer here is
+   guaranteed to see the [read_view] that contains its flushed table. *)
+let buffers t =
+  Ordered_mutex.with_lock t.buf_mutex (fun () -> (t.active, t.immutables))
 
 let flush_one t buffer =
   let it = Memtable.iterator buffer.mt in
@@ -228,12 +265,20 @@ let flush_one t buffer =
   (match buffer.wal_name with Some n -> Device.delete t.dev n | None -> ());
   t.db_stats.Stats.flushes <- t.db_stats.Stats.flushes + 1
 
+(* Flush first, pop after: between [install_edit] and the pop a reader
+   may see the entries both in the immutable memtable and in L0, which
+   probe order dedupes; popping first would open a window where a
+   concurrent reader sees them in neither. Only the maintenance lane
+   pops, and pushes only prepend, so the oldest element is stable across
+   the unlocked read. *)
 let flush_oldest t =
   match List.rev t.immutables with
   | [] -> ()
   | oldest :: _ ->
-    t.immutables <- List.filter (fun b -> b != oldest) t.immutables;
-    flush_one t oldest
+    flush_one t oldest;
+    Ordered_mutex.with_lock t.buf_mutex (fun () ->
+        t.immutables <- List.filter (fun b -> b != oldest) t.immutables;
+        t.imm_count <- t.imm_count - 1)
 
 (* ------------------------------------------------------------------ *)
 (* Compaction                                                          *)
@@ -340,13 +385,21 @@ let rds_of_files t files =
     files
 
 let retire_files t files =
-  List.iter
-    (fun (f : Table_meta.t) ->
-      Device.delete t.dev f.file_name;
-      (* Deleting inputs implicitly evicts their hot blocks — the cache
-         disturbance §2.1.3 attributes to compactions. *)
-      Table_cache.evict t.tables f.file_name)
-    files
+  let delete () =
+    List.iter
+      (fun (f : Table_meta.t) ->
+        Device.delete t.dev f.file_name;
+        (* Deleting inputs implicitly evicts their hot blocks — the cache
+           disturbance §2.1.3 attributes to compactions. *)
+        Table_cache.evict t.tables f.file_name)
+      files
+  in
+  match t.sched with
+  | None -> delete ()
+  | Some _ ->
+    (* Concurrent readers may still hold a version referencing these
+       files; deletion waits for the last pin predating this install. *)
+    Version.Pins.defer t.pins delete
 
 (* ---------------- subcompactions ---------------- *)
 
@@ -602,7 +655,10 @@ let execute_job t job =
            ~target_group:(leveled_target_group t target) ~bottom)
     end
 
-let compact_once t =
+(* One compaction step on the calling domain; no lane coordination —
+   [schedule_compactions] runs this from inside background jobs. The
+   public [compact_once] below quiesces first. *)
+let compact_step t =
   match pick_compaction t with
   | None -> false
   | Some job ->
@@ -623,18 +679,70 @@ let schedule_compactions t =
   in
   let start = moved () in
   let rec loop n =
-    if n < max_cascade && moved () - start < budget && compact_once t then loop (n + 1)
+    if n < max_cascade && moved () - start < budget && compact_step t then loop (n + 1)
   in
   loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Background scheduling & backpressure                                 *)
+(* ------------------------------------------------------------------ *)
+
+let quiesce_bg t = match t.sched with Some s -> Scheduler.quiesce s | None -> ()
+
+(* Readers pin the installed version so background compaction cannot
+   delete the [.sst] files under them; inline mode has no concurrent
+   deleter and skips the registry. *)
+let with_pin t f =
+  match t.sched with None -> f () | Some _ -> Version.Pins.with_pin t.pins f
+
+(* One job per rotation, each flushing at most one buffer: exactly the
+   work the inline trigger does per rotation, so however far the lane
+   lags, the sequence of flush/compaction steps applied to the version
+   is identical to inline execution — which is what makes
+   [dump_entries] backend-independent. *)
+let bg_flush_step t =
+  let over =
+    Ordered_mutex.with_lock t.buf_mutex (fun () ->
+        t.imm_count > t.cfg.Config.max_immutable_buffers)
+  in
+  if over then begin
+    flush_oldest t;
+    schedule_compactions t
+  end
+
+(* RocksDB-style backpressure, keyed on the same debt measure at both
+   thresholds: immutable buffers + L0 runs + jobs the scheduler still
+   owes. The debt reads are deliberately lock-free (stale by at most a
+   step — this is a throttle, not an invariant). *)
+let bg_after_rotate t sched =
+  Scheduler.enqueue sched (fun () -> bg_flush_step t);
+  let debt () = t.imm_count + Version.run_count t.vers 0 in
+  let d = debt () + Scheduler.pending sched in
+  if d >= t.cfg.Config.write_stop_trigger then begin
+    t.db_stats.Stats.write_stops <- t.db_stats.Stats.write_stops + 1;
+    Scheduler.wait_until sched (fun ~pending ->
+        debt () + pending < t.cfg.Config.write_stop_trigger)
+  end
+  else if d >= t.cfg.Config.write_slowdown_trigger then begin
+    t.db_stats.Stats.write_slowdowns <- t.db_stats.Stats.write_slowdowns + 1;
+    (* Bounded delay, proportionate to one flush step at bench scale:
+       large enough to let the lane gain ground, small enough that a
+       slowed write is still far cheaper than an inline merge cascade. *)
+    Unix.sleepf 0.0001
+  end
+
+let compact_once t =
+  quiesce_bg t;
+  compact_step t
 
 (* ------------------------------------------------------------------ *)
 (* Write path                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let maybe_flush_for_write t =
-  if List.length t.immutables > t.cfg.Config.max_immutable_buffers then begin
+  if t.imm_count > t.cfg.Config.max_immutable_buffers then begin
     let before = Io_stats.copy (Device.stats t.dev) in
-    while List.length t.immutables > t.cfg.Config.max_immutable_buffers do
+    while t.imm_count > t.cfg.Config.max_immutable_buffers do
       flush_oldest t
     done;
     schedule_compactions t;
@@ -649,21 +757,36 @@ let maybe_flush_for_write t =
 
 let check_open t = if t.closed then invalid_arg "Db: closed"
 
+(* Shared tail of [write]/[apply_batch]: rotation trigger plus the
+   per-backend follow-up work. [throttle] is true only for single
+   writes — batches never paid the throttled-mode slice, and keeping
+   that exact shape keeps the inline cost-model experiments bit-stable. *)
+let after_memtable_add t ~throttle =
+  if Memtable.footprint t.active.mt >= t.dyn_buffer_size then begin
+    rotate t;
+    match t.sched with
+    | Some sched -> bg_after_rotate t sched
+    | None -> maybe_flush_for_write t
+  end
+  else
+    match t.sched with
+    | None when throttle && t.cfg.Config.compaction_bytes_per_round <> None ->
+      (* Throttled mode: pay down deferred compaction debt a slice at a
+         time on ordinary writes instead of in bursts at flush points.
+         In background mode the budget throttles each lane job instead. *)
+      schedule_compactions t
+    | _ -> ()
+
 let write t (e : Entry.t) =
   check_open t;
+  let t0 = now_ns () in
   t.clock <- t.clock + 1;
   (match t.active.wal with
   | Some w -> Wal.append w ~sync:t.cfg.Config.wal_sync_every_write [ e ]
   | None -> ());
   Memtable.add t.active.mt e;
-  if Memtable.footprint t.active.mt >= t.dyn_buffer_size then begin
-    rotate t;
-    maybe_flush_for_write t
-  end
-  else if t.cfg.Config.compaction_bytes_per_round <> None then
-    (* Throttled mode: pay down deferred compaction debt a slice at a
-       time on ordinary writes instead of in bursts at flush points. *)
-    schedule_compactions t
+  after_memtable_add t ~throttle:true;
+  Lsm_util.Histogram.add t.db_stats.Stats.write_latency_ns (now_ns () - t0)
 
 let next_seqno t =
   t.seqno <- t.seqno + 1;
@@ -711,6 +834,7 @@ let apply_batch t batch =
   match Write_batch.operations batch with
   | [] -> ()
   | ops ->
+    let t0 = now_ns () in
     let entries =
       List.map
         (fun (kind, key, value) ->
@@ -730,17 +854,17 @@ let apply_batch t batch =
     | Some w -> Wal.append w ~sync:t.cfg.Config.wal_sync_every_write entries
     | None -> ());
     List.iter (Memtable.add t.active.mt) entries;
-    if Memtable.footprint t.active.mt >= t.dyn_buffer_size then begin
-      rotate t;
-      maybe_flush_for_write t
-    end
+    after_memtable_add t ~throttle:false;
+    Lsm_util.Histogram.add t.db_stats.Stats.write_latency_ns (now_ns () - t0)
 
 (* ------------------------------------------------------------------ *)
 (* Read path                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* Highest-seqno visible range tombstone covering [key]. *)
-let covering_rd_seqno t ~snap key =
+(* Highest-seqno visible range tombstone covering [key]. [active],
+   [immutables], and [table_rds] are the caller's consistent snapshot
+   (see [lookup_value]). *)
+let covering_rd_seqno t ~active ~immutables ~table_rds ~snap key =
   let cmp = cmp_of t in
   let best = ref 0 in
   let consider (lo, hi, seqno) =
@@ -756,9 +880,9 @@ let covering_rd_seqno t ~snap key =
       (fun (e : Entry.t) -> consider (e.key, e.value, e.seqno))
       (Memtable.range_tombstones b.mt)
   in
-  mem_rds t.active;
-  List.iter mem_rds t.immutables;
-  List.iter consider t.table_rds;
+  mem_rds active;
+  List.iter mem_rds immutables;
+  List.iter consider table_rds;
   !best
 
 (* Binary search the file of a sorted run that may hold [key]. *)
@@ -785,7 +909,7 @@ type probe_outcome =
    entry; accounts filter statistics when [record] (pool domains pass
    false — the counters are not domain-safe, and multi_get aggregates on
    the calling domain instead). *)
-let probe_tables t ~snap ~record key =
+let probe_tables t ~v ~snap ~record key =
   let cmp = cmp_of t in
   let result = ref None in
   (try
@@ -812,17 +936,17 @@ let probe_tables t ~snap ~record key =
                    t.db_stats.Stats.filter_false_positives <-
                      t.db_stats.Stats.filter_false_positives + 1
              end))
-         (Version.level_runs t.vers l)
+         (Version.level_runs v l)
      done
    with Exit -> ());
   !result
 
 (* Resolve a merge chain by iterating every visible version of [key],
    newest first. Used only when the newest visible entry is a Merge. *)
-let resolve_merge_chain t ~snap ~rd_seq key =
+let resolve_merge_chain t ~v ~active ~immutables ~snap ~rd_seq key =
   let cmp = cmp_of t in
   let sources =
-    (Memtable.iterator t.active.mt :: List.map (fun b -> Memtable.iterator b.mt) t.immutables)
+    (Memtable.iterator active.mt :: List.map (fun b -> Memtable.iterator b.mt) immutables)
     @ List.concat_map
         (fun l ->
           List.map
@@ -832,7 +956,7 @@ let resolve_merge_chain t ~snap ~rd_seq key =
                 Sstable.iterator (Table_cache.get t.tables f.Table_meta.file_name)
                   ~cls:Io_stats.C_user_read ()
               | None -> Iter.empty)
-            (Version.level_runs t.vers l))
+            (Version.level_runs v l))
         (List.init Version.max_levels Fun.id)
   in
   let it = Iter.merge cmp sources in
@@ -868,11 +992,21 @@ let resolve_merge_chain t ~snap ~rd_seq key =
 
 (* The full read path for one key, minus clock/statistics bookkeeping:
    shared by {!get} (record = true) and the pool domains of {!multi_get}
-   (record = false). *)
+   (record = false).
+
+   Snapshot order is load-bearing under a background flush: the memtable
+   stack is snapshotted (under the buffer lock) *before* [read_view] is
+   read, and the flush job installs the new view *before* popping the
+   buffer. So if the buffer is already gone from our snapshot, the view
+   we then read must contain its flushed table — entries can be seen
+   twice during the overlap (probe order dedupes) but never zero times.
+   The caller holds a version pin, keeping every file of [v] on disk. *)
 let lookup_value t ~snap ~record key =
-  let rd_seq = covering_rd_seqno t ~snap key in
+  let active, immutables = buffers t in
+  let v, table_rds = t.read_view in
+  let rd_seq = covering_rd_seqno t ~active ~immutables ~table_rds ~snap key in
   let newest =
-    match Memtable.find t.active.mt ~max_seqno:snap key with
+    match Memtable.find active.mt ~max_seqno:snap key with
     | Some e -> Found e
     | None -> (
       let rec try_immutables = function
@@ -882,10 +1016,10 @@ let lookup_value t ~snap ~record key =
           | Some e -> Found e
           | None -> try_immutables rest)
       in
-      match try_immutables t.immutables with
+      match try_immutables immutables with
       | Found e -> Found e
       | Absent -> (
-        match probe_tables t ~snap ~record key with Some e -> Found e | None -> Absent))
+        match probe_tables t ~v ~snap ~record key with Some e -> Found e | None -> Absent))
   in
   match newest with
   | Absent -> None
@@ -895,7 +1029,7 @@ let lookup_value t ~snap ~record key =
       match e.Entry.kind with
       | Entry.Put -> Some e.Entry.value
       | Entry.Delete | Entry.Single_delete -> None
-      | Entry.Merge -> resolve_merge_chain t ~snap ~rd_seq key
+      | Entry.Merge -> resolve_merge_chain t ~v ~active ~immutables ~snap ~rd_seq key
       | Entry.Range_delete -> None
     end
 
@@ -905,7 +1039,7 @@ let get t ?snapshot key =
   t.db_stats.Stats.user_gets <- t.db_stats.Stats.user_gets + 1;
   let snap = match snapshot with Some s -> Snapshot.seqno s | None -> max_int in
   let probes_before = t.db_stats.Stats.runs_probed in
-  let result = lookup_value t ~snap ~record:true key in
+  let result = with_pin t (fun () -> lookup_value t ~snap ~record:true key) in
   Lsm_util.Histogram.add t.db_stats.Stats.get_run_probes
     (t.db_stats.Stats.runs_probed - probes_before);
   if result <> None then t.db_stats.Stats.gets_found <- t.db_stats.Stats.gets_found + 1;
@@ -940,10 +1074,13 @@ let multi_get t ?snapshot keys =
        are accounted here, on the calling domain. *)
     let chunks = chunk_list (Domain_pool.size pool) keys in
     let results =
-      List.concat
-        (Domain_pool.map_list pool
-           (fun chunk -> List.map (fun key -> lookup_value t ~snap ~record:false key) chunk)
-           chunks)
+      (* One pin covers the whole fan-out: taken on the calling domain,
+         held until every chunk has settled. *)
+      with_pin t (fun () ->
+          List.concat
+            (Domain_pool.map_list pool
+               (fun chunk -> List.map (fun key -> lookup_value t ~snap ~record:false key) chunk)
+               chunks))
     in
     let n = List.length keys in
     t.db_stats.Stats.user_gets <- t.db_stats.Stats.user_gets + n;
@@ -954,7 +1091,7 @@ let multi_get t ?snapshot keys =
 
 (* ---------------- scan ---------------- *)
 
-let scan_rds t ~snap ~lo ~hi =
+let scan_rds t ~active ~immutables ~table_rds ~snap ~lo ~hi =
   let cmp = cmp_of t in
   (* rd [rlo, rhi) overlaps scan [lo, hi)? *)
   let overlaps (rlo, rhi, seqno) =
@@ -966,9 +1103,9 @@ let scan_rds t ~snap ~lo ~hi =
   let mem_rds b =
     List.iter (fun (e : Entry.t) -> consider (e.key, e.value, e.seqno)) (Memtable.range_tombstones b.mt)
   in
-  mem_rds t.active;
-  List.iter mem_rds t.immutables;
-  List.iter consider t.table_rds;
+  mem_rds active;
+  List.iter mem_rds immutables;
+  List.iter consider table_rds;
   !out
 
 let fold t ?snapshot ?(limit = max_int) ~lo ~hi ~init ~f () =
@@ -977,7 +1114,12 @@ let fold t ?snapshot ?(limit = max_int) ~lo ~hi ~init ~f () =
   t.db_stats.Stats.user_scans <- t.db_stats.Stats.user_scans + 1;
   let cmp = cmp_of t in
   let snap = match snapshot with Some s -> Snapshot.seqno s | None -> max_int in
-  let rds = scan_rds t ~snap ~lo ~hi in
+  with_pin t @@ fun () ->
+  (* Same snapshot discipline as [lookup_value]: buffers first, view
+     second, one read each. *)
+  let active, immutables = buffers t in
+  let v, table_rds = t.read_view in
+  let rds = scan_rds t ~active ~immutables ~table_rds ~snap ~lo ~hi in
   let rd_covering key seqno =
     List.exists
       (fun (rlo, rhi, rseq) ->
@@ -985,7 +1127,7 @@ let fold t ?snapshot ?(limit = max_int) ~lo ~hi ~init ~f () =
       rds
   in
   let mem_sources =
-    Memtable.iterator t.active.mt :: List.map (fun b -> Memtable.iterator b.mt) t.immutables
+    Memtable.iterator active.mt :: List.map (fun b -> Memtable.iterator b.mt) immutables
   in
   let table_sources =
     List.concat_map
@@ -1010,7 +1152,7 @@ let fold t ?snapshot ?(limit = max_int) ~lo ~hi ~init ~f () =
                    Sstable.iterator (Table_cache.get t.tables f.file_name)
                      ~cls:Io_stats.C_user_read ())
                  files) ])
-      (Version.runs_overlapping ~cmp ~lo ~hi t.vers)
+      (Version.runs_overlapping ~cmp ~lo ~hi v)
   in
   let it = Iter.merge cmp (mem_sources @ table_sources) in
   it.Iter.seek lo;
@@ -1087,10 +1229,15 @@ let release t s =
 (* Maintenance & introspection                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Foreground maintenance first drains the background lane (re-raising
+   any parked failure), then runs inline on the calling domain: with the
+   lane idle and the caller being the only job producer, the version is
+   safe to mutate from here. *)
 let flush t =
   check_open t;
+  quiesce_bg t;
   rotate t;
-  while t.immutables <> [] do
+  while t.imm_count > 0 do
     flush_oldest t
   done;
   schedule_compactions t
@@ -1137,7 +1284,9 @@ let open_db ?(config = Config.default) ~dev () =
           wal = None;
           wal_name = None };
       immutables = [];
+      imm_count = 0;
       vers = recovered;
+      read_view = (Version.empty, []);
       manifest;
       seqno = recovered.Version.last_seqno;
       clock = 0;
@@ -1146,10 +1295,16 @@ let open_db ?(config = Config.default) ~dev () =
       next_group = recovered.Version.next_group;
       wal_counter = 0;
       rr_cursors = Hashtbl.create 8;
-      table_rds = [];
       dyn_buffer_size = config.Config.write_buffer_size;
       pool;
       id_mutex = Lsm_util.Ordered_mutex.create ~rank:Lsm_util.Ordered_mutex.Rank.db ~name:"db.id";
+      buf_mutex =
+        Ordered_mutex.create ~rank:Ordered_mutex.Rank.db_buffers ~name:"db.buffers";
+      sched =
+        (match config.Config.compaction_backend with
+        | Config.Background -> Some (Scheduler.create ())
+        | Config.Inline -> None);
+      pins = Version.Pins.create_registry ();
       closed = false;
     }
   in
@@ -1250,12 +1405,27 @@ let wake t =
   t.clock <- t.clock + 1;
   t.clock
 
+(* Wait until every queued background job has run (no-op inline);
+   re-raises a background failure on this, the foreground, domain. *)
+let quiesce t =
+  check_open t;
+  quiesce_bg t
+
+let backpressure_debt t =
+  t.imm_count + Version.run_count t.vers 0
+  + match t.sched with Some s -> Scheduler.pending s | None -> 0
+
 let close t =
   if not t.closed then begin
+    (* Drain the lane without re-raising a parked background failure:
+       close must tear down even a crashed database. *)
+    (match t.sched with Some s -> Scheduler.shutdown s | None -> ());
     if not t.cfg.Config.wal_enabled then flush t;
     (match t.active.wal with Some w -> Wal.close w | None -> ());
     List.iter (fun b -> match b.wal with Some w -> Wal.close w | None -> ()) t.immutables;
     Manifest.close t.manifest;
+    (* No reader can start after [closed]; run every deferred deletion. *)
+    Version.Pins.drain t.pins;
     (match t.pool with Some p -> Domain_pool.shutdown p | None -> ());
     t.closed <- true
   end
@@ -1299,7 +1469,9 @@ let set_write_buffer_size t bytes =
   t.dyn_buffer_size <- bytes;
   if Memtable.footprint t.active.mt >= bytes then begin
     rotate t;
-    maybe_flush_for_write t
+    match t.sched with
+    | Some sched -> bg_after_rotate t sched
+    | None -> maybe_flush_for_write t
   end
 
 let set_block_cache_bytes t bytes = Block_cache.set_capacity t.cache bytes
@@ -1317,6 +1489,8 @@ let last_seqno t = t.seqno
    parallel subcompactions — dump identical lists (same keys, seqnos,
    kinds, and values), whatever the file boundaries. *)
 let dump_entries t =
+  with_pin t @@ fun () ->
+  let v, _ = t.read_view in
   List.concat_map
     (fun l ->
       List.concat_map
@@ -1327,7 +1501,7 @@ let dump_entries t =
               Iter.to_list (Sstable.iterator reader ~cls:Io_stats.C_misc ~use_cache:false ())
               |> List.map (fun e -> (l, e)))
             r.Version.files)
-        (Version.level_runs t.vers l))
+        (Version.level_runs v l))
     (List.init Version.max_levels Fun.id)
 
 let write_amplification t =
@@ -1346,10 +1520,12 @@ let space_amplification t =
       ~f:(fun acc k v -> acc + String.length k + String.length v)
       ()
   in
+  let active, immutables = buffers t in
+  let v, _ = t.read_view in
   let physical =
-    Version.total_bytes t.vers
-    + Memtable.footprint t.active.mt
-    + List.fold_left (fun a b -> a + Memtable.footprint b.mt) 0 t.immutables
+    Version.total_bytes v
+    + Memtable.footprint active.mt
+    + List.fold_left (fun a b -> a + Memtable.footprint b.mt) 0 immutables
   in
   if live = 0 then 0.0 else float_of_int physical /. float_of_int live
 
@@ -1357,4 +1533,4 @@ let check_invariants t = Version.check_invariants ~cmp:(cmp_of t) t.vers
 
 let pp_tree ppf t =
   Format.fprintf ppf "@[<v>buffer: %d entries (%d immutable buffers)@,%a@]"
-    (Memtable.count t.active.mt) (List.length t.immutables) Version.pp t.vers
+    (Memtable.count t.active.mt) t.imm_count Version.pp t.vers

@@ -1,15 +1,27 @@
 (** The LSM-tree storage engine: the paper's object of study, assembled
     from the substrate libraries.
 
-    Single-{e writer} by design: internal work (flush, compaction) runs
-    synchronously inside the triggering write, and its cost is {e
-    accounted} (stall bursts, compaction I/O histograms) rather than
-    hidden — which is exactly what the stall/burst experiments measure.
-    With [Config.compaction_parallelism] > 1 that shape is kept, but the
-    {e inside} of each merge fans out across a fixed pool of worker
-    domains (RocksDB-style subcompactions over disjoint key ranges), and
-    {!multi_get} shards batched point lookups over the same pool; results
-    are identical to serial execution, only wall-clock changes.
+    Single-{e writer} by design: with the default
+    [Config.compaction_backend = Inline], internal work (flush,
+    compaction) runs synchronously inside the triggering write, and its
+    cost is {e accounted} (stall bursts, compaction I/O histograms)
+    rather than hidden — which is exactly what the stall/burst
+    experiments measure. With [Config.compaction_parallelism] > 1 that
+    shape is kept, but the {e inside} of each merge fans out across a
+    fixed pool of worker domains (RocksDB-style subcompactions over
+    disjoint key ranges), and {!multi_get} shards batched point lookups
+    over the same pool; results are identical to serial execution, only
+    wall-clock changes.
+
+    With [Config.compaction_backend = Background] the engine stays
+    single-writer but flush and compaction move off the write path onto
+    the process-wide scheduler lane (see DESIGN.md §10): a rotation
+    enqueues a job and returns, writes are throttled by
+    [write_slowdown_trigger]/[write_stop_trigger] backpressure instead
+    of absorbing merge cascades, and concurrent readers ({!get},
+    {!multi_get}, {!fold}, {!scan}) pin the version they read so
+    compaction never deletes a table under them. After {!quiesce} (or
+    {!flush}) the logical contents are identical to inline execution.
 
     External operations: {!put}, {!get}, {!scan}, {!delete} (plus
     {!single_delete}, {!range_delete}, {!merge} — §2.1.2). Internal
@@ -82,7 +94,17 @@ val flush : t -> unit
     compactions. *)
 
 val compact_once : t -> bool
-(** Run the single highest-priority compaction if one is due. *)
+(** Run the single highest-priority compaction if one is due (draining
+    the background lane first in background mode). *)
+
+val quiesce : t -> unit
+(** Background mode: block until every enqueued flush/compaction job has
+    finished, re-raising on this domain any exception a job hit. Inline
+    mode: no-op. *)
+
+val backpressure_debt : t -> int
+(** The write-throttle debt measure: immutable buffers + L0 runs +
+    pending background jobs (0 pending inline). Observability/tests. *)
 
 val major_compact : t -> unit
 (** Flush, then compact until no trigger fires. *)

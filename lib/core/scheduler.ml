@@ -1,0 +1,115 @@
+(* Background flush/compaction scheduler.
+
+   One process-wide background lane — a singleton [Domain_pool] of one
+   worker — serializes every background job for every open db. A single
+   lane (rather than a domain per db) keeps domain count bounded no
+   matter how many dbs a process churns through (the crash harness opens
+   hundreds without closing them), and the serialization is what makes
+   background mode deterministic: jobs run in enqueue order, which is
+   exactly the order the inline engine would have run the same work.
+
+   Per-db state is a pending-job count (the scheduler's contribution to
+   write backpressure debt), an idle condition the backpressure *stop*
+   path waits on, and a sticky failure latch: a job that raises (e.g.
+   [Device.Crashed] from fault injection) parks its exception here and
+   the next foreground interaction re-raises it, so background mode
+   reports I/O failures on the same API calls inline mode does.
+
+   Module-level state (the lane) is on the lint R4 allowlist; see the
+   rationale above. *)
+
+module Ordered_mutex = Lsm_util.Ordered_mutex
+module Domain_pool = Lsm_util.Domain_pool
+
+(* The singleton lane, created on first Background open. [lazy] forcing
+   is not domain-safe, so creation is guarded by a mutex of scheduler
+   rank (nothing else is held when a db is opened). The lane is never
+   shut down mid-process — workers idle on a condition — only at exit. *)
+let lane_mutex = Ordered_mutex.create ~rank:Ordered_mutex.Rank.scheduler ~name:"scheduler.lane"
+let lane = ref None
+
+let get_lane () =
+  Ordered_mutex.with_lock lane_mutex @@ fun () ->
+  match !lane with
+  | Some pool -> pool
+  | None ->
+    let pool = Domain_pool.create ~size:1 in
+    lane := Some pool;
+    at_exit (fun () -> Domain_pool.shutdown pool);
+    pool
+
+type t = {
+  m : Ordered_mutex.t;
+  idle : Condition.t; (* broadcast on every job completion *)
+  pool : Domain_pool.t;
+  mutable pending : int;
+  mutable failed : exn option;
+}
+
+let create () =
+  {
+    m = Ordered_mutex.create ~rank:Ordered_mutex.Rank.scheduler ~name:"scheduler";
+    idle = Condition.create ();
+    pool = get_lane ();
+    pending = 0;
+    failed = None;
+  }
+
+let pending t = Ordered_mutex.with_lock t.m (fun () -> t.pending)
+
+let take_failure t =
+  Ordered_mutex.with_lock t.m (fun () ->
+      match t.failed with
+      | Some e ->
+        t.failed <- None;
+        Some e
+      | None -> None)
+
+let raise_if_failed t = match take_failure t with Some e -> raise e | None -> ()
+
+let enqueue t job =
+  raise_if_failed t;
+  Ordered_mutex.with_lock t.m (fun () -> t.pending <- t.pending + 1);
+  (* Submitted outside [t.m]: the pool's queue lock ranks above
+     [scheduler], and only the owning db's writer enqueues, so dropping
+     the lock between the increment and the submit cannot reorder jobs. *)
+  ignore
+    (Domain_pool.submit t.pool (fun () ->
+         let failure = match job () with () -> None | exception e -> Some e in
+         Ordered_mutex.with_lock t.m (fun () ->
+             (match (failure, t.failed) with
+             | Some e, None -> t.failed <- Some e
+             | _ -> ());
+             t.pending <- t.pending - 1;
+             Condition.broadcast t.idle)))
+
+(* Backpressure stop: block until [pred ~pending] (called with [t.m]
+   held) turns true. The loop also exits when the scheduler drains
+   completely or a job has failed — in either case nothing further will
+   change the predicate's inputs, so waiting on would deadlock. *)
+let wait_until t pred =
+  Ordered_mutex.with_lock t.m (fun () ->
+      while
+        (not (pred ~pending:t.pending))
+        && t.pending > 0
+        && match t.failed with Some _ -> false | None -> true
+      do
+        Ordered_mutex.wait t.idle t.m
+      done);
+  raise_if_failed t
+
+let quiesce t =
+  Ordered_mutex.with_lock t.m (fun () ->
+      while t.pending > 0 do
+        Ordered_mutex.wait t.idle t.m
+      done);
+  raise_if_failed t
+
+(* Close path: drain without raising (close must succeed even after a
+   planned crash) — the failure latch is cleared, not reported. *)
+let shutdown t =
+  Ordered_mutex.with_lock t.m (fun () ->
+      while t.pending > 0 do
+        Ordered_mutex.wait t.idle t.m
+      done;
+      t.failed <- None)

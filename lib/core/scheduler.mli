@@ -1,0 +1,40 @@
+(** Background flush/compaction scheduler.
+
+    All background jobs from all open dbs run on one process-wide
+    single-worker lane ([Lsm_util.Domain_pool] of size 1): bounded
+    domain count regardless of how many dbs a process opens, and jobs
+    execute strictly in enqueue order — which is what makes background
+    mode produce the same tree evolution as inline mode.
+
+    Each db owns a [t]: a pending-job counter (fed into write
+    backpressure as compaction debt), an idle condition for the *stop*
+    path, and a sticky failure latch re-raising background exceptions
+    on the next foreground call. Lock rank: [Rank.scheduler]. *)
+
+type t
+
+val create : unit -> t
+(** New per-db scheduler, sharing (and on first call creating) the
+    process-wide background lane. *)
+
+val enqueue : t -> (unit -> unit) -> unit
+(** Queue a job; returns immediately. Re-raises a previously recorded
+    background failure before queueing. A raising job records its
+    exception in the failure latch. *)
+
+val pending : t -> int
+(** Jobs enqueued but not yet finished. *)
+
+val wait_until : t -> (pending:int -> bool) -> unit
+(** Block until [pred ~pending] holds. [pred] is called under the
+    scheduler lock on every job completion — it must not acquire
+    ordered mutexes of rank <= [Rank.scheduler]. Returns (rather than
+    hanging) when the queue drains or a job fails with the predicate
+    still false; failures re-raise. *)
+
+val quiesce : t -> unit
+(** Wait for every queued job, then re-raise any recorded failure. *)
+
+val shutdown : t -> unit
+(** Wait for every queued job, discarding any recorded failure. The
+    shared lane keeps running (it is shut down at process exit). *)

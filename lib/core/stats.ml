@@ -19,9 +19,12 @@ type t = {
   mutable compaction_wall_ns : int;
   mutable subcompactions : int;
   mutable write_stalls : int;
+  mutable write_slowdowns : int;
+  mutable write_stops : int;
   stall_burst_bytes : Histogram.t;
   compaction_burst_bytes : Histogram.t;
   get_run_probes : Histogram.t;
+  write_latency_ns : Histogram.t;
 }
 
 let create () =
@@ -44,9 +47,12 @@ let create () =
     compaction_wall_ns = 0;
     subcompactions = 0;
     write_stalls = 0;
+    write_slowdowns = 0;
+    write_stops = 0;
     stall_burst_bytes = Histogram.create ();
     compaction_burst_bytes = Histogram.create ();
     get_run_probes = Histogram.create ();
+    write_latency_ns = Histogram.create ();
   }
 
 let clear t =
@@ -68,9 +74,12 @@ let clear t =
   t.compaction_wall_ns <- 0;
   t.subcompactions <- 0;
   t.write_stalls <- 0;
+  t.write_slowdowns <- 0;
+  t.write_stops <- 0;
   Histogram.clear t.stall_burst_bytes;
   Histogram.clear t.compaction_burst_bytes;
-  Histogram.clear t.get_run_probes
+  Histogram.clear t.get_run_probes;
+  Histogram.clear t.write_latency_ns
 
 let write_amp_engine t =
   if t.user_bytes_ingested = 0 then 0.0
@@ -86,9 +95,10 @@ let pp ppf t =
     "@[<v>puts=%d deletes=%d gets=%d (found %d) scans=%d@,\
      ingested=%dB flushes=%d compactions=%d (read %dB, wrote %dB)@,\
      probes/get=%.2f filter: neg=%d fp=%d range-skips=%d@,\
-     stalls=%d stall-bytes: %a@,compaction-bursts: %a@]"
+     stalls=%d slowdowns=%d stops=%d stall-bytes: %a@,compaction-bursts: %a@,\
+     write-latency-ns: %a@]"
     t.user_puts t.user_deletes t.user_gets t.gets_found t.user_scans t.user_bytes_ingested
     t.flushes t.compactions t.compaction_bytes_read t.compaction_bytes_written
     (avg_probes_per_get t) t.filter_negatives t.filter_false_positives t.range_filter_skips
-    t.write_stalls Histogram.pp_summary t.stall_burst_bytes Histogram.pp_summary
-    t.compaction_burst_bytes
+    t.write_stalls t.write_slowdowns t.write_stops Histogram.pp_summary t.stall_burst_bytes
+    Histogram.pp_summary t.compaction_burst_bytes Histogram.pp_summary t.write_latency_ns

@@ -30,12 +30,22 @@ type t = {
           equals [compactions] when running serially *)
   mutable write_stalls : int;
       (** writes that had to wait for a synchronous flush *)
+  mutable write_slowdowns : int;
+      (** background backpressure: writes delayed by the bounded
+          slowdown sleep ([write_slowdown_trigger]) *)
+  mutable write_stops : int;
+      (** background backpressure: writes that blocked on the scheduler
+          condition variable ([write_stop_trigger]) *)
   stall_burst_bytes : Lsm_util.Histogram.t;
       (** bytes of flush+compaction work performed synchronously inside a
           user write — the latency-spike proxy (§2.2.3, SILK) *)
   compaction_burst_bytes : Lsm_util.Histogram.t;
       (** bytes moved per compaction: the I/O burst distribution (E5) *)
   get_run_probes : Lsm_util.Histogram.t;  (** runs probed per get (read amp) *)
+  write_latency_ns : Lsm_util.Histogram.t;
+      (** foreground wall-clock nanoseconds per [Db.write]/[apply_batch]
+          call, including any backpressure delay — the tail-latency
+          measure the [--stall] bench reports (p50/p99/p999) *)
 }
 
 val create : unit -> t

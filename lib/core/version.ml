@@ -195,6 +195,99 @@ let decode_edit r =
   let seqno_watermark = Codec.get_varint r in
   { added; removed; seqno_watermark }
 
+(* Version lifetime pinning.
+
+   A version value itself is persistent, but the [.sst] files it points
+   at are not: background compaction installs a new version and then
+   wants the replaced files gone. A reader that grabbed [t.vers] just
+   before the install may still be iterating those files, so deletion
+   must wait for it. The registry numbers installed versions with a
+   sequence; a pin taken while version [s] is current records [s], and a
+   deletion deferred after installing version [d] runs once no pin with
+   sequence [< d] remains ([min_pinned >= d]).
+
+   Lock rank: [version_pins] (12) — above [db]'s id lock, below every
+   I/O lock, so the deferred closures (device delete + cache evict)
+   always run *outside* the registry lock. *)
+module Pins = struct
+  module Ordered_mutex = Lsm_util.Ordered_mutex
+
+  type registry = {
+    m : Ordered_mutex.t;
+    pinned : (int, int) Hashtbl.t; (* version seq -> live pin count *)
+    mutable seq : int; (* seq of the currently installed version *)
+    mutable deferred : (int * (unit -> unit)) list; (* (needed seq, deletion) *)
+  }
+
+  type pin = { preg : registry; pseq : int }
+
+  let create_registry () =
+    {
+      m = Ordered_mutex.create ~rank:Ordered_mutex.Rank.version_pins ~name:"version.pins";
+      pinned = Hashtbl.create 8;
+      seq = 0;
+      deferred = [];
+    }
+
+  let advance reg = Ordered_mutex.with_lock reg.m (fun () -> reg.seq <- reg.seq + 1)
+
+  (* max_int when nothing is pinned: every deferred deletion is runnable. *)
+  let min_pinned_locked reg = Hashtbl.fold (fun s _ acc -> min s acc) reg.pinned max_int
+
+  let runnable_locked reg =
+    let mp = min_pinned_locked reg in
+    let run, keep = List.partition (fun (d, _) -> mp >= d) reg.deferred in
+    reg.deferred <- keep;
+    (* [deferred] is newest-first; run oldest deletions first. *)
+    List.rev_map snd run
+
+  let pin reg =
+    Ordered_mutex.with_lock reg.m (fun () ->
+        let s = reg.seq in
+        let c = match Hashtbl.find_opt reg.pinned s with Some c -> c | None -> 0 in
+        Hashtbl.replace reg.pinned s (c + 1);
+        { preg = reg; pseq = s })
+
+  let unpin p =
+    let reg = p.preg in
+    let run =
+      Ordered_mutex.with_lock reg.m (fun () ->
+          (match Hashtbl.find_opt reg.pinned p.pseq with
+          | Some c when c > 1 -> Hashtbl.replace reg.pinned p.pseq (c - 1)
+          | Some _ -> Hashtbl.remove reg.pinned p.pseq
+          | None -> ());
+          runnable_locked reg)
+    in
+    List.iter (fun f -> f ()) run
+
+  let defer reg f =
+    let run =
+      Ordered_mutex.with_lock reg.m (fun () ->
+          let d = reg.seq in
+          if min_pinned_locked reg >= d then [ f ]
+          else begin
+            reg.deferred <- (d, f) :: reg.deferred;
+            []
+          end)
+    in
+    List.iter (fun f -> f ()) run
+
+  let deferred_count reg = Ordered_mutex.with_lock reg.m (fun () -> List.length reg.deferred)
+
+  let drain reg =
+    let run =
+      Ordered_mutex.with_lock reg.m (fun () ->
+          let fs = List.rev_map snd reg.deferred in
+          reg.deferred <- [];
+          fs)
+    in
+    List.iter (fun f -> f ()) run
+
+  let with_pin reg f =
+    let p = pin reg in
+    Fun.protect ~finally:(fun () -> unpin p) f
+end
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   Array.iteri

@@ -64,6 +64,46 @@ val check_invariants : cmp:Lsm_util.Comparator.t -> t -> (unit, string) result
 (** Structural soundness: runs internally non-overlapping and sorted;
     no duplicate file ids. Used by tests and the paranoid mode. *)
 
+(** {1 Lifetime pinning}
+
+    Versions are persistent values, but the [.sst] files they reference
+    are deleted after compaction. With a background scheduler a reader
+    can hold a version across an install, so deletion is deferred: the
+    registry numbers installs with a sequence, readers {!Pins.pin} the
+    current sequence, and a deletion deferred after install [d] runs
+    only once no pin older than [d] remains. In inline mode the
+    registry is bypassed entirely (deletions stay eager). *)
+module Pins : sig
+  type registry
+  type pin
+
+  val create_registry : unit -> registry
+
+  val advance : registry -> unit
+  (** Record that a new version was installed. Call after every
+      [install_edit] (under the serialized maintenance lane). *)
+
+  val pin : registry -> pin
+  (** Pin the currently installed version. *)
+
+  val unpin : pin -> unit
+  (** Drop the pin; runs any deferred deletions it was blocking (on the
+      calling domain, outside the registry lock). *)
+
+  val with_pin : registry -> (unit -> 'a) -> 'a
+
+  val defer : registry -> (unit -> unit) -> unit
+  (** [defer reg delete] — run [delete] once every pin taken before the
+      latest {!advance} has dropped; immediately if none is live. *)
+
+  val deferred_count : registry -> int
+  (** Deletions still waiting on a pin (observability / tests). *)
+
+  val drain : registry -> unit
+  (** Run every deferred deletion unconditionally. Only sound once no
+      reader can touch the files again (db close). *)
+end
+
 (** {1 Manifest encoding} *)
 
 val encode_edit : Buffer.t -> edit -> unit

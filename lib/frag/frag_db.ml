@@ -486,6 +486,7 @@ let to_kv_store t =
         let base = Option.value ~default:"" (get t key) in
         put t ~key (base ^ operand));
     flush = (fun () -> flush t);
+    quiesce = (fun () -> ());
     io_stats = (fun () -> Device.stats t.dev);
     user_bytes = (fun () -> t.ubytes);
     space_bytes = (fun () -> Device.total_bytes t.dev);

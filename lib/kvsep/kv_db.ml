@@ -98,6 +98,7 @@ let to_kv_store t =
         let base = Option.value ~default:"" (get t key) in
         put t ~key (base ^ operand));
     flush = (fun () -> flush t);
+    quiesce = (fun () -> Db.quiesce t.tree);
     io_stats = (fun () -> Db.io_stats t.tree);
     user_bytes = (fun () -> t.logical_bytes);
     space_bytes = (fun () -> Lsm_storage.Device.total_bytes t.dev);

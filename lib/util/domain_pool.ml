@@ -9,7 +9,9 @@ type 'a future = {
 type t = {
   m : Ordered_mutex.t;
   work_ready : Condition.t;
+  idle : Condition.t;
   queue : (unit -> unit) Queue.t;
+  mutable outstanding : int;
   mutable stopped : bool;
   mutable workers : unit Domain.t array;
 }
@@ -42,7 +44,9 @@ let create ~size =
     {
       m = Ordered_mutex.create ~rank:Ordered_mutex.Rank.domain_pool ~name:"domain_pool.queue";
       work_ready = Condition.create ();
+      idle = Condition.create ();
       queue = Queue.create ();
+      outstanding = 0;
       stopped = false;
       workers = [||];
     }
@@ -65,11 +69,19 @@ let submit t f =
     }
   in
   if Array.length t.workers = 0 then run_into fut f
-  else
+  else begin
+    let task () =
+      run_into fut f;
+      Ordered_mutex.with_lock t.m (fun () ->
+          t.outstanding <- t.outstanding - 1;
+          if t.outstanding = 0 then Condition.broadcast t.idle)
+    in
     Ordered_mutex.with_lock t.m (fun () ->
         if t.stopped then invalid_arg "Domain_pool.submit: pool is shut down";
-        Queue.add (fun () -> run_into fut f) t.queue;
-        Condition.signal t.work_ready);
+        t.outstanding <- t.outstanding + 1;
+        Queue.add task t.queue;
+        Condition.signal t.work_ready)
+  end;
   fut
 
 let await fut =
@@ -93,6 +105,17 @@ let map_list t f xs =
     List.map (fun fut -> match await fut with v -> Ok v | exception e -> Error e) futs
   in
   List.map (function Ok v -> v | Error e -> raise e) results
+
+let pending t = Ordered_mutex.with_lock t.m (fun () -> t.outstanding)
+
+(* [run_into] never lets a task exception escape, so [outstanding] is
+   decremented exactly once per submitted task and the idle broadcast
+   cannot be skipped. *)
+let wait_idle t =
+  Ordered_mutex.with_lock t.m (fun () ->
+      while t.outstanding > 0 do
+        Ordered_mutex.wait t.idle t.m
+      done)
 
 let shutdown t =
   let already_stopped =

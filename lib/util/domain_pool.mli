@@ -36,6 +36,15 @@ val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
     Exceptions re-raise after every task has settled (no worker is left
     running a task whose input list entry was dropped). *)
 
+val pending : t -> int
+(** Tasks submitted but not yet finished (queued + running). Always 0
+    on a size-0 pool. *)
+
+val wait_idle : t -> unit
+(** Block until every submitted task has finished (pending = 0). Tasks
+    submitted by other domains while waiting extend the wait; the
+    caller is responsible for quiescing producers first. *)
+
 val shutdown : t -> unit
 (** Finish queued tasks, then join every worker. Idempotent; further
     {!submit}s raise. *)

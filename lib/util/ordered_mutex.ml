@@ -17,11 +17,14 @@
    is the documented R4 allowlist entry. *)
 
 module Rank = struct
+  let db_buffers = 8
   let db = 10
+  let version_pins = 12
   let table_cache = 20
   let block_cache_shard = 30
   let device = 40
   let stats = 50
+  let scheduler = 55
   let domain_pool = 60
   let future = 70
 end

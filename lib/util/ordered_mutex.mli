@@ -15,7 +15,16 @@
 (** The engine's lock hierarchy, lowest (outermost) rank first. See
     DESIGN.md §9 for the rationale behind each edge. *)
 module Rank : sig
+  val db_buffers : int
+  (** [Db] memtable-rotation lock — active/immutable buffer list,
+      backpressure condition. Outermost: held across no other lock
+      except those below it. *)
+
   val db : int  (** [Db.id_mutex] — file-id allocation *)
+
+  val version_pins : int
+  (** [Version.Pins] registry — version pin counts and deferred
+      file-deletion queue. *)
 
   val table_cache : int  (** [Table_cache] LRU structure lock *)
 
@@ -24,6 +33,11 @@ module Rank : sig
   val device : int  (** [Device] file-table / crash-plan lock *)
 
   val stats : int  (** [Io_stats] counter lock *)
+
+  val scheduler : int
+  (** [Scheduler] pending-job count / failure latch. Ranked below
+      [domain_pool] so [enqueue] may submit to the shared pool while
+      updating its own bookkeeping. *)
 
   val domain_pool : int  (** [Domain_pool] work-queue lock *)
 

@@ -8,6 +8,7 @@ type t = {
   delete : string -> unit;
   rmw : key:string -> string -> unit;
   flush : unit -> unit;
+  quiesce : unit -> unit;
   io_stats : unit -> Lsm_storage.Io_stats.t;
   user_bytes : unit -> int;
   space_bytes : unit -> int;
@@ -28,6 +29,7 @@ let of_db db =
           let base = Option.value ~default:"" (Db.get db key) in
           Db.put db ~key (base ^ operand));
     flush = (fun () -> Db.flush db);
+    quiesce = (fun () -> Db.quiesce db);
     io_stats = (fun () -> Db.io_stats db);
     user_bytes = (fun () -> (Db.stats db).Lsm_core.Stats.user_bytes_ingested);
     space_bytes = (fun () -> Lsm_storage.Device.total_bytes (Db.device db));

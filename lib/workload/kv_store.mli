@@ -14,6 +14,9 @@ type t = {
       (** read-modify-write; engines with a merge operator use it,
           others emulate with get+put *)
   flush : unit -> unit;
+  quiesce : unit -> unit;
+      (** wait for any background maintenance to drain without forcing a
+          flush; a no-op for engines that do all maintenance inline *)
   io_stats : unit -> Lsm_storage.Io_stats.t;
   user_bytes : unit -> int;  (** logical bytes ingested so far *)
   space_bytes : unit -> int;  (** physical bytes on the device *)

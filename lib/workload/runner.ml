@@ -91,6 +91,10 @@ let run_measured_only (store : Kv_store.t) (spec : Spec.t) =
   Spec.validate spec;
   let rng = Rng.create (spec.seed lxor 0x5117) in
   let chooser = make_chooser spec rng in
+  (* Settle background maintenance so the I/O snapshots bound a
+     deterministic window: with a Background backend, in-flight lane work
+     would otherwise land on either side of the snapshot at random. *)
+  store.Kv_store.quiesce ();
   let io_before = Io_stats.copy (store.Kv_store.io_stats ()) in
   let user_before = store.Kv_store.user_bytes () in
   let reads = ref 0 and found = ref 0 in
@@ -117,6 +121,7 @@ let run_measured_only (store : Kv_store.t) (spec : Spec.t) =
       store.rmw ~key:(keyspace_key spec.encoding (chooser.pick_existing ())) "+1"
   done;
   let elapsed = Sys.time () -. t0 in
+  store.quiesce ();
   let io = Io_stats.diff (store.io_stats ()) io_before in
   let user_bytes = store.user_bytes () - user_before in
   {

@@ -1,0 +1,6 @@
+(* Negative fixture for R6: ad-hoc concurrency primitives that bypass
+   Domain_pool's bounded width and future-based join discipline. *)
+
+let background f = Domain.spawn f
+
+let fire_and_forget f = ignore (Thread.create f ())

@@ -1,0 +1,8 @@
+(* Positive fixture for R6: concurrency goes through the pool, and
+   joining a domain (as opposed to creating one) is fine anywhere. *)
+
+let background pool f = Lsm_util.Domain_pool.submit pool f
+
+let finish fut = Lsm_util.Domain_pool.await fut
+
+let join d = Domain.join d

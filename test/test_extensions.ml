@@ -167,7 +167,13 @@ let test_trivial_move_disabled_never_fires () =
 let test_throttling_caps_stall_bursts () =
   let run cap =
     let dev = Device.in_memory () in
-    let config = { (small_config ()) with Config.compaction_bytes_per_round = cap } in
+    (* Stall bursts are a synchronous-writer phenomenon: pin Inline so
+       the comparison is meaningful under the Background CI matrix leg. *)
+    let config =
+      { (small_config ()) with
+        Config.compaction_bytes_per_round = cap;
+        compaction_backend = Config.Inline }
+    in
     let db = Db.open_db ~config ~dev () in
     let rng = Lsm_util.Rng.create 5 in
     for _ = 1 to 20_000 do

@@ -17,6 +17,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("more", Test_more.suite);
       ("parallel", Test_parallel.suite);
+      ("scheduler", Test_scheduler.suite);
       ("crash", Test_crash.suite);
       ("lint", Test_lint.suite);
       ("lockdep", Test_lockdep.suite);

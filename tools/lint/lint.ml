@@ -22,6 +22,9 @@
      R5  [Atomic.get] and [Atomic.set] of the same location within one
          top-level binding, with no CAS in sight: a lost-update
          read-modify-write split across two atomic ops.
+     R6  raw [Domain.spawn] / [Thread.create] outside domain_pool.ml —
+         ad-hoc domains escape the pool's bounded-width and
+         future-join discipline (and the ~128-domain runtime cap).
 
    Per-site suppression: a comment [(* lsm-lint: allow R2 — reason *)]
    on the line of (or the line before) the finding. The reason is
@@ -30,7 +33,7 @@
 
 type finding = { file : string; line : int; rule : string; msg : string }
 
-let all_rules = [ "R1"; "R2"; "R3"; "R4"; "R5" ]
+let all_rules = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
 
 (* Files allowed to touch raw mutexes: the blessed combinator itself. *)
 let r1_exempt = [ "ordered_mutex.ml" ]
@@ -41,8 +44,12 @@ let r2_io_modules = [ "Device"; "Wal"; "Sstable" ]
 let lock_combinators = [ "with_lock"; "locked" ]
 
 (* Modules allowed module-level mutable state (documented, reviewed:
-   the lockdep enforcement flag). *)
-let r4_state_allowlist = [ "ordered_mutex.ml" ]
+   the lockdep enforcement flag; the scheduler's process-wide
+   background lane singleton). *)
+let r4_state_allowlist = [ "ordered_mutex.ml"; "scheduler.ml" ]
+
+(* The one module allowed to create domains/threads: the pool. *)
+let r6_exempt = [ "domain_pool.ml" ]
 
 let compare_finding a b =
   match String.compare a.file b.file with
@@ -255,6 +262,16 @@ let check_r1 ctx e =
       | _ -> ()
   end
 
+let check_r6 ctx e =
+  if ctx.active "R6" && not (List.mem ctx.base r6_exempt) then
+    match head_ident e with
+    | ([ "Domain"; "spawn" ] | [ "Thread"; "create" ]) as path ->
+      emit ctx "R6" (line_of e)
+        (Printf.sprintf
+           "raw %s; go through Lsm_util.Domain_pool (bounded width, future joins, single shutdown path)"
+           (String.concat "." path))
+    | _ -> ()
+
 let check_r2_ident ctx e =
   let path = head_ident e in
   if path <> [] then begin
@@ -353,6 +370,7 @@ let lint_structure ctx (str : structure) =
   let expr it e =
     check_r1 ctx e;
     check_r4_magic ctx e;
+    check_r6 ctx e;
     if ctx.active "R2" && List.mem ctx.base r2_cache_modules && !in_lock > 0 then
       check_r2_ident ctx e;
     match e.pexp_desc with
