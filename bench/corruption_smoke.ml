@@ -1,0 +1,47 @@
+(* Silent-corruption smoke bench: runs the bit-rot sweep over a seeded
+   workload and reports cycle counts, flipped bits, wall time. Exits
+   nonzero on any corruption-contract violation, so it doubles as a
+   standalone integrity gate (`dune exec bench/main.exe -- --corruption`).
+
+   LSM_CORRUPTION_SWEEP=full widens the workload, page counts, and seed
+   sets, matching the nightly CI job. *)
+
+module Harness = Lsm_workload.Corruption_harness
+module Crash = Lsm_workload.Crash_harness
+
+let run () =
+  let extended =
+    match Sys.getenv_opt "LSM_CORRUPTION_SWEEP" with
+    | Some ("full" | "extended" | "1") -> true
+    | _ -> false
+  in
+  let count = if extended then 400 else 200 in
+  let workload_seeds = if extended then [ 42; 101; 202 ] else [ 42 ] in
+  let pages = if extended then [ 1; 2; 4; 8 ] else [ 1; 2; 4 ] in
+  let seeds = if extended then [ 7; 11; 23; 31 ] else [ 11; 23 ] in
+  Printf.printf "silent-corruption smoke (%s): %d ops/workload, workloads %s\n%!"
+    (if extended then "extended" else "quick")
+    count
+    (String.concat "," (List.map string_of_int workload_seeds));
+  let t0 = Unix.gettimeofday () in
+  let total =
+    List.fold_left
+      (fun acc wseed ->
+        let ops = Crash.gen_ops ~seed:wseed ~count in
+        let r = Harness.sweep ~pages ~seeds ~ops () in
+        Printf.printf "  workload %3d: %3d cycles, %4d bits flipped, %d violations\n%!"
+          wseed r.Harness.runs r.Harness.hits
+          (List.length r.Harness.failures);
+        Harness.merge_reports acc r)
+      { Harness.runs = 0; hits = 0; failures = [] }
+      workload_seeds
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "total: %d corruption/repair/check cycles, %d bits flipped in %.1fs\n"
+    total.Harness.runs total.Harness.hits dt;
+  match total.Harness.failures with
+  | [] -> print_endline "corruption contract held at every injection"
+  | fs ->
+    Printf.printf "FAILED: %d violations, first 10:\n" (List.length fs);
+    List.iteri (fun i f -> if i < 10 then print_endline ("  " ^ f)) fs;
+    exit 1

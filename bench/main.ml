@@ -6,25 +6,33 @@
    dune exec bench/main.exe -- --parallel - parallel-compaction bench (JSON)
    dune exec bench/main.exe -- --stall   - write-stall bench, inline vs background (JSON)
    dune exec bench/main.exe -- --crash   - crash-recovery fault-injection smoke
+   dune exec bench/main.exe -- --corruption - silent-corruption bit-rot smoke
    dune exec bench/main.exe -- --list    - list experiments *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse only micro list_only par stall crash = function
-    | [] -> (only, micro, list_only, par, stall, crash)
-    | "--micro" :: rest -> parse only true list_only par stall crash rest
-    | "--parallel" :: rest -> parse only micro list_only true stall crash rest
-    | "--stall" :: rest -> parse only micro list_only par true crash rest
-    | "--crash" :: rest -> parse only micro list_only par stall true rest
-    | "--list" :: rest -> parse only micro true par stall crash rest
-    | "--only" :: id :: rest -> parse (id :: only) micro list_only par stall crash rest
+  let rec parse only micro list_only par stall crash rot = function
+    | [] -> (only, micro, list_only, par, stall, crash, rot)
+    | "--micro" :: rest -> parse only true list_only par stall crash rot rest
+    | "--parallel" :: rest -> parse only micro list_only true stall crash rot rest
+    | "--stall" :: rest -> parse only micro list_only par true crash rot rest
+    | "--crash" :: rest -> parse only micro list_only par stall true rot rest
+    | "--corruption" :: rest -> parse only micro list_only par stall crash true rest
+    | "--list" :: rest -> parse only micro true par stall crash rot rest
+    | "--only" :: id :: rest -> parse (id :: only) micro list_only par stall crash rot rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
       exit 2
   in
-  let only, micro, list_only, par, stall, crash = parse [] false false false false false args in
+  let only, micro, list_only, par, stall, crash, rot =
+    parse [] false false false false false false args
+  in
   if crash then begin
     Crash_smoke.run ();
+    exit 0
+  end;
+  if rot then begin
+    Corruption_smoke.run ();
     exit 0
   end;
   if par then begin

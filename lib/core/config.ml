@@ -31,6 +31,7 @@ type t = {
   write_slowdown_trigger : int;
   write_stop_trigger : int;
   paranoid_checks : bool;
+  scrub_delay : float;
 }
 
 (* CI's background matrix leg flips the default backend through the
@@ -72,6 +73,7 @@ let default =
     write_slowdown_trigger = 20;
     write_stop_trigger = 36;
     paranoid_checks = false;
+    scrub_delay = 0.;
   }
 
 let validate t =
@@ -92,6 +94,7 @@ let validate t =
     invalid_arg "Config: write_slowdown_trigger must be >= 1";
   if t.write_stop_trigger <= t.write_slowdown_trigger then
     invalid_arg "Config: write_stop_trigger must exceed write_slowdown_trigger";
+  if t.scrub_delay < 0. then invalid_arg "Config: scrub_delay must be >= 0";
   match t.compaction_bytes_per_round with
   | Some n when n <= 0 -> invalid_arg "Config: compaction_bytes_per_round must be positive"
   | Some _ | None -> ()

@@ -97,6 +97,11 @@ type t = {
           [write_slowdown_trigger] *)
   paranoid_checks : bool;
       (** verify version invariants after every flush/compaction *)
+  scrub_delay : float;
+      (** rate limit for the background integrity scrubber ({!Db.scrub}):
+          seconds of deliberate idle after each table verification, so a
+          scrub pass trickles through the tree instead of monopolizing
+          the lane; 0 (the default) scrubs at full speed *)
 }
 
 val default : t

@@ -15,8 +15,24 @@ module Policy = Lsm_compaction.Policy
 module Picker = Lsm_compaction.Picker
 module Domain_pool = Lsm_util.Domain_pool
 module Ordered_mutex = Lsm_util.Ordered_mutex
+module Lsm_error = Lsm_util.Lsm_error
+module Framed_log = Lsm_storage.Framed_log
 
 type buffer_unit = { mt : Memtable.t; wal : Wal.t option; wal_name : string option }
+
+(* Health state machine (§ DESIGN.md 11): [Healthy] until something goes
+   wrong; [Degraded] while quarantined tables exist but the engine still
+   accepts writes; [Failsafe_read_only] after a maintenance failure —
+   reads keep working, mutations raise [Lsm_error.Read_only] until
+   [try_resume]. *)
+type health = Healthy | Degraded | Failsafe_read_only
+
+type quarantine_entry = {
+  q_file : string;  (** the fenced-off [.sst] file *)
+  q_min : string;
+  q_max : string;  (** its key range: reads inside it fail loudly *)
+  q_detail : string;  (** what the detector saw *)
+}
 
 type t = {
   cfg : Config.t;
@@ -62,10 +78,88 @@ type t = {
   pins : Version.Pins.registry;
       (** version pin registry; deletions of compacted [.sst] files are
           deferred through it in background mode (eager inline) *)
+  health : health Atomic.t;
+      (** atomic because reader domains (multi_get fan-out) and the
+          background lane both observe and flip it *)
+  quarantined : quarantine_entry list Atomic.t;
+      (** CAS-appended list of fenced-off tables; probes check it before
+          touching a file so a known-bad table never serves *)
   mutable closed : bool;
 }
 
 let cmp_of t = t.cfg.Config.comparator
+
+(* ------------------------------------------------------------------ *)
+(* Health & quarantine                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let health t = Atomic.get t.health
+let quarantined_tables t = Atomic.get t.quarantined
+
+let is_quarantined t name =
+  List.exists (fun q -> String.equal q.q_file name) (Atomic.get t.quarantined)
+
+(* Healthy -> Degraded only — a CAS so a concurrent fail-safe transition
+   can never be downgraded back to Degraded. *)
+let degrade t = ignore (Atomic.compare_and_set t.health Healthy Degraded)
+
+let rec enter_failsafe t =
+  match Atomic.get t.health with
+  | Failsafe_read_only -> ()
+  | prev ->
+    if Atomic.compare_and_set t.health prev Failsafe_read_only then
+      t.db_stats.Stats.failsafe_entries <- t.db_stats.Stats.failsafe_entries + 1
+    else enter_failsafe t
+
+let note_corruption t =
+  t.db_stats.Stats.corruptions_detected <- t.db_stats.Stats.corruptions_detected + 1
+
+let rec add_quarantine t q =
+  let cur = Atomic.get t.quarantined in
+  if List.exists (fun e -> String.equal e.q_file q.q_file) cur then ()
+  else if Atomic.compare_and_set t.quarantined cur (q :: cur) then begin
+    t.db_stats.Stats.tables_quarantined <- t.db_stats.Stats.tables_quarantined + 1;
+    degrade t
+  end
+  else add_quarantine t q
+
+let quarantine_of_meta (f : Table_meta.t) detail =
+  { q_file = f.Table_meta.file_name; q_min = f.Table_meta.min_key;
+    q_max = f.Table_meta.max_key; q_detail = detail }
+
+(* A probe that selected a quarantined table must fail loudly: falling
+   through to an older run would silently serve a stale version of the
+   key, which is exactly the wrong-data outcome quarantine exists to
+   prevent. *)
+let raise_quarantined t (f : Table_meta.t) =
+  match
+    List.find_opt
+      (fun q -> String.equal q.q_file f.Table_meta.file_name)
+      (Atomic.get t.quarantined)
+  with
+  | Some q ->
+    raise (Lsm_error.corruption ~file:q.q_file ("table is quarantined: " ^ q.q_detail))
+  | None -> ()
+
+(* Every read touching table [f] goes through this guard: a decode
+   failure — or a referenced file that has vanished — quarantines the
+   table, degrades health, and surfaces as a typed error. *)
+let guard_table_read t (f : Table_meta.t) fn =
+  let quarantine detail =
+    note_corruption t;
+    add_quarantine t (quarantine_of_meta f detail)
+  in
+  try fn () with
+  | Lsm_error.Error (Lsm_error.Corruption _ as c) as e ->
+    quarantine (Lsm_error.to_string c);
+    raise e
+  | Lsm_util.Codec.Corrupt msg ->
+    quarantine msg;
+    raise (Lsm_error.corruption ~file:f.Table_meta.file_name msg)
+  | Not_found ->
+    let detail = "referenced table missing" in
+    quarantine detail;
+    raise (Lsm_error.corruption ~file:f.Table_meta.file_name detail)
 
 let wal_name_of n = Printf.sprintf "wal-%06d.log" n
 
@@ -124,7 +218,12 @@ let install_edit t edit =
   if t.cfg.Config.paranoid_checks then begin
     match Version.check_invariants ~cmp:(cmp_of t) t.vers with
     | Ok () -> ()
-    | Error e -> failwith ("LSM invariant violation: " ^ e)
+    | Error e ->
+      (* The just-logged edit produced an inconsistent tree: the manifest
+         now describes a version that must never serve reads. *)
+      raise
+        (Lsm_error.corruption ~file:Manifest.file_name
+           ("LSM invariant violation: " ^ e))
   end;
   t.read_view <- (t.vers, rebuild_table_rds t);
   Version.Pins.advance t.pins
@@ -710,12 +809,39 @@ let bg_flush_step t =
     schedule_compactions t
   end
 
+(* Background jobs report through the scheduler's failure latch; this
+   wrapper additionally flips the engine into fail-safe read-only mode
+   and makes sure the parked exception is typed. [Device.Crashed] passes
+   through unwrapped and does not change health — crash injection models
+   power loss, which reopen-time recovery handles, not bad hardware. *)
+let guard_bg_job t job () =
+  try job () with
+  | Device.Crashed as e -> raise e
+  | Lsm_error.Error _ as e ->
+    enter_failsafe t;
+    raise e
+  | e ->
+    enter_failsafe t;
+    raise
+      (Lsm_error.io_error ~retriable:false
+         ("background maintenance failed: " ^ Printexc.to_string e))
+
+(* Inline maintenance (flush/compaction on the write path) gets the same
+   health transition but re-raises the original exception — the caller
+   sees the failure directly rather than through the latch. *)
+let guard_inline_maintenance t f =
+  try f () with
+  | Device.Crashed as e -> raise e
+  | e ->
+    enter_failsafe t;
+    raise e
+
 (* RocksDB-style backpressure, keyed on the same debt measure at both
    thresholds: immutable buffers + L0 runs + jobs the scheduler still
    owes. The debt reads are deliberately lock-free (stale by at most a
    step — this is a throttle, not an invariant). *)
 let bg_after_rotate t sched =
-  Scheduler.enqueue sched (fun () -> bg_flush_step t);
+  Scheduler.enqueue sched (guard_bg_job t (fun () -> bg_flush_step t));
   let debt () = t.imm_count + Version.run_count t.vers 0 in
   let d = debt () + Scheduler.pending sched in
   if d >= t.cfg.Config.write_stop_trigger then begin
@@ -725,10 +851,20 @@ let bg_after_rotate t sched =
   end
   else if d >= t.cfg.Config.write_slowdown_trigger then begin
     t.db_stats.Stats.write_slowdowns <- t.db_stats.Stats.write_slowdowns + 1;
-    (* Bounded delay, proportionate to one flush step at bench scale:
-       large enough to let the lane gain ground, small enough that a
-       slowed write is still far cheaper than an inline merge cascade. *)
-    Unix.sleepf 0.0001
+    (* Proportional delay (the shape of RocksDB's delayed-write-rate):
+       ramps linearly from ~50µs just past the slowdown trigger to ~1ms
+       as debt approaches the stop threshold, so backpressure tightens
+       smoothly instead of jumping from a fixed nap straight to a full
+       stop. The injected delay is recorded so benches can see it. *)
+    let span =
+      max 1 (t.cfg.Config.write_stop_trigger - t.cfg.Config.write_slowdown_trigger)
+    in
+    let excess = min span (1 + d - t.cfg.Config.write_slowdown_trigger) in
+    let frac = float_of_int excess /. float_of_int span in
+    let delay = 0.00005 +. ((0.001 -. 0.00005) *. frac) in
+    Lsm_util.Histogram.add t.db_stats.Stats.slowdown_delay_ns
+      (int_of_float (delay *. 1e9));
+    Unix.sleepf delay
   end
 
 let compact_once t =
@@ -742,10 +878,11 @@ let compact_once t =
 let maybe_flush_for_write t =
   if t.imm_count > t.cfg.Config.max_immutable_buffers then begin
     let before = Io_stats.copy (Device.stats t.dev) in
-    while t.imm_count > t.cfg.Config.max_immutable_buffers do
-      flush_oldest t
-    done;
-    schedule_compactions t;
+    guard_inline_maintenance t (fun () ->
+        while t.imm_count > t.cfg.Config.max_immutable_buffers do
+          flush_oldest t
+        done;
+        schedule_compactions t);
     let d = Io_stats.diff (Device.stats t.dev) before in
     let burst =
       Io_stats.bytes_written ~cls:Io_stats.C_flush d
@@ -756,6 +893,15 @@ let maybe_flush_for_write t =
   end
 
 let check_open t = if t.closed then invalid_arg "Db: closed"
+
+(* Fail-safe mode rejects mutations with a typed error; reads stay up
+   and [try_resume] re-arms the engine. *)
+let check_writable t =
+  check_open t;
+  if Atomic.get t.health = Failsafe_read_only then
+    raise
+      (Lsm_error.read_only
+         "fail-safe mode after a maintenance failure (Db.try_resume to re-arm)")
 
 (* Shared tail of [write]/[apply_batch]: rotation trigger plus the
    per-backend follow-up work. [throttle] is true only for single
@@ -778,7 +924,7 @@ let after_memtable_add t ~throttle =
     | _ -> ()
 
 let write t (e : Entry.t) =
-  check_open t;
+  check_writable t;
   let t0 = now_ns () in
   t.clock <- t.clock + 1;
   (match t.active.wal with
@@ -830,7 +976,7 @@ let merge t ~key operand =
 (* One WAL record, one sequence-number range, one durability point: the
    batch recovers all-or-nothing after a crash. *)
 let apply_batch t batch =
-  check_open t;
+  check_writable t;
   match Write_batch.operations batch with
   | [] -> ()
   | ops ->
@@ -919,6 +1065,10 @@ let probe_tables t ~v ~snap ~record key =
            match find_file_in_run cmp r key with
            | None -> ()
            | Some f -> (
+             (* [find_file_in_run] selected [f] by key range, so a
+                quarantined hit means the key lives in the fenced range. *)
+             raise_quarantined t f;
+             guard_table_read t f @@ fun () ->
              let reader = Table_cache.get t.tables f.Table_meta.file_name in
              if not (Sstable.may_contain_key reader key) then begin
                if record then
@@ -1136,6 +1286,8 @@ let fold t ?snapshot ?(limit = max_int) ~lo ~hi ~init ~f () =
         let files =
           List.filter
             (fun (f : Table_meta.t) ->
+              raise_quarantined t f;
+              guard_table_read t f @@ fun () ->
               let reader = Table_cache.get t.tables f.file_name in
               let keep = Sstable.may_overlap_range reader ~lo ~hi in
               if not keep then
@@ -1232,15 +1384,137 @@ let release t s =
 (* Foreground maintenance first drains the background lane (re-raising
    any parked failure), then runs inline on the calling domain: with the
    lane idle and the caller being the only job producer, the version is
-   safe to mutate from here. *)
-let flush t =
-  check_open t;
+   safe to mutate from here. [flush_work] skips the writability check —
+   [close] must be able to drain buffers even in fail-safe mode. *)
+let flush_work t =
   quiesce_bg t;
   rotate t;
   while t.imm_count > 0 do
     flush_oldest t
   done;
   schedule_compactions t
+
+let flush t =
+  check_writable t;
+  guard_inline_maintenance t (fun () -> flush_work t)
+
+(* ------------------------------------------------------------------ *)
+(* Integrity scrubbing & fail-safe recovery                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Discard any parked background failure and leave fail-safe mode.
+   Quarantined tables stay fenced (re-arming cannot un-corrupt a file),
+   so health lands on [Degraded] when any remain. *)
+let try_resume t =
+  check_open t;
+  (match t.sched with Some s -> ignore (Scheduler.take_failure s) | None -> ());
+  let target = if Atomic.get t.quarantined = [] then Healthy else Degraded in
+  Atomic.set t.health target;
+  t.db_stats.Stats.resumes <- t.db_stats.Stats.resumes + 1;
+  target
+
+(* One table's scrub, shared by the synchronous scrubber and the
+   background jobs: every data block re-read and CRC-checked. A defect
+   quarantines the table and is returned rather than raised — the
+   scrubber reports findings, it does not abort on the first one. *)
+let verify_one_table t (f : Table_meta.t) =
+  match
+    let reader = Table_cache.get t.tables f.Table_meta.file_name in
+    Sstable.verify reader ~cls:Io_stats.C_misc
+  with
+  | () -> None
+  | exception Lsm_error.Error c ->
+    add_quarantine t (quarantine_of_meta f (Lsm_error.to_string c));
+    Some c
+  | exception Not_found ->
+    let detail = "referenced table missing" in
+    add_quarantine t (quarantine_of_meta f detail);
+    Some (Lsm_error.Corruption { file = f.Table_meta.file_name; offset = None; detail })
+
+let verify_integrity t =
+  check_open t;
+  let findings = ref [] in
+  let add c =
+    note_corruption t;
+    findings := c :: !findings
+  in
+  (* 1. Manifest: the frame chain must be intact up to the live end (the
+     open manifest carries no seal yet, so only framing is checked —
+     edit decodability was proven at recovery). *)
+  (match Framed_log.load t.dev ~name:Manifest.file_name with
+  | exception Not_found ->
+    add
+      (Lsm_error.Corruption
+         { file = Manifest.file_name; offset = None; detail = "manifest missing" })
+  | data -> (
+    match Framed_log.scan data (fun ~off:_ _ -> ()) with
+    | _, Framed_log.Bad_frame off ->
+      add
+        (Lsm_error.Corruption
+           { file = Manifest.file_name; offset = Some off; detail = "bad edit frame" })
+    | _ -> ()));
+  (* 2. Every live table, under a pin so background compaction cannot
+     delete files out from under the walk. *)
+  with_pin t (fun () ->
+      let v, _ = t.read_view in
+      List.iter
+        (fun (f : Table_meta.t) ->
+          if not (is_quarantined t f.Table_meta.file_name) then
+            match verify_one_table t f with Some c -> add c | None -> ())
+        (Version.all_files v));
+  (* 3. WALs: tolerant scan, reporting the first mangled frame. A file
+     deleted by a concurrent flush between listing and reading is fine. *)
+  List.iter
+    (fun name ->
+      match wal_seq_of_name name with
+      | None -> ()
+      | Some _ -> (
+        match Wal.salvage t.dev ~name (fun _ -> ()) with
+        | _, Some off ->
+          add
+            (Lsm_error.Corruption
+               { file = name; offset = Some off; detail = "bad WAL frame" })
+        | _ -> ()
+        | exception Not_found -> ()))
+    (Device.list_files t.dev);
+  t.db_stats.Stats.scrub_runs <- t.db_stats.Stats.scrub_runs + 1;
+  t.db_stats.Stats.scrub_errors <-
+    t.db_stats.Stats.scrub_errors + List.length !findings;
+  List.rev !findings
+
+(* Rate-limited background scrub: one lane job per live table, so user
+   flushes/compactions interleave between table verifications, plus
+   [Config.scrub_delay] seconds of deliberate idle per table. Inline
+   mode degenerates to a synchronous full pass. *)
+let scrub t =
+  check_open t;
+  match t.sched with
+  | None -> ignore (verify_integrity t)
+  | Some sched ->
+    let v, _ = t.read_view in
+    List.iter
+      (fun (f : Table_meta.t) ->
+        Scheduler.enqueue sched (fun () ->
+            Version.Pins.with_pin t.pins (fun () ->
+                let live, _ = t.read_view in
+                let still_live =
+                  List.exists
+                    (fun (g : Table_meta.t) ->
+                      String.equal g.Table_meta.file_name f.Table_meta.file_name)
+                    (Version.all_files live)
+                in
+                if still_live && not (is_quarantined t f.Table_meta.file_name) then begin
+                  (match verify_one_table t f with
+                  | Some _ ->
+                    note_corruption t;
+                    t.db_stats.Stats.scrub_errors <- t.db_stats.Stats.scrub_errors + 1
+                  | None -> ());
+                  if t.cfg.Config.scrub_delay > 0. then
+                    Unix.sleepf t.cfg.Config.scrub_delay
+                end)))
+      (Version.all_files v);
+    Scheduler.enqueue sched (fun () ->
+        t.db_stats.Stats.scrub_runs <- t.db_stats.Stats.scrub_runs + 1)
 
 (* ------------------------------------------------------------------ *)
 (* Open / recover                                                      *)
@@ -1305,6 +1579,8 @@ let open_db ?(config = Config.default) ~dev () =
         | Config.Background -> Some (Scheduler.create ())
         | Config.Inline -> None);
       pins = Version.Pins.create_registry ();
+      health = Atomic.make Healthy;
+      quarantined = Atomic.make [];
       closed = false;
     }
   in
@@ -1420,7 +1696,7 @@ let close t =
     (* Drain the lane without re-raising a parked background failure:
        close must tear down even a crashed database. *)
     (match t.sched with Some s -> Scheduler.shutdown s | None -> ());
-    if not t.cfg.Config.wal_enabled then flush t;
+    if not t.cfg.Config.wal_enabled then flush_work t;
     (match t.active.wal with Some w -> Wal.close w | None -> ());
     List.iter (fun b -> match b.wal with Some w -> Wal.close w | None -> ()) t.immutables;
     Manifest.close t.manifest;

@@ -109,6 +109,55 @@ val backpressure_debt : t -> int
 val major_compact : t -> unit
 (** Flush, then compact until no trigger fires. *)
 
+(** {1 Health, quarantine, and integrity (DESIGN.md §11)}
+
+    Every failure that escapes this API is a typed
+    [Lsm_util.Lsm_error.Error]: [Corruption] when on-disk bytes are
+    provably wrong, [Io_error] for device trouble, [Read_only] for
+    mutations rejected in fail-safe mode, [Shutdown] after close. The
+    engine never serves data it cannot prove intact — a read that hits a
+    corrupt or quarantined table raises instead of falling through to an
+    older (stale) version of the key. *)
+
+type health =
+  | Healthy
+  | Degraded
+      (** at least one table is quarantined; reads outside the fenced
+          ranges and all writes still work *)
+  | Failsafe_read_only
+      (** a background or inline flush/compaction failed: mutations
+          raise [Lsm_error.Read_only], reads keep working,
+          {!try_resume} re-arms *)
+
+type quarantine_entry = {
+  q_file : string;
+  q_min : string;
+  q_max : string;  (** key range whose reads now fail loudly *)
+  q_detail : string;
+}
+
+val health : t -> health
+val quarantined_tables : t -> quarantine_entry list
+
+val try_resume : t -> health
+(** Leave fail-safe mode: discards the parked background failure and
+    returns the resulting health — [Healthy], or [Degraded] when
+    quarantined tables remain (re-arming cannot un-corrupt a file). *)
+
+val verify_integrity : t -> Lsm_util.Lsm_error.t list
+(** Synchronous integrity scrub: manifest frame chain, then every live
+    table (block CRCs, fence order — see [Sstable.verify]) under a
+    version pin, then the WALs. Defective tables are quarantined; all
+    findings are returned (never raised — the scrubber reports, it does
+    not abort on the first defect). *)
+
+val scrub : t -> unit
+(** Background variant of {!verify_integrity}: enqueues one verification
+    job per live table on the scheduler lane, rate-limited by
+    [Config.scrub_delay], so foreground work interleaves. Inline mode
+    runs the synchronous pass. Findings land in {!stats} and
+    {!quarantined_tables}; {!quiesce} waits for completion. *)
+
 val checkpoint : t -> dest:Lsm_storage.Device.t -> unit
 (** Consistent full backup: flush, copy every live table to [dest], and
     write a manifest describing exactly this version — [dest] then opens

@@ -1,0 +1,296 @@
+(* Offline repair for a closed store: the engine behind the [lsm-doctor]
+   CLI. Works directly on a device — no [Db.t] is opened, so it can
+   operate on stores too damaged to recover.
+
+   Repair strategy (point-in-time salvage):
+   - every [.sst] file is opened and scrubbed block by block; intact
+     blocks are salvaged into a replacement table (index-order
+     concatenation of sorted blocks stays sorted), rotten blocks become
+     reported lost ranges, and a table whose footer or meta region is
+     gone is dropped wholesale;
+   - the manifest is rebuilt from scratch out of the surviving table
+     footers: every table lands in level 0 as its own single-file run,
+     ordered newest-first by max sequence number, so probe order still
+     resolves key versions correctly whatever levels the tables came
+     from;
+   - WALs are salvaged up to the first undecodable frame; once one log
+     breaks, later logs are dropped entirely (their batches come after
+     the gap, and applying them would tear the acknowledged order). The
+     surviving batches are re-logged into one fresh sealed WAL. *)
+
+module Device = Lsm_storage.Device
+module Io_stats = Lsm_storage.Io_stats
+module Block_cache = Lsm_storage.Block_cache
+module Wal = Lsm_storage.Wal
+module Framed_log = Lsm_storage.Framed_log
+module Sstable = Lsm_sstable.Sstable
+module Table_meta = Lsm_sstable.Table_meta
+module Iter = Lsm_record.Iter
+module Comparator = Lsm_util.Comparator
+module Lsm_error = Lsm_util.Lsm_error
+
+type table_report = {
+  tr_file : string;
+  tr_blocks : int;  (** data blocks in the index *)
+  tr_bad_blocks : int;
+  tr_entries_salvaged : int;
+  tr_lost_ranges : (string * string) list;
+      (** inclusive key spans of the rotten blocks *)
+  tr_output : string option;
+      (** live file after repair: the original when intact, a rewritten
+          salvage table, or [None] when nothing survived *)
+}
+
+type wal_report = {
+  wr_file : string;
+  wr_batches : int;  (** batches salvaged from this log *)
+  wr_truncated_at : int option;  (** first bad frame offset, if any *)
+  wr_dropped : bool;
+      (** log discarded because an earlier log already broke *)
+}
+
+type report = {
+  tables : table_report list;
+  wals : wal_report list;
+  manifest_rebuilt : bool;
+  findings : Lsm_error.t list;  (** every defect encountered *)
+}
+
+let is_sst name = Filename.check_suffix name ".sst"
+
+let sst_id name =
+  if String.length name = 10 && is_sst name then
+    int_of_string_opt (String.sub name 0 6)
+  else None
+
+let wal_seq name =
+  let plen = String.length "wal-" and slen = String.length ".log" in
+  if
+    String.length name > plen + slen
+    && String.sub name 0 plen = "wal-"
+    && Filename.check_suffix name ".log"
+  then int_of_string_opt (String.sub name plen (String.length name - plen - slen))
+  else None
+
+(* A throwaway cache: doctor reads every block exactly once. *)
+let scratch_cache () = Block_cache.create ~shards:1 ~capacity:0 ()
+
+(* ------------------------------------------------------------------ *)
+(* Read-only verification                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Scrub a closed store without modifying anything: manifest recovery,
+   every table referenced by it (or every [.sst] on the device when the
+   manifest itself is unreadable), and the WAL chain. *)
+let verify ?(cmp = Comparator.bytewise) dev =
+  let findings = ref [] in
+  let add c = findings := c :: !findings in
+  let cache = scratch_cache () in
+  let tables_to_check =
+    match Manifest.recover dev with
+    | v -> List.map (fun (f : Table_meta.t) -> f.file_name) (Version.all_files v)
+    | exception Lsm_error.Error c ->
+      add c;
+      List.filter is_sst (Device.list_files dev)
+    | exception Lsm_util.Codec.Corrupt msg ->
+      add (Lsm_error.Corruption { file = Manifest.file_name; offset = None; detail = msg });
+      List.filter is_sst (Device.list_files dev)
+  in
+  List.iter
+    (fun name ->
+      match
+        let reader = Sstable.open_reader ~cmp ~dev ~cache ~name in
+        Sstable.verify reader ~cls:Io_stats.C_misc
+      with
+      | () -> ()
+      | exception Lsm_error.Error c -> add c
+      | exception Not_found ->
+        add (Lsm_error.Corruption { file = name; offset = None; detail = "referenced table missing" }))
+    tables_to_check;
+  List.iter
+    (fun name ->
+      match wal_seq name with
+      | None -> ()
+      | Some _ -> (
+        match Wal.salvage dev ~name (fun _ -> ()) with
+        | _, Some off ->
+          add (Lsm_error.Corruption { file = name; offset = Some off; detail = "bad WAL frame" })
+        | _ -> ()))
+    (Device.list_files dev);
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+(* Salvage                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Walk one table block by block. Returns the report plus the salvaged
+   entries (in order) when a rewrite is needed, or [None] when the file
+   is intact as-is. *)
+let salvage_table ~cmp dev name =
+  let cache = scratch_cache () in
+  match Sstable.open_reader ~cmp ~dev ~cache ~name with
+  | exception (Lsm_error.Error c) ->
+    (* Footer or meta region gone: no index, nothing salvageable. *)
+    ( { tr_file = name; tr_blocks = 0; tr_bad_blocks = 0; tr_entries_salvaged = 0;
+        tr_lost_ranges = [ ("", "") ]; tr_output = None },
+      [ c ], `Drop )
+  | reader ->
+    let index = Sstable.index_entries reader in
+    let bad = ref [] and intact = ref [] and findings = ref [] in
+    Array.iter
+      (fun (ie : Sstable.index_entry) ->
+        match Sstable.block_entries reader ~cls:Io_stats.C_misc ie with
+        | entries -> intact := entries :: !intact
+        | exception (Lsm_error.Error c) ->
+          findings := c :: !findings;
+          bad := (ie.Sstable.first_key, ie.Sstable.fence) :: !bad)
+      index;
+    let lost = List.rev !bad in
+    let entries = List.concat (List.rev !intact) in
+    let report kept output =
+      { tr_file = name;
+        tr_blocks = Array.length index;
+        tr_bad_blocks = List.length lost;
+        tr_entries_salvaged = kept;
+        tr_lost_ranges = lost;
+        tr_output = output }
+    in
+    if lost = [] then (report (List.length entries) (Some name), [], `Intact)
+    else if entries = [] then (report 0 None, List.rev !findings, `Drop)
+    else (report (List.length entries) None, List.rev !findings, `Rewrite entries)
+
+let repair ?(cmp = Comparator.bytewise) dev =
+  let findings = ref [] in
+  let ssts =
+    Device.list_files dev |> List.filter is_sst |> List.sort compare
+  in
+  let max_id =
+    List.fold_left
+      (fun acc n -> match sst_id n with Some i -> max acc i | None -> acc)
+      0 ssts
+  in
+  let next_id = ref (max_id + 1) in
+  (* 1. Per-table salvage. *)
+  let table_reports = ref [] in
+  let survivors = ref [] in
+  List.iter
+    (fun name ->
+      let tr, fnds, action = salvage_table ~cmp dev name in
+      findings := List.rev_append fnds !findings;
+      match action with
+      | `Intact -> table_reports := tr :: !table_reports; survivors := name :: !survivors
+      | `Drop ->
+        Device.delete dev name;
+        table_reports := tr :: !table_reports
+      | `Rewrite entries ->
+        let id = !next_id in
+        incr next_id;
+        let out = Table_meta.file_name_of_id id in
+        let props =
+          Sstable.build ~cmp ~dev ~cls:Io_stats.C_misc ~name:out ~created_at:0
+            (Iter.of_sorted_list cmp entries)
+        in
+        ignore props;
+        Device.delete dev name;
+        table_reports := { tr with tr_output = Some out } :: !table_reports;
+        survivors := out :: !survivors)
+    ssts;
+  (* 2. Rebuild the manifest from the surviving footers: L0, one run per
+     table, newest (highest max seqno) probed first. *)
+  let cache = scratch_cache () in
+  let metas =
+    List.filter_map
+      (fun name ->
+        match sst_id name with
+        | None -> None
+        | Some id ->
+          let reader = Sstable.open_reader ~cmp ~dev ~cache ~name in
+          let props = Sstable.props reader in
+          Some (Table_meta.of_props ~file_id:id ~file_name:name
+                  ~size:(Device.size dev name) props))
+      (List.rev !survivors)
+  in
+  let by_recency =
+    List.sort
+      (fun (a : Table_meta.t) (b : Table_meta.t) -> compare a.max_seqno b.max_seqno)
+      metas
+  in
+  let added = List.mapi (fun i m -> (0, i + 1, m)) by_recency in
+  let watermark =
+    List.fold_left (fun acc (m : Table_meta.t) -> max acc m.max_seqno) 0 metas
+  in
+  Device.delete dev Manifest.tmp_file_name;
+  Device.delete dev Manifest.file_name;
+  let m = Manifest.create ~name:Manifest.tmp_file_name dev in
+  Manifest.log_edit m { Version.added; removed = []; seqno_watermark = watermark };
+  Manifest.promote m;
+  Manifest.close m;
+  (* 3. WAL chain: salvage every log up to the first break; drop all
+     logs after a broken one, then re-log the survivors into one fresh
+     sealed WAL. *)
+  let wal_files =
+    Device.list_files dev
+    |> List.filter_map (fun n -> match wal_seq n with Some s -> Some (s, n) | None -> None)
+    |> List.sort compare
+  in
+  let batches = ref [] in
+  let broken = ref false in
+  let wal_reports =
+    List.map
+      (fun (_, name) ->
+        if !broken then begin
+          findings :=
+            Lsm_error.Corruption
+              { file = name; offset = None; detail = "dropped: earlier WAL broke" }
+            :: !findings;
+          { wr_file = name; wr_batches = 0; wr_truncated_at = None; wr_dropped = true }
+        end
+        else begin
+          let n, bad = Wal.salvage dev ~name (fun b -> batches := b :: !batches) in
+          (match bad with
+          | Some off ->
+            broken := true;
+            findings :=
+              Lsm_error.Corruption { file = name; offset = Some off; detail = "bad WAL frame" }
+              :: !findings
+          | None -> ());
+          { wr_file = name; wr_batches = n; wr_truncated_at = bad; wr_dropped = false }
+        end)
+      wal_files
+  in
+  List.iter (fun (_, name) -> Device.delete dev name) wal_files;
+  (match List.rev !batches with
+  | [] -> ()
+  | salvaged ->
+    let w = Wal.create dev ~name:"wal-000000.log" in
+    List.iter (fun b -> Wal.append w ~sync:false b) salvaged;
+    Wal.sync w;
+    Wal.close w);
+  {
+    tables = List.rev !table_reports;
+    wals = wal_reports;
+    manifest_rebuilt = true;
+    findings = List.rev !findings;
+  }
+
+let pp_report ppf r =
+  let pp_table ppf tr =
+    Format.fprintf ppf "%s: %d/%d blocks bad, %d entries salvaged -> %s" tr.tr_file
+      tr.tr_bad_blocks tr.tr_blocks tr.tr_entries_salvaged
+      (match tr.tr_output with Some f -> f | None -> "(dropped)");
+    List.iter
+      (fun (lo, hi) -> Format.fprintf ppf "@,  lost range [%S .. %S]" lo hi)
+      tr.tr_lost_ranges
+  in
+  let pp_wal ppf wr =
+    if wr.wr_dropped then Format.fprintf ppf "%s: dropped (earlier log broke)" wr.wr_file
+    else
+      Format.fprintf ppf "%s: %d batches%s" wr.wr_file wr.wr_batches
+        (match wr.wr_truncated_at with
+        | Some off -> Printf.sprintf ", truncated at %d" off
+        | None -> "")
+  in
+  Format.fprintf ppf "@[<v>manifest: %s@,%a@,%a@,%d findings@]"
+    (if r.manifest_rebuilt then "rebuilt" else "intact")
+    (Format.pp_print_list pp_table) r.tables (Format.pp_print_list pp_wal) r.wals
+    (List.length r.findings)

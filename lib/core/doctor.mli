@@ -1,0 +1,52 @@
+(** Offline verification and repair of a closed store — the engine behind
+    the [lsm-doctor] CLI. Operates directly on a device, never through
+    [Db.open_db], so it works on stores too damaged to recover: it
+    salvages every intact data block, rebuilds the manifest from the
+    surviving [.sst] footers, truncates the WAL chain at the first
+    undecodable frame, and reports exactly which key ranges were lost. *)
+
+type table_report = {
+  tr_file : string;
+  tr_blocks : int;  (** data blocks in the index *)
+  tr_bad_blocks : int;
+  tr_entries_salvaged : int;
+  tr_lost_ranges : (string * string) list;
+      (** inclusive key spans of the rotten blocks; [("","")] when the
+          footer itself was gone and the span is unknowable *)
+  tr_output : string option;
+      (** live file after repair: the original when intact, a rewritten
+          salvage table, or [None] when nothing survived *)
+}
+
+type wal_report = {
+  wr_file : string;
+  wr_batches : int;  (** batches salvaged from this log *)
+  wr_truncated_at : int option;  (** first bad frame offset, if any *)
+  wr_dropped : bool;
+      (** log discarded because an earlier log already broke — applying
+          batches from after a gap would tear the acknowledged order *)
+}
+
+type report = {
+  tables : table_report list;
+  wals : wal_report list;
+  manifest_rebuilt : bool;
+  findings : Lsm_util.Lsm_error.t list;  (** every defect encountered *)
+}
+
+val verify : ?cmp:Lsm_util.Comparator.t -> Lsm_storage.Device.t -> Lsm_util.Lsm_error.t list
+(** Read-only scrub of a closed store: manifest recovery, every table it
+    references (every [.sst] on the device when the manifest itself is
+    unreadable), and the WAL chain. Returns all findings; an empty list
+    means the store is sound. Never modifies the device. *)
+
+val repair : ?cmp:Lsm_util.Comparator.t -> Lsm_storage.Device.t -> report
+(** Point-in-time salvage. Every intact block of every table survives
+    (rewritten into a fresh table when its neighbours rotted); the
+    manifest is rebuilt from the surviving footers with each table as
+    its own level-0 run, newest first by max seqno; WALs are kept up to
+    the first bad frame and dropped after it, the survivors re-logged
+    into one fresh sealed WAL. After repair the device opens cleanly
+    with [Db.open_db]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,7 +1,7 @@
-module Codec = Lsm_util.Codec
-module Crc32c = Lsm_util.Crc32c
 module Device = Lsm_storage.Device
+module Framed_log = Lsm_storage.Framed_log
 module Io_stats = Lsm_storage.Io_stats
+module Lsm_error = Lsm_util.Lsm_error
 
 type t = { dev : Device.t; writer : Device.writer; mutable name : string }
 
@@ -14,12 +14,7 @@ let create ?(name = file_name) dev =
 let log_edit t edit =
   let payload = Buffer.create 256 in
   Version.encode_edit payload edit;
-  let payload = Buffer.contents payload in
-  let frame = Buffer.create (String.length payload + 8) in
-  Codec.put_u32 frame (Int32.to_int (Crc32c.mask (Crc32c.string payload)) land 0xffffffff);
-  Codec.put_u32 frame (String.length payload);
-  Buffer.add_string frame payload;
-  Device.append t.writer (Buffer.contents frame);
+  Device.append t.writer (Framed_log.frame (Buffer.contents payload));
   Device.sync t.writer
 
 let promote t =
@@ -28,25 +23,51 @@ let promote t =
     t.name <- file_name
   end
 
-let close t = Device.close t.writer
+let close t =
+  (* Seal on clean close, like the WAL: recovery of a sealed manifest is
+     strict. Best-effort so closing after a device crash keeps its old
+     behavior. *)
+  (try Device.append t.writer Framed_log.seal_frame with Invalid_argument _ -> ());
+  Device.close t.writer
 
 let recover dev =
   if not (Device.exists dev file_name) then Version.empty
   else begin
-    let len = Device.size dev file_name in
-    let data = Device.read dev ~cls:Io_stats.C_misc file_name ~off:0 ~len in
-    let r = Codec.reader data in
+    let data = Framed_log.load dev ~name:file_name in
+    let sealed = Framed_log.is_seal_tail data in
     let version = ref Version.empty in
-    (try
-       while Codec.remaining r >= 8 do
-         let stored = Int32.of_int (Codec.get_u32 r) in
-         let plen = Codec.get_u32 r in
-         if plen > Codec.remaining r then raise Exit;
-         let payload = Codec.get_raw r plen in
-         if Crc32c.mask (Crc32c.string payload) <> stored then raise Exit;
-         let edit = Version.decode_edit (Codec.reader payload) in
-         version := Version.apply !version edit
-       done
-     with Exit | Codec.Corrupt _ -> ());
+    let edits, ending =
+      Framed_log.scan data (fun ~off:_ payload ->
+          let edit = Version.decode_edit (Lsm_util.Codec.reader payload) in
+          version := Version.apply !version edit)
+    in
+    (match (sealed, ending) with
+    | true, Framed_log.Sealed_clean -> ()
+    | true, Framed_log.Bad_frame off ->
+      raise
+        (Lsm_error.corruption ~file:file_name ~offset:off
+           "bad edit frame in cleanly-closed manifest")
+    | true, Framed_log.Unsealed_end ->
+      raise
+        (Lsm_error.corruption ~file:file_name "sealed manifest with misaligned frames")
+    | false, Framed_log.Bad_frame off when Framed_log.bad_frame_is_rot data ~off ->
+      (* Intact edit frames beyond the damage: this is mid-log bit rot
+         (possibly including a rotted seal), not a crash-torn tail.
+         Truncating here would silently drop tables — and [open_db] would
+         then garbage-collect them as orphans, destroying the data the
+         doctor could have salvaged. *)
+      raise
+        (Lsm_error.corruption ~file:file_name ~offset:off
+           "valid edit frames beyond a damaged frame: bit rot, not a torn tail")
+    | false, _ ->
+      (* Unsealed manifests exist only after a crash, where a torn tail is
+         legitimate — but the tmp+promote protocol syncs at least one edit
+         frame before MANIFEST ever carries the name, so a nonempty
+         manifest recovering *zero* edits is not a crash artifact: its
+         head frame rotted. *)
+      if edits = 0 && String.length data > 0 then
+        raise
+          (Lsm_error.corruption ~file:file_name ~offset:0
+             "no valid edit frame in nonempty manifest"));
     !version
   end

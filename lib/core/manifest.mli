@@ -35,7 +35,13 @@ val promote : t -> unit
     transparently afterwards. *)
 
 val close : t -> unit
+(** Appends the shared seal frame (see {!Lsm_storage.Framed_log}) and
+    seals the file: recovery of a cleanly-closed manifest is strict. *)
 
 val recover : Lsm_storage.Device.t -> Version.t
 (** Rebuild the version from the manifest; an absent manifest yields
-    {!Version.empty}. Torn tails are ignored. *)
+    {!Version.empty}. Torn tails of an {e unsealed} (crashed) manifest
+    are ignored; a sealed manifest with any bad frame, or a nonempty
+    unsealed manifest with {e no} valid frame, raises a typed
+    [Lsm_util.Lsm_error.Corruption] instead of silently recovering an
+    older tree. *)

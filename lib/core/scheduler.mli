@@ -35,6 +35,11 @@ val wait_until : t -> (pending:int -> bool) -> unit
 val quiesce : t -> unit
 (** Wait for every queued job, then re-raise any recorded failure. *)
 
+val take_failure : t -> exn option
+(** Remove and return the parked background failure, if any — the
+    fail-safe resume path ([Db.try_resume]) clears the latch without
+    re-raising. *)
+
 val shutdown : t -> unit
 (** Wait for every queued job, discarding any recorded failure. The
     shared lane keeps running (it is shut down at process exit). *)

@@ -21,10 +21,17 @@ type t = {
   mutable write_stalls : int;
   mutable write_slowdowns : int;
   mutable write_stops : int;
+  mutable corruptions_detected : int;
+  mutable tables_quarantined : int;
+  mutable failsafe_entries : int;
+  mutable resumes : int;
+  mutable scrub_runs : int;
+  mutable scrub_errors : int;
   stall_burst_bytes : Histogram.t;
   compaction_burst_bytes : Histogram.t;
   get_run_probes : Histogram.t;
   write_latency_ns : Histogram.t;
+  slowdown_delay_ns : Histogram.t;
 }
 
 let create () =
@@ -49,10 +56,17 @@ let create () =
     write_stalls = 0;
     write_slowdowns = 0;
     write_stops = 0;
+    corruptions_detected = 0;
+    tables_quarantined = 0;
+    failsafe_entries = 0;
+    resumes = 0;
+    scrub_runs = 0;
+    scrub_errors = 0;
     stall_burst_bytes = Histogram.create ();
     compaction_burst_bytes = Histogram.create ();
     get_run_probes = Histogram.create ();
     write_latency_ns = Histogram.create ();
+    slowdown_delay_ns = Histogram.create ();
   }
 
 let clear t =
@@ -76,10 +90,17 @@ let clear t =
   t.write_stalls <- 0;
   t.write_slowdowns <- 0;
   t.write_stops <- 0;
+  t.corruptions_detected <- 0;
+  t.tables_quarantined <- 0;
+  t.failsafe_entries <- 0;
+  t.resumes <- 0;
+  t.scrub_runs <- 0;
+  t.scrub_errors <- 0;
   Histogram.clear t.stall_burst_bytes;
   Histogram.clear t.compaction_burst_bytes;
   Histogram.clear t.get_run_probes;
-  Histogram.clear t.write_latency_ns
+  Histogram.clear t.write_latency_ns;
+  Histogram.clear t.slowdown_delay_ns
 
 let write_amp_engine t =
   if t.user_bytes_ingested = 0 then 0.0
@@ -96,9 +117,12 @@ let pp ppf t =
      ingested=%dB flushes=%d compactions=%d (read %dB, wrote %dB)@,\
      probes/get=%.2f filter: neg=%d fp=%d range-skips=%d@,\
      stalls=%d slowdowns=%d stops=%d stall-bytes: %a@,compaction-bursts: %a@,\
-     write-latency-ns: %a@]"
+     write-latency-ns: %a@,slowdown-delay-ns: %a@,\
+     corruptions=%d quarantined=%d failsafe=%d resumes=%d scrubs=%d (errors %d)@]"
     t.user_puts t.user_deletes t.user_gets t.gets_found t.user_scans t.user_bytes_ingested
     t.flushes t.compactions t.compaction_bytes_read t.compaction_bytes_written
     (avg_probes_per_get t) t.filter_negatives t.filter_false_positives t.range_filter_skips
     t.write_stalls t.write_slowdowns t.write_stops Histogram.pp_summary t.stall_burst_bytes
     Histogram.pp_summary t.compaction_burst_bytes Histogram.pp_summary t.write_latency_ns
+    Histogram.pp_summary t.slowdown_delay_ns t.corruptions_detected t.tables_quarantined
+    t.failsafe_entries t.resumes t.scrub_runs t.scrub_errors

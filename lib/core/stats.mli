@@ -36,6 +36,17 @@ type t = {
   mutable write_stops : int;
       (** background backpressure: writes that blocked on the scheduler
           condition variable ([write_stop_trigger]) *)
+  mutable corruptions_detected : int;
+      (** typed [Corruption] errors surfaced by reads, scrubs, or recovery *)
+  mutable tables_quarantined : int;
+      (** SSTs fenced off after a corruption (reads over their range fail
+          loudly instead of silently serving older versions) *)
+  mutable failsafe_entries : int;
+      (** transitions into fail-safe read-only mode (background flush or
+          compaction failed and the latch tripped) *)
+  mutable resumes : int;  (** successful [Db.try_resume] calls *)
+  mutable scrub_runs : int;  (** completed [Db.verify_integrity] passes *)
+  mutable scrub_errors : int;  (** defects found across all scrub passes *)
   stall_burst_bytes : Lsm_util.Histogram.t;
       (** bytes of flush+compaction work performed synchronously inside a
           user write — the latency-spike proxy (§2.2.3, SILK) *)
@@ -46,6 +57,10 @@ type t = {
       (** foreground wall-clock nanoseconds per [Db.write]/[apply_batch]
           call, including any backpressure delay — the tail-latency
           measure the [--stall] bench reports (p50/p99/p999) *)
+  slowdown_delay_ns : Lsm_util.Histogram.t;
+      (** nanoseconds of proportional backpressure delay injected per
+          slowed-down write (between the slowdown and stop triggers the
+          delay ramps linearly with compaction debt) *)
 }
 
 val create : unit -> t

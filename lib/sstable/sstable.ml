@@ -1,5 +1,7 @@
 module Codec = Lsm_util.Codec
 module Comparator = Lsm_util.Comparator
+module Crc32c = Lsm_util.Crc32c
+module Lsm_error = Lsm_util.Lsm_error
 module Entry = Lsm_record.Entry
 module Iter = Lsm_record.Iter
 module Device = Lsm_storage.Device
@@ -9,6 +11,21 @@ module Point_filter = Lsm_filter.Point_filter
 module Range_filter = Lsm_filter.Range_filter
 
 let magic = 0x4c534d54 (* "LSMT" *)
+
+(* Bounded retry for transient device faults: a read raising a retriable
+   [Lsm_error.Io_error] is retried with linear backoff; anything else
+   (including a non-retriable fault on the last attempt) propagates. *)
+let max_read_attempts = 4
+
+let read_with_retry dev ~cls name ~off ~len =
+  let rec go attempt =
+    try Device.read dev ~cls name ~off ~len with
+    | Lsm_error.Error (Lsm_error.Io_error { retriable = true; _ })
+      when attempt < max_read_attempts ->
+      Unix.sleepf (0.00005 *. float_of_int attempt);
+      go (attempt + 1)
+  in
+  go 1
 
 module Props = struct
   type t = {
@@ -104,12 +121,19 @@ let frame_block compression data =
       Buffer.contents b
     end
 
+(* Largest plausible decompressed block. Blocks are cut around
+   [block_size] (a few KiB); a corrupt varint must not drive a
+   gigabyte-sized allocation before the CRC check can reject the block. *)
+let max_raw_block = 1 lsl 26
+
 let unframe_block framed =
   let r = Codec.reader framed in
   match Codec.get_u8 r with
   | 0 -> Codec.get_raw r (Codec.remaining r)
   | 1 ->
     let raw_len = Codec.get_varint r in
+    if raw_len > max_raw_block then
+      raise (Codec.Corrupt (Printf.sprintf "implausible block length %d" raw_len));
     Lsm_util.Lz.decompress (Codec.get_raw r (Codec.remaining r)) ~expected_len:raw_len
   | n -> raise (Codec.Corrupt (Printf.sprintf "unknown block frame tag %d" n))
 
@@ -251,7 +275,7 @@ let build ?(config = default_build_config) ~cmp ~dev ~cls ~name ~created_at (it 
   Device.append w index_block;
   let props_off = Device.written w in
   Device.append w props_block;
-  let footer = Buffer.create 40 in
+  let footer = Buffer.create 48 in
   Codec.put_u32 footer filter_off;
   Codec.put_u32 footer (String.length filter_block);
   Codec.put_u32 footer rfilter_off;
@@ -260,12 +284,23 @@ let build ?(config = default_build_config) ~cmp ~dev ~cls ~name ~created_at (it 
   Codec.put_u32 footer (String.length index_block);
   Codec.put_u32 footer props_off;
   Codec.put_u32 footer (String.length props_block);
+  (* One CRC covers every meta block and the offset table itself: data
+     blocks carry per-block checksums, but a flipped bit in the index,
+     filters, or props would otherwise silently mis-route or mis-skip
+     reads (e.g. [may_contain_key] consulting rotted min/max keys). *)
+  let meta_crc =
+    Crc32c.mask
+      (Crc32c.string
+         (filter_block ^ rfilter_block ^ index_block ^ props_block
+        ^ Buffer.contents footer))
+  in
+  Codec.put_u32 footer (Int32.to_int meta_crc land 0xffffffff);
   Codec.put_u32 footer magic;
   Device.append w (Buffer.contents footer);
   Device.close w;
   props
 
-let footer_size = 36
+let footer_size = 40
 
 type reader = {
   cmp : Comparator.t;
@@ -280,9 +315,13 @@ type reader = {
 }
 
 let open_reader ~cmp ~dev ~cache ~name =
+  let corrupt ?offset detail = raise (Lsm_error.corruption ?offset ~file:name detail) in
   let size = Device.size dev name in
-  if size < footer_size then raise (Codec.Corrupt "file too small for footer");
-  let footer = Device.read dev ~cls:Io_stats.C_misc name ~off:(size - footer_size) ~len:footer_size in
+  if size < footer_size then corrupt "file too small for footer";
+  let footer =
+    read_with_retry dev ~cls:Io_stats.C_misc name ~off:(size - footer_size)
+      ~len:footer_size
+  in
   let r = Codec.reader footer in
   let filter_off = Codec.get_u32 r in
   let filter_len = Codec.get_u32 r in
@@ -292,19 +331,38 @@ let open_reader ~cmp ~dev ~cache ~name =
   let index_len = Codec.get_u32 r in
   let props_off = Codec.get_u32 r in
   let props_len = Codec.get_u32 r in
-  if Codec.get_u32 r <> magic then raise (Codec.Corrupt ("bad magic in " ^ name));
-  let read off len = Device.read dev ~cls:Io_stats.C_misc name ~off ~len in
-  {
-    cmp;
-    dev;
-    cache;
-    rname = name;
-    size;
-    index = decode_index (read index_off index_len);
-    filter = Point_filter.decode (read filter_off filter_len);
-    rfilter = Range_filter.decode (read rfilter_off rfilter_len);
-    rprops = Props.decode (read props_off props_len);
-  }
+  let stored_crc = Int32.of_int (Codec.get_u32 r) in
+  if Codec.get_u32 r <> magic then
+    corrupt ~offset:(size - footer_size) ("bad magic in " ^ name);
+  (* The four meta blocks are laid out back to back just before the
+     footer; verify their shared CRC before trusting a single offset. *)
+  if
+    filter_off < 0 || filter_off > size - footer_size
+    || props_off + props_len <> size - footer_size
+    || rfilter_off <> filter_off + filter_len
+    || index_off <> rfilter_off + rfilter_len
+    || props_off <> index_off + index_len
+  then corrupt ~offset:(size - footer_size) "meta-block offsets inconsistent";
+  let meta =
+    read_with_retry dev ~cls:Io_stats.C_misc name ~off:filter_off
+      ~len:(size - footer_size - filter_off)
+  in
+  if Crc32c.mask (Crc32c.string (meta ^ String.sub footer 0 32)) <> stored_crc then
+    corrupt ~offset:filter_off "meta-block checksum mismatch";
+  let cut off len = String.sub meta (off - filter_off) len in
+  try
+    {
+      cmp;
+      dev;
+      cache;
+      rname = name;
+      size;
+      index = decode_index (cut index_off index_len);
+      filter = Point_filter.decode (cut filter_off filter_len);
+      rfilter = Range_filter.decode (cut rfilter_off rfilter_len);
+      rprops = Props.decode (cut props_off props_len);
+    }
+  with Codec.Corrupt d -> corrupt ("undecodable meta block: " ^ d)
 
 let props t = t.rprops
 let name t = t.rname
@@ -327,17 +385,35 @@ let may_overlap_range t ~lo ~hi =
   && t.cmp.Comparator.compare lo t.rprops.Props.max_key <= 0
   && Range_filter.may_overlap t.rfilter ~lo ~hi
 
-(* Data block fetch, through the cache. *)
+(* Decode a framed data block, converting every failure class to a typed
+   corruption pinned to the block's offset. [Lz.decompress] on garbage can
+   raise more than [Codec.Corrupt] (e.g. [Invalid_argument]), and none of
+   them may escape as anything but [Corruption]. *)
+let decode_block t (ie : index_entry) raw =
+  try Block.decode_check (unframe_block raw) with
+  | Codec.Corrupt d ->
+    raise (Lsm_error.corruption ~file:t.rname ~offset:ie.off ("data block: " ^ d))
+  | Invalid_argument d | Failure d ->
+    raise
+      (Lsm_error.corruption ~file:t.rname ~offset:ie.off ("undecodable data block: " ^ d))
+
+(* Data block fetch, through the cache. A block enters the cache only
+   after its checksum and framing have been validated — a fetch that
+   fails (or decodes to garbage) never poisons later reads; a cached
+   copy that stops decoding (cannot happen unless memory itself rots) is
+   evicted before the error propagates. *)
 let load_block t ~cls ~use_cache (ie : index_entry) =
-  let fetch () = Device.read t.dev ~cls t.rname ~off:ie.off ~len:ie.len in
-  let raw =
-    if use_cache then Block_cache.get_or_load t.cache ~file:t.rname ~off:ie.off fetch
-    else
-      match Block_cache.find t.cache ~file:t.rname ~off:ie.off with
-      | Some b -> b
-      | None -> fetch ()
-  in
-  Block.decode_check (unframe_block raw)
+  match Block_cache.find t.cache ~file:t.rname ~off:ie.off with
+  | Some raw ->
+    (try decode_block t ie raw
+     with Lsm_error.Error _ as e ->
+       ignore (Block_cache.evict_file t.cache t.rname);
+       raise e)
+  | None ->
+    let raw = read_with_retry t.dev ~cls t.rname ~off:ie.off ~len:ie.len in
+    let block = decode_block t ie raw in
+    if use_cache then Block_cache.insert t.cache ~file:t.rname ~off:ie.off raw;
+    block
 
 (* First index slot whose fence key is >= target: the only block that can
    contain [target]. *)
@@ -417,7 +493,51 @@ let iterator t ~cls ?(use_cache = true) () =
 let prefetch_into_cache t ~cls =
   Array.iter
     (fun ie ->
-      let data = Device.read t.dev ~cls t.rname ~off:ie.off ~len:ie.len in
+      let data = read_with_retry t.dev ~cls t.rname ~off:ie.off ~len:ie.len in
+      (* Same rule as [load_block]: nothing unvalidated enters the cache. *)
+      ignore (decode_block t ie data);
       Block_cache.insert t.cache ~file:t.rname ~off:ie.off data)
     t.index;
   Array.length t.index
+
+(* ---------------- integrity verification + salvage hooks ---------------- *)
+
+let index_entries t = t.index
+
+let block_entries t ~cls (ie : index_entry) =
+  let raw = read_with_retry t.dev ~cls t.rname ~off:ie.off ~len:ie.len in
+  let it = Block.iterator t.cmp (decode_block t ie raw) in
+  it.Iter.seek_to_first ();
+  let out = ref [] in
+  while it.Iter.valid () do
+    out := it.Iter.entry () :: !out;
+    it.Iter.next ()
+  done;
+  List.rev !out
+
+(* Full-table scrub: every data block re-read from the device (bypassing
+   the cache) and checksum-verified, fence ordering and block/first-key
+   agreement checked. Raises the first [Lsm_error.Corruption] found.
+   [open_reader] already verified the meta blocks' shared CRC. *)
+let verify t ~cls =
+  Array.iteri
+    (fun i ie ->
+      if i > 0 && t.cmp.Comparator.compare t.index.(i - 1).fence ie.fence >= 0 then
+        raise
+          (Lsm_error.corruption ~file:t.rname ~offset:ie.off
+             (Printf.sprintf "fence pointers out of order at slot %d" i));
+      if ie.off < 0 || ie.len < 8 || ie.off + ie.len > t.size then
+        raise
+          (Lsm_error.corruption ~file:t.rname ~offset:ie.off
+             (Printf.sprintf "index slot %d outside the file" i));
+      match block_entries t ~cls ie with
+      | [] ->
+        raise
+          (Lsm_error.corruption ~file:t.rname ~offset:ie.off
+             (Printf.sprintf "data block %d is empty" i))
+      | first :: _ ->
+        if not (String.equal first.Entry.key ie.first_key) then
+          raise
+            (Lsm_error.corruption ~file:t.rname ~offset:ie.off
+               (Printf.sprintf "data block %d does not start at its indexed key" i)))
+    t.index

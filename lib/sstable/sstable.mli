@@ -68,8 +68,11 @@ val open_reader :
   cache:Lsm_storage.Block_cache.t ->
   name:string ->
   reader
-(** Reads footer, index, filters, and properties into memory.
-    @raise Lsm_util.Codec.Corrupt on a malformed file. *)
+(** Reads footer, index, filters, and properties into memory, verifying
+    the footer magic and the shared meta-block CRC (which covers the
+    filters, index, props, and the footer's offset table).
+    @raise Lsm_util.Lsm_error.Error with [Corruption] on a malformed
+    file; retriable [Io_error]s are retried with bounded backoff. *)
 
 val props : reader -> Props.t
 val name : reader -> string
@@ -105,4 +108,33 @@ val iterator :
 
 val prefetch_into_cache : reader -> cls:Lsm_storage.Io_stats.op_class -> int
 (** Load every data block into the block cache (Leaper-style refill after
-    compaction, E13); returns the number of blocks loaded. *)
+    compaction, E13); returns the number of blocks loaded. Like every
+    read path, blocks are checksum-validated {e before} insertion — a
+    corrupt block raises and never enters the cache. *)
+
+(** {1 Integrity verification and salvage}
+
+    Hooks for the scrubber ([Db.verify_integrity]) and the offline
+    [lsm-doctor] tool. Reads bypass the block cache. *)
+
+type index_entry = { fence : string; off : int; len : int; first_key : string }
+
+val index_entries : reader -> index_entry array
+(** The fence-pointer index: one entry per data block, in key order. *)
+
+val block_entries :
+  reader ->
+  cls:Lsm_storage.Io_stats.op_class ->
+  index_entry ->
+  Lsm_record.Entry.t list
+(** Decode one data block straight from the device (checksum-verified,
+    uncached). Salvage walks blocks individually so one rotten block
+    doesn't condemn its neighbours.
+    @raise Lsm_util.Lsm_error.Error with [Corruption] on a bad block. *)
+
+val verify : reader -> cls:Lsm_storage.Io_stats.op_class -> unit
+(** Scrub the whole table: every data block re-read and CRC-checked,
+    fence-pointer ordering and index/block agreement verified (the meta
+    blocks were already CRC-verified by {!open_reader}).
+    @raise Lsm_util.Lsm_error.Error with [Corruption] on the first
+    defect found. *)

@@ -15,6 +15,16 @@ type tear = Tear_none | Tear_keep of int | Tear_corrupt of int
 
 type crash_point = After_syncs of int | After_ops of int | After_bytes of int
 
+type file_class = F_sst | F_manifest | F_wal | F_other
+
+let classify name =
+  if Filename.check_suffix name ".sst" then F_sst
+  else if name = "MANIFEST" || name = "MANIFEST.tmp" then F_manifest
+  else if String.length name >= 4 && String.sub name 0 4 = "wal-" then F_wal
+  else F_other
+
+type corruption_hit = { hit_file : string; hit_class : file_class; hit_off : int }
+
 (* Countdown state of an armed crash; unused triggers sit at [max_int].
    Crash planning is a test-only, single-domain facility: the workload
    that arms a plan is the only mutator until the crash fires. *)
@@ -40,7 +50,15 @@ type t = {
   mutable mutations : int;  (** count of durability-relevant device ops *)
   mutable plan : plan option;
   mutable is_crashed : bool;
+  mutable read_faults : read_faults option;
+  mutable read_faults_fired : int;
 }
+
+(* Scheduled transient read faults: the next [left] reads of files in
+   [fault_classes] fail with a retriable [Lsm_error.Io_error] before any
+   bytes are returned. Models a device hiccup (not data loss — the bytes
+   are fine on the next attempt). *)
+and read_faults = { mutable left : int; fault_classes : file_class list }
 
 type writer = {
   dev : t;
@@ -63,6 +81,8 @@ let in_memory ?(page_size = 4096) () =
     mutations = 0;
     plan = None;
     is_crashed = false;
+    read_faults = None;
+    read_faults_fired = 0;
   }
 
 let on_disk ?(page_size = 4096) ~dir () =
@@ -76,6 +96,8 @@ let on_disk ?(page_size = 4096) ~dir () =
     mutations = 0;
     plan = None;
     is_crashed = false;
+    read_faults = None;
+    read_faults_fired = 0;
   }
 
 let locked t f = Lsm_util.Ordered_mutex.with_lock t.m f
@@ -179,6 +201,79 @@ let revive t =
   t.plan <- None;
   t.is_crashed <- false
 
+(* ---------------- bit-rot + read-fault injection ---------------- *)
+
+(* Seeded bit-rot on the *durable image*: unlike crash tears, which by
+   contract never touch synced bytes, this deliberately flips bits inside
+   the synced prefix — the storage layer lying about data it acknowledged.
+   One random bit per chosen page, deterministic in [seed]; matching files
+   are visited in name order. Returns the exact byte offsets hit so a
+   harness can reason about which blocks were physically damaged. *)
+let plan_corruption t ~seed ?(classes = [ F_sst; F_manifest; F_wal; F_other ])
+    ?(pattern = fun _ -> true) ~pages () =
+  let files =
+    match t.backend with
+    | Disk _ ->
+      invalid_arg "Device.plan_corruption: only supported on the in-memory backend"
+    | Mem files -> files
+  in
+  if pages < 1 then invalid_arg "Device.plan_corruption: pages >= 1";
+  let rng = Lsm_util.Rng.create seed in
+  locked t @@ fun () ->
+  let victims =
+    Hashtbl.fold (fun name f acc -> (name, f) :: acc) files []
+    |> List.filter (fun (name, f) ->
+           f.synced > 0 && List.mem (classify name) classes && pattern name)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.concat_map
+    (fun (name, f) ->
+      let synced_pages = ((f.synced - 1) / t.page_size) + 1 in
+      let page_idx = Array.init synced_pages Fun.id in
+      Lsm_util.Rng.shuffle rng page_idx;
+      let n = min pages synced_pages in
+      let data = Buffer.to_bytes f.buf in
+      let hits = ref [] in
+      for i = 0 to n - 1 do
+        let page = page_idx.(i) in
+        let page_len = min t.page_size (f.synced - (page * t.page_size)) in
+        let off = (page * t.page_size) + Lsm_util.Rng.int rng page_len in
+        let bit = Lsm_util.Rng.int rng 8 in
+        Bytes.set data off
+          (Char.chr (Char.code (Bytes.get data off) lxor (1 lsl bit)));
+        hits := { hit_file = name; hit_class = classify name; hit_off = off } :: !hits
+      done;
+      let b = Buffer.create (max 16 (Bytes.length data)) in
+      Buffer.add_bytes b data;
+      f.buf <- b;
+      List.rev !hits)
+    victims
+
+let plan_read_faults t ?(classes = [ F_sst; F_manifest; F_wal; F_other ]) n =
+  if n < 0 then invalid_arg "Device.plan_read_faults: n >= 0";
+  locked t (fun () ->
+      t.read_faults <- (if n = 0 then None else Some { left = n; fault_classes = classes }))
+
+let read_faults_fired t = t.read_faults_fired
+
+(* Raises a retriable [Lsm_error.Io_error] if an armed fault applies to
+   [name], consuming one fault charge. *)
+let maybe_read_fault t name =
+  let fire =
+    locked t @@ fun () ->
+    match t.read_faults with
+    | Some rf when rf.left > 0 && List.mem (classify name) rf.fault_classes ->
+      rf.left <- rf.left - 1;
+      if rf.left = 0 then t.read_faults <- None;
+      t.read_faults_fired <- t.read_faults_fired + 1;
+      true
+    | _ -> false
+  in
+  if fire then
+    raise
+      (Lsm_util.Lsm_error.io_error ~retriable:true
+         ("injected transient read fault: " ^ name))
+
 (* ---------------- writing ---------------- *)
 
 let open_writer t ~cls name =
@@ -279,6 +374,7 @@ let find_mem files name =
 
 let read t ~cls name ~off ~len =
   if off < 0 || len < 0 then invalid_arg "Device.read: negative range";
+  maybe_read_fault t name;
   let data =
     match t.backend with
     | Mem files ->

@@ -135,3 +135,50 @@ val is_crashed : t -> bool
 val revive : t -> unit
 (** Clear the crashed state ("reboot"): the surviving file images become
     the readable, durable on-device state, ready for recovery. *)
+
+(** {1 Bit-rot and transient-fault injection}
+
+    Orthogonal to crash injection: {!plan_crash} never alters synced
+    bytes, whereas {!plan_corruption} deliberately flips bits {e inside}
+    the synced prefix — silent corruption of data the device already
+    acknowledged. This is what checksums, quarantine, and [lsm-doctor]
+    defend against. *)
+
+(** Coarse file classification by name, for targeting fault injection. *)
+type file_class =
+  | F_sst  (** [*.sst] table files *)
+  | F_manifest  (** [MANIFEST] / [MANIFEST.tmp] *)
+  | F_wal  (** [wal-*] log files *)
+  | F_other
+
+val classify : string -> file_class
+
+type corruption_hit = {
+  hit_file : string;
+  hit_class : file_class;
+  hit_off : int;  (** exact byte offset whose bit was flipped *)
+}
+
+val plan_corruption :
+  t ->
+  seed:int ->
+  ?classes:file_class list ->
+  ?pattern:(string -> bool) ->
+  pages:int ->
+  unit ->
+  corruption_hit list
+(** Flip one random bit in each of up to [pages] distinct pages of the
+    synced prefix of every file matching [classes] (default: all) and
+    [pattern] (default: all), deterministically in [seed]. Files are
+    visited in name order. Returns one hit per flipped bit so harnesses
+    can map damage to blocks. Applied immediately to the durable image.
+    @raise Invalid_argument on the on-disk backend or [pages < 1]. *)
+
+val plan_read_faults : t -> ?classes:file_class list -> int -> unit
+(** Arm [n] transient read faults: the next [n] {!read}s of files in
+    [classes] raise a retriable [Lsm_util.Lsm_error.Io_error] before
+    returning any bytes (the data is undamaged — a retry succeeds once
+    the charges are spent). [n = 0] disarms. Works on both backends. *)
+
+val read_faults_fired : t -> int
+(** Total injected read faults raised so far. *)

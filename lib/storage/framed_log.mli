@@ -1,0 +1,52 @@
+(** The CRC frame discipline shared by the WAL and the manifest.
+
+    Layout per frame: [u32 masked-crc32c | u32 payload-len | payload].
+    A cleanly-closed log ends with a {e seal} frame (payload
+    {!seal_payload}); its presence distinguishes silent corruption (a bad
+    frame in a sealed log) from an ordinary crash-truncated tail. *)
+
+val frame : string -> string
+(** Wrap a payload in a CRC frame. *)
+
+val seal_payload : string
+val seal_size : int
+
+val seal_frame : string
+(** The pre-framed seal sentinel, ready to append on close. *)
+
+val is_seal_tail : string -> bool
+(** Whether the raw file image ends with a valid seal frame. *)
+
+(** How a frame scan ended. *)
+type scan_end =
+  | Sealed_clean  (** every frame valid, terminated by the seal *)
+  | Unsealed_end  (** every frame valid, no seal (crash-truncated log) *)
+  | Bad_frame of int  (** first undecodable frame starts at this offset *)
+
+val scan : string -> (off:int -> string -> unit) -> int * scan_end
+(** [scan data f] walks the frames in order, calling [f ~off payload] for
+    each valid non-seal frame, and returns how many were delivered plus
+    the ending. An [f] raising [Codec.Corrupt] marks that frame bad and
+    stops the scan (its delivery is not counted). *)
+
+val has_frame_after : string -> off:int -> bool
+(** Whether any complete, CRC-valid frame is decodable strictly after
+    [off]. A scan ending in [Bad_frame off] on an {e unsealed} log is a
+    legitimate crash-torn tail only when nothing decodable follows;
+    intact frames beyond the damage mean mid-log bit rot, which must be
+    a typed corruption, never a silent truncation. *)
+
+val bad_frame_is_rot : string -> off:int -> bool
+(** Classify a [Bad_frame off] on an unsealed log: [true] when the
+    damage bears a tell no crash-torn tail can produce — the bad frame
+    is complete (payload all present, CRC disagreeing), or an intact
+    frame follows it ({!has_frame_after}), or the file ends in a seal
+    frame off by a bit flip or two. Recovery must then raise a typed
+    corruption instead of truncating. *)
+
+val load : Device.t -> name:string -> string
+(** Read a whole file. @raise Not_found if it does not exist. *)
+
+val is_sealed : Device.t -> name:string -> bool
+(** Whether the named file ends with a valid seal frame; [false] for a
+    missing file. *)

@@ -1,5 +1,5 @@
 module Codec = Lsm_util.Codec
-module Crc32c = Lsm_util.Crc32c
+module Lsm_error = Lsm_util.Lsm_error
 module Entry = Lsm_record.Entry
 
 type t = { wname : string; writer : Device.writer; mutable closed : bool }
@@ -7,13 +7,7 @@ type t = { wname : string; writer : Device.writer; mutable closed : bool }
 let create dev ~name =
   { wname = name; writer = Device.open_writer dev ~cls:Io_stats.C_user_write name; closed = false }
 
-let frame_record payload =
-  let b = Buffer.create (String.length payload + 8) in
-  let crc = Crc32c.mask (Crc32c.string payload) in
-  Codec.put_u32 b (Int32.to_int crc land 0xffffffff);
-  Codec.put_u32 b (String.length payload);
-  Buffer.add_string b payload;
-  Buffer.contents b
+let seal_size = Framed_log.seal_size
 
 let append t ?(sync = true) entries =
   if t.closed then invalid_arg "Wal.append: closed";
@@ -23,7 +17,7 @@ let append t ?(sync = true) entries =
     let payload = Buffer.create 256 in
     Codec.put_varint payload (List.length entries);
     List.iter (Entry.encode payload) entries;
-    Device.append t.writer (frame_record (Buffer.contents payload));
+    Device.append t.writer (Framed_log.frame (Buffer.contents payload));
     if sync then Device.sync t.writer
 
 let sync t =
@@ -35,30 +29,56 @@ let name t = t.wname
 
 let close t =
   if not t.closed then begin
+    (* The seal is best-effort: a writer whose file was sealed by a crash
+       plan (and the device revived) stays closable, as before. *)
+    (try Device.append t.writer Framed_log.seal_frame
+     with Invalid_argument _ -> ());
     Device.close t.writer;
     t.closed <- true
   end
 
+let is_sealed dev ~name = Framed_log.is_sealed dev ~name
+
+let decode_batch payload f =
+  let pr = Codec.reader payload in
+  let count = Codec.get_varint pr in
+  let entries = List.init count (fun _ -> Entry.decode pr) in
+  f entries
+
 let replay dev ~name f =
   if not (Device.exists dev name) then 0
   else begin
-    let len = Device.size dev name in
-    let data = Device.read dev ~cls:Io_stats.C_misc name ~off:0 ~len in
-    let r = Codec.reader data in
-    let batches = ref 0 in
-    (try
-       while Codec.remaining r >= 8 do
-         let stored_crc = Int32.of_int (Codec.get_u32 r) in
-         let plen = Codec.get_u32 r in
-         if plen > Codec.remaining r then raise Exit;
-         let payload = Codec.get_raw r plen in
-         if Crc32c.mask (Crc32c.string payload) <> stored_crc then raise Exit;
-         let pr = Codec.reader payload in
-         let count = Codec.get_varint pr in
-         let entries = List.init count (fun _ -> Entry.decode pr) in
-         f entries;
-         incr batches
-       done
-     with Exit | Codec.Corrupt _ -> ());
-    !batches
+    let data = Framed_log.load dev ~name in
+    let sealed = Framed_log.is_seal_tail data in
+    let batches, ending = Framed_log.scan data (fun ~off:_ p -> decode_batch p f) in
+    (match (sealed, ending) with
+    | true, Framed_log.Sealed_clean -> ()
+    | false, Framed_log.Bad_frame off when Framed_log.bad_frame_is_rot data ~off ->
+      (* Intact frames beyond the damage: mid-log bit rot (possibly with
+         a rotted seal), not a crash-torn tail. Replaying the prefix and
+         dropping acknowledged batches after it would be silent data
+         loss; only [salvage] may truncate, and it reports doing so. *)
+      raise
+        (Lsm_error.corruption ~file:name ~offset:off
+           "valid frames beyond a damaged frame: bit rot, not a torn tail")
+    | false, _ -> ()
+    | true, Framed_log.Bad_frame off ->
+      raise
+        (Lsm_error.corruption ~file:name ~offset:off
+           "bad frame in cleanly-closed WAL")
+    | true, Framed_log.Unsealed_end ->
+      (* The tail is a valid seal frame yet the forward scan never reached
+         it: frame boundaries are misaligned. *)
+      raise (Lsm_error.corruption ~file:name "sealed WAL with misaligned frames"));
+    batches
+  end
+
+let salvage dev ~name f =
+  if not (Device.exists dev name) then (0, None)
+  else begin
+    let batches, ending =
+      Framed_log.scan (Framed_log.load dev ~name) (fun ~off:_ p -> decode_batch p f)
+    in
+    let bad = match ending with Framed_log.Bad_frame off -> Some off | _ -> None in
+    (batches, bad)
   end

@@ -1,13 +1,19 @@
 (** Write-ahead log: crash durability for the memtable.
 
-    Each user write batch is framed as one checksummed record; on restart,
-    {!replay} folds over the intact prefix of the log and silently stops at
-    the first torn or corrupt record — the standard contract that makes a
-    crashed tail harmless (the lost suffix was never acknowledged if the
-    caller synced per batch).
+    Each user write batch is framed as one checksummed record. On a clean
+    {!close} the log is terminated with a {e seal} sentinel frame, which
+    tells replay the file is complete: a sealed log must parse perfectly,
+    so any bad frame inside one is silent corruption (bit-rot) and raises
+    a typed [Lsm_util.Lsm_error.Corruption]. A log {e without} a seal is
+    a crash-truncated log: {!replay} folds over the intact prefix and
+    silently stops at the first torn or corrupt record — the standard
+    contract that makes a crashed tail harmless (the lost suffix was
+    never acknowledged if the caller synced per batch).
 
     Frame layout: [u32 masked-crc32c | u32 payload-len | payload], where the
-    payload is a varint entry count followed by the encoded entries. *)
+    payload is a varint entry count followed by the encoded entries. The
+    seal frame's payload is the 8-byte sentinel ["LSM!SEAL"], which no real
+    batch payload can collide with. *)
 
 type t
 
@@ -25,11 +31,34 @@ val sync : t -> unit
     that assumed durability — like deleting the logs replayed from. *)
 
 val size : t -> int
+(** Bytes of batch records appended so far (the seal frame, written at
+    {!close}, is not yet included). *)
+
 val name : t -> string
+
 val close : t -> unit
+(** Appends the seal frame and seals the file (implies sync). *)
+
+val seal_size : int
+(** On-device size of the seal frame. *)
+
+val is_sealed : Device.t -> name:string -> bool
+(** Whether the file ends with a valid seal frame (i.e. was closed
+    cleanly). Missing files are not sealed. *)
 
 val replay :
   Device.t -> name:string -> (Lsm_record.Entry.t list -> unit) -> int
 (** [replay dev ~name f] applies [f] to each intact batch in order and
     returns the number of batches recovered. A missing file recovers zero
-    batches. Corruption past the intact prefix is ignored (torn tail). *)
+    batches. An unsealed (crash-truncated) log ignores corruption past
+    the intact prefix; a sealed log raises
+    [Lsm_util.Lsm_error.Corruption] on any bad frame instead — batches
+    before the bad frame may already have been applied when it raises.
+    The seal frame itself is not counted or passed to [f]. *)
+
+val salvage :
+  Device.t -> name:string -> (Lsm_record.Entry.t list -> unit) -> int * int option
+(** Tolerant scan for repair tools: applies [f] to each intact batch up
+    to the first undecodable frame regardless of seal state. Returns the
+    batch count and [Some offset] of the first bad frame ([None] if the
+    whole file parsed clean). *)

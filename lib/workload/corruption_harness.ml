@@ -1,0 +1,210 @@
+(* Bit-rot fault-injection harness: the silent-corruption counterpart of
+   [Crash_harness]. Reuses its seeded workload, model, and appliers.
+
+   One cycle: run the workload to completion and close cleanly; flip
+   bits in the durable image ({!Device.plan_corruption}) targeting one
+   file class; then check the store's whole corruption contract:
+
+   - {b never serve wrong data}: reopening the damaged store must either
+     fail with a typed {!Lsm_error.t}, or serve reads where every value
+     is exactly the model's — a read may raise a typed error (disclosed
+     damage) but may never return a fabricated or stale value, and a key
+     the model holds may not silently vanish;
+   - {b doctor repairs to a disclosed state}: after {!Doctor.repair} the
+     store must reopen cleanly and reads must not raise; what survives
+     is class-specific:
+     {ul
+     {- [F_sst]: every key outside the reported lost ranges is exact;
+        keys inside a lost range may be absent or stale, but a served
+        value must still be one the workload actually wrote for that key
+        (no fabrication even inside the blast radius);}
+     {- [F_manifest]: tables and WAL are untouched, so the rebuilt
+        manifest plus replayed WAL must reproduce the final model
+        exactly;}
+     {- [F_wal]: point-in-time truncation — the recovered store must
+        equal the model after some op prefix [k], no earlier than the
+        last explicit flush (everything flushed lives in tables).}} *)
+
+module Device = Lsm_storage.Device
+module Db = Lsm_core.Db
+module Config = Lsm_core.Config
+module Doctor = Lsm_core.Doctor
+module Lsm_error = Lsm_util.Lsm_error
+module CH = Crash_harness
+module SMap = Crash_harness.SMap
+
+type report = { runs : int; hits : int; failures : string list }
+
+let merge_reports a b =
+  { runs = a.runs + b.runs; hits = a.hits + b.hits; failures = a.failures @ b.failures }
+
+let class_name = function
+  | Device.F_sst -> "sst"
+  | Device.F_manifest -> "manifest"
+  | Device.F_wal -> "wal"
+  | Device.F_other -> "other"
+
+let key_space = 41 (* key_of 0 .. key_of 40, matching the generator *)
+
+(* Every value the workload ever wrote to [k] — including versions
+   overwritten within a single batch, which appear in no model state but
+   do land in the store with their own seqno. This is the universe of
+   non-fabricated answers for a key inside a lost range. *)
+let history_of ops k =
+  Array.fold_left
+    (fun acc op ->
+      match op with
+      | CH.Put (k', v) when k' = k -> v :: acc
+      | CH.Batch l ->
+        List.fold_left
+          (fun acc (is_del, k', v) -> if (not is_del) && k' = k then v :: acc else acc)
+          acc l
+      | _ -> acc)
+    [] ops
+
+let last_flush_index ops =
+  let r = ref 0 in
+  Array.iteri (fun i op -> if op = CH.Flush then r := i + 1) ops;
+  !r
+
+(* Pre-repair: reads against the damaged store. Failing typed is always
+   acceptable; serving anything that differs from the final model is
+   not. *)
+let check_no_wrong_data ~fail db model =
+  for i = 0 to key_space - 1 do
+    let k = CH.key_of i in
+    match Db.get db k with
+    | Some v ->
+      if SMap.find_opt k model <> Some v then
+        fail (Printf.sprintf "pre-repair read of %s served wrong data" k)
+    | None ->
+      if SMap.mem k model then
+        fail (Printf.sprintf "pre-repair read of %s silently lost an acknowledged value" k)
+    | exception Lsm_error.Error _ -> () (* disclosed damage *)
+    | exception e ->
+      fail (Printf.sprintf "pre-repair read of %s raised untyped %s" k (Printexc.to_string e))
+  done
+
+let bindings db = Db.scan db ~lo:"" ~hi:None ()
+
+(* Post-repair, [F_sst]: exact outside the disclosed lost ranges, never
+   fabricated inside them. *)
+let check_sst_salvage ~fail db ops model (rep : Doctor.report) =
+  let lost k =
+    List.exists
+      (fun (tr : Doctor.table_report) ->
+        List.exists
+          (fun (lo, hi) -> (lo = "" && hi = "") || (lo <= k && k <= hi))
+          tr.Doctor.tr_lost_ranges)
+      rep.Doctor.tables
+  in
+  for i = 0 to key_space - 1 do
+    let k = CH.key_of i in
+    match Db.get db k with
+    | exception e ->
+      fail (Printf.sprintf "post-repair read of %s raised %s" k (Printexc.to_string e))
+    | got ->
+      if lost k then (
+        match got with
+        | None -> ()
+        | Some v ->
+          if not (List.mem v (history_of ops k)) then
+            fail (Printf.sprintf "post-repair %s (in lost range) served a value never written" k))
+      else if got <> SMap.find_opt k model then
+        fail (Printf.sprintf "post-repair %s outside every lost range is not exact" k)
+  done
+
+(* Post-repair, [F_manifest]: data files were untouched, so the rebuild
+   must reproduce the final state bit for bit. *)
+let check_manifest_rebuild ~fail db model =
+  match bindings db with
+  | exception e -> fail (Printf.sprintf "post-repair scan raised %s" (Printexc.to_string e))
+  | got ->
+    if got <> SMap.bindings model then
+      fail
+        (Printf.sprintf "manifest rebuild did not reproduce the final state (%d keys vs %d)"
+           (List.length got) (SMap.cardinal model))
+
+(* Post-repair, [F_wal]: point-in-time truncation to some op prefix no
+   earlier than the last explicit flush. *)
+let check_wal_truncation ~fail db models ~floor =
+  match bindings db with
+  | exception e -> fail (Printf.sprintf "post-repair scan raised %s" (Printexc.to_string e))
+  | got ->
+    let n = Array.length models - 1 in
+    let rec matches k = k <= n && (SMap.bindings models.(k) = got || matches (k + 1)) in
+    if not (matches floor) then
+      fail
+        (Printf.sprintf "WAL salvage state matches no op prefix >= %d (got %d keys)" floor
+           (List.length got))
+
+let check_corruption ~cls ~pages ~seed ~ops =
+  (* Small blocks and small device pages: every file spans many pages,
+     so multi-page injection hits genuinely distinct blocks instead of
+     collapsing onto the single page a tiny store would occupy. *)
+  let config = { (CH.default_config ()) with Config.block_size = 256 } in
+  let models = CH.models_of ops in
+  let n = Array.length ops in
+  let model = models.(n) in
+  let failures = ref [] in
+  let fail s =
+    failures :=
+      Printf.sprintf "[%s pages:%d seed:%d] %s" (class_name cls) pages seed s
+      :: !failures
+  in
+  let dev = Device.in_memory ~page_size:256 () in
+  let hits =
+    try
+      let db = Db.open_db ~config ~dev () in
+      Array.iter (CH.apply_db db) ops;
+      Db.close db;
+      Device.plan_corruption dev ~seed ~classes:[ cls ] ~pages ()
+    with e ->
+      fail (Printf.sprintf "workload/injection raised %s" (Printexc.to_string e));
+      []
+  in
+  if !failures = [] && hits <> [] then begin
+    (* Never serve wrong data from the damaged store. A typed open
+       failure is a legitimate outcome; any other exception is not. *)
+    (match Db.open_db ~config ~dev () with
+    | exception Lsm_error.Error _ -> ()
+    | exception e -> fail (Printf.sprintf "damaged open raised untyped %s" (Printexc.to_string e))
+    | db ->
+      check_no_wrong_data ~fail db model;
+      (try Db.close db with Lsm_error.Error _ -> ()));
+    (* Doctor must bring the store back to a disclosed point-in-time. *)
+    match Doctor.repair dev with
+    | exception e -> fail (Printf.sprintf "doctor repair raised %s" (Printexc.to_string e))
+    | rep -> (
+      match Db.open_db ~config ~dev () with
+      | exception e -> fail (Printf.sprintf "post-repair open raised %s" (Printexc.to_string e))
+      | db ->
+        (match cls with
+        | Device.F_sst -> check_sst_salvage ~fail db ops model rep
+        | Device.F_manifest -> check_manifest_rebuild ~fail db model
+        | Device.F_wal | Device.F_other ->
+          check_wal_truncation ~fail db models ~floor:(last_flush_index ops));
+        (match Db.close db with
+        | () -> ()
+        | exception e -> fail (Printf.sprintf "post-repair close raised %s" (Printexc.to_string e))))
+  end;
+  (List.length hits, List.rev !failures)
+
+let default_classes = [ Device.F_sst; Device.F_manifest; Device.F_wal ]
+
+let sweep ?(classes = default_classes) ?(pages = [ 1; 2; 4 ]) ?(seeds = [ 11; 23 ]) ~ops
+    () =
+  let acc = ref { runs = 0; hits = 0; failures = [] } in
+  List.iter
+    (fun cls ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun seed ->
+              let hits, failures = check_corruption ~cls ~pages:p ~seed ~ops in
+              acc :=
+                merge_reports !acc { runs = 1; hits; failures })
+            seeds)
+        pages)
+    classes;
+  !acc

@@ -1,0 +1,47 @@
+(** Bit-rot fault-injection harness — the silent-corruption counterpart
+    of {!Crash_harness}, sharing its seeded workload and logical model.
+
+    One cycle: run the workload to completion, close cleanly, flip bits
+    in the durable image via {!Lsm_storage.Device.plan_corruption}
+    targeting one file class, then check the corruption contract:
+
+    - the damaged store {b never serves wrong data} — reopening either
+      fails with a typed {!Lsm_util.Lsm_error.t} or serves reads that
+      are each exactly the model's value or a typed error (disclosed
+      damage); fabricated values, stale values, and silently vanished
+      keys are violations;
+    - after {!Lsm_core.Doctor.repair} the store reopens cleanly, reads
+      never raise, and the surviving state is class-specific: exact
+      outside the reported lost ranges for [F_sst] (and never fabricated
+      inside them), exactly the final model for [F_manifest], and a
+      point-in-time op prefix no earlier than the last explicit flush
+      for [F_wal]. *)
+
+type report = {
+  runs : int;  (** corruption/reopen/repair/check cycles executed *)
+  hits : int;  (** total bits flipped across all cycles *)
+  failures : string list;  (** human-readable contract violations *)
+}
+
+val merge_reports : report -> report -> report
+
+val check_corruption :
+  cls:Lsm_storage.Device.file_class ->
+  pages:int ->
+  seed:int ->
+  ops:Crash_harness.op array ->
+  int * string list
+(** One cycle against [cls] with up to [pages] flipped pages per file.
+    Returns [(hits, failures)]; zero hits (nothing of that class was on
+    the device) skips the checks. *)
+
+val sweep :
+  ?classes:Lsm_storage.Device.file_class list ->
+  ?pages:int list ->
+  ?seeds:int list ->
+  ops:Crash_harness.op array ->
+  unit ->
+  report
+(** The full matrix: every class (default sst, manifest, wal) crossed
+    with every page count (default 1, 2, 4) and every injection seed
+    (default two). Deterministic in [ops] and [seeds]. *)

@@ -15,7 +15,17 @@
     every device op of the recovery itself), each under several torn-tail
     modes. All runs are deterministic in the workload seed. *)
 
-type op
+(** The workload alphabet — concrete so sibling harnesses (the
+    corruption sweep) can reuse the generator, the db/model appliers,
+    and recognize explicit flush points. *)
+type op =
+  | Put of string * string
+  | Delete of string
+  | Range_delete of string * string
+  | Batch of (bool * string * string) list  (** (is_delete, key, value) *)
+  | Flush
+
+module SMap : Map.S with type key = string
 
 type report = {
   runs : int;  (** crash/reopen/check cycles executed *)
@@ -32,6 +42,14 @@ val gen_ops : seed:int -> count:int -> op array
 val default_config : unit -> Lsm_core.Config.t
 (** Per-write WAL syncs (every completed op is acknowledged-durable) and
     a 4 KiB write buffer (many flush/compaction boundaries). *)
+
+val key_of : int -> string
+(** The [i]-th key of the workload's (small, collision-heavy) key space. *)
+
+val apply_db : Lsm_core.Db.t -> op -> unit
+
+val models_of : op array -> string SMap.t array
+(** [models.(i)] = logical store contents after the first [i] ops. *)
 
 val dry_run : ops:op array -> int * int * int
 (** [(syncs, mutating_ops, bytes)] one full run of the workload spans —

@@ -1,0 +1,11 @@
+(* R7 fixture: untyped stringly errors in library code. Parsed, never
+   compiled. *)
+
+let decode_header data =
+  if String.length data < 8 then failwith "short header";
+  String.sub data 0 8
+
+let check_magic data =
+  if data <> "LSMMAGIC" then raise (Failure ("bad magic: " ^ data))
+
+let qualified_form () = Stdlib.failwith "also flagged"

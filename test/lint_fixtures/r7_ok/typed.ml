@@ -1,0 +1,11 @@
+(* R7 fixture: typed errors raised, Failure only *caught*. Parsed,
+   never compiled. *)
+
+let decode_header ~file data =
+  if String.length data < 8 then
+    raise (Lsm_util.Lsm_error.corruption ~file "short header");
+  String.sub data 0 8
+
+(* Catching Failure at a boundary (e.g. around int_of_string) is fine —
+   the rule is about raising it. *)
+let parse_count s = try int_of_string s with Failure _ -> 0

@@ -1,0 +1,350 @@
+(* Silent-corruption tolerance: bit-rot injection primitives, typed
+   errors at the read path, quarantine + health state machine, fail-safe
+   read-only mode with [try_resume], the integrity scrubber, doctor
+   salvage, and the corruption-sweep harness (the bit-rot analogue of
+   the crash sweeps in test_crash.ml). *)
+
+module Device = Lsm_storage.Device
+module Io_stats = Lsm_storage.Io_stats
+module Db = Lsm_core.Db
+module Config = Lsm_core.Config
+module Doctor = Lsm_core.Doctor
+module Stats = Lsm_core.Stats
+module Lsm_error = Lsm_util.Lsm_error
+module Histogram = Lsm_util.Histogram
+module Harness = Lsm_workload.Corruption_harness
+module Crash = Lsm_workload.Crash_harness
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let popcount b =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+  go (Char.code b) 0
+
+let write_synced dev name data =
+  let w = Device.open_writer dev ~cls:Io_stats.C_misc name in
+  Device.append w data;
+  Device.sync w;
+  Device.close w
+
+(* ------------------------------------------------------------------ *)
+(* Injection primitives                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_corruption_flips_one_bit_per_page () =
+  let dev = Device.in_memory ~page_size:64 () in
+  let data = String.make 200 'A' in
+  write_synced dev "000001.sst" data;
+  let hits = Device.plan_corruption dev ~seed:7 ~classes:[ Device.F_sst ] ~pages:2 () in
+  check_int "two pages hit" 2 (List.length hits);
+  let got = Device.read dev ~cls:Io_stats.C_misc "000001.sst" ~off:0 ~len:200 in
+  let flipped = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c <> data.[i] then begin
+        incr flipped;
+        check_int "exactly one bit differs" 1 (popcount (Char.chr (Char.code c lxor Char.code data.[i])));
+        check "hit offset reported" true
+          (List.exists (fun (h : Device.corruption_hit) -> h.Device.hit_off = i) hits)
+      end)
+    got;
+  check_int "one byte per page" 2 !flipped
+
+let test_plan_corruption_class_filter () =
+  let dev = Device.in_memory () in
+  write_synced dev "000001.sst" (String.make 64 's');
+  write_synced dev "MANIFEST" (String.make 64 'm');
+  write_synced dev "wal-000000.log" (String.make 64 'w');
+  write_synced dev "notes.txt" (String.make 64 'o');
+  let hits = Device.plan_corruption dev ~seed:3 ~classes:[ Device.F_manifest ] ~pages:1 () in
+  check_int "only the manifest hit" 1 (List.length hits);
+  List.iter
+    (fun (h : Device.corruption_hit) ->
+      check "classified" true (h.Device.hit_class = Device.F_manifest);
+      check "named" true (h.Device.hit_file = "MANIFEST"))
+    hits;
+  (* Unsynced bytes are out of bounds: corruption models rot of the
+     durable image only (the writer stays open, nothing synced yet). *)
+  let dev2 = Device.in_memory () in
+  let w = Device.open_writer dev2 ~cls:Io_stats.C_misc "000009.sst" in
+  Device.append w (String.make 64 'u');
+  check "nothing synced, nothing hit" true
+    (Device.plan_corruption dev2 ~seed:1 ~pages:1 () = []);
+  Device.close w
+
+let test_plan_corruption_rejects_bad_args () =
+  let dev = Device.in_memory () in
+  check "pages < 1 rejected" true
+    (try
+       ignore (Device.plan_corruption dev ~seed:1 ~pages:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_plan_read_faults_transient () =
+  let dev = Device.in_memory () in
+  write_synced dev "000001.sst" "hello world";
+  Device.plan_read_faults dev 2;
+  let attempt () =
+    match Device.read dev ~cls:Io_stats.C_misc "000001.sst" ~off:0 ~len:5 with
+    | s -> `Ok s
+    | exception Lsm_error.Error (Lsm_error.Io_error { retriable; _ }) -> `Fault retriable
+  in
+  check "first read faults retriable" true (attempt () = `Fault true);
+  check "second read faults retriable" true (attempt () = `Fault true);
+  check "charges spent, data undamaged" true (attempt () = `Ok "hello");
+  check_int "fired count" 2 (Device.read_faults_fired dev)
+
+(* ------------------------------------------------------------------ *)
+(* Typed read path, quarantine, health                                  *)
+(* ------------------------------------------------------------------ *)
+
+let small_config () =
+  { Config.default with Config.write_buffer_size = 4096; wal_sync_every_write = true }
+
+(* A closed store whose keys live in tables (flushed before close). *)
+let build_store ?(config = small_config ()) ~n dev =
+  let db = Db.open_db ~config ~dev () in
+  for i = 0 to n - 1 do
+    Db.put db ~key:(Printf.sprintf "key-%04d" i) (Printf.sprintf "val-%04d-%s" i (String.make 32 'v'))
+  done;
+  Db.flush db;
+  Db.close db
+
+let test_db_reads_ride_out_transient_faults () =
+  let dev = Device.in_memory () in
+  build_store ~n:200 dev;
+  let db = Db.open_db ~config:(small_config ()) ~dev () in
+  Device.plan_read_faults dev 3;
+  (* The bounded retry absorbs the transient faults; the value arrives. *)
+  check "get survives transient faults" true
+    (Db.get db "key-0100" <> None);
+  check "faults actually fired" true (Device.read_faults_fired dev > 0);
+  Db.close db
+
+let test_corrupt_table_quarantined_typed_degraded () =
+  let dev = Device.in_memory () in
+  build_store ~n:400 dev;
+  let hits = Device.plan_corruption dev ~seed:5 ~classes:[ Device.F_sst ] ~pages:1 () in
+  check "injection hit" true (hits <> []);
+  let db = Db.open_db ~config:(small_config ()) ~dev () in
+  check "healthy before reads" true (Db.health db = Db.Healthy);
+  (* Walk every key: some read must trip over the rot and raise typed.
+     No read may ever return a wrong value. *)
+  let typed = ref 0 in
+  for i = 0 to 399 do
+    let k = Printf.sprintf "key-%04d" i in
+    match Db.get db k with
+    | Some v -> check "value exact" true (v = Printf.sprintf "val-%04d-%s" i (String.make 32 'v'))
+    | None -> Alcotest.fail ("silently missing " ^ k)
+    | exception Lsm_error.Error (Lsm_error.Corruption _) -> incr typed
+  done;
+  check "typed corruption surfaced" true (!typed > 0);
+  check "table quarantined" true (Db.quarantined_tables db <> []);
+  check "health degraded" true (Db.health db = Db.Degraded);
+  (* The failed block was never cached: the same read keeps raising the
+     same typed error instead of serving stale cache contents. *)
+  let q = List.hd (Db.quarantined_tables db) in
+  check "quarantine names the rotten file" true
+    (List.exists (fun (h : Device.corruption_hit) -> h.Device.hit_file = q.Db.q_file) hits);
+  let stats = Db.stats db in
+  check "corruption counted" true (stats.Stats.corruptions_detected > 0);
+  check "quarantine counted" true (stats.Stats.tables_quarantined > 0);
+  (* Degraded still serves writes (only fail-safe rejects them). *)
+  Db.put db ~key:"fresh" "write";
+  check "fresh write readable" true (Db.get db "fresh" = Some "write");
+  Db.close db
+
+let test_verify_integrity_reports_findings () =
+  let dev = Device.in_memory () in
+  build_store ~n:300 dev;
+  let db = Db.open_db ~config:(small_config ()) ~dev () in
+  check "sound store: no findings" true (Db.verify_integrity db = []);
+  ignore (Device.plan_corruption dev ~seed:9 ~classes:[ Device.F_sst ] ~pages:1 ());
+  let findings = Db.verify_integrity db in
+  check "rot found" true (findings <> []);
+  check "all findings typed corruption" true
+    (List.for_all (function Lsm_error.Corruption _ -> true | _ -> false) findings);
+  let stats = Db.stats db in
+  check "scrub runs counted" true (stats.Stats.scrub_runs >= 2);
+  check "scrub errors counted" true (stats.Stats.scrub_errors > 0);
+  check "scrub quarantined the table" true (Db.quarantined_tables db <> []);
+  Db.close db
+
+let test_background_scrub () =
+  let dev = Device.in_memory () in
+  build_store ~n:300 dev;
+  let config =
+    { (small_config ()) with Config.compaction_backend = Config.Background; scrub_delay = 0. }
+  in
+  let db = Db.open_db ~config ~dev () in
+  ignore (Device.plan_corruption dev ~seed:4 ~classes:[ Device.F_sst ] ~pages:1 ());
+  Db.scrub db;
+  Db.quiesce db;
+  check "background scrub quarantined the rot" true (Db.quarantined_tables db <> []);
+  check "scrub never flips fail-safe" true (Db.health db <> Db.Failsafe_read_only);
+  let stats = Db.stats db in
+  check "scrub run counted" true (stats.Stats.scrub_runs >= 1);
+  Db.close db
+
+(* ------------------------------------------------------------------ *)
+(* Fail-safe read-only mode                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bg_failure_enters_failsafe_and_resume () =
+  let dev = Device.in_memory () in
+  build_store ~n:400 dev;
+  let config =
+    { (small_config ()) with Config.compaction_backend = Config.Background }
+  in
+  let db = Db.open_db ~config ~dev () in
+  ignore (Device.plan_corruption dev ~seed:6 ~classes:[ Device.F_sst ] ~pages:1 ());
+  (* Keep feeding writes until a background flush/compaction trips over
+     the rotten table and parks the engine in fail-safe. *)
+  let attempts = ref 0 in
+  while Db.health db <> Db.Failsafe_read_only && !attempts < 200 do
+    incr attempts;
+    (* flush may itself re-raise the typed Corruption (inline leg of the
+       guard) or a typed Read_only once fail-safe engages — both are the
+       disclosed contract, never a silent success. *)
+    try
+      for i = 0 to 49 do
+        Db.put db ~key:(Printf.sprintf "new-%03d-%03d" !attempts i) (String.make 40 'x')
+      done;
+      Db.flush db;
+      Db.quiesce db
+    with Lsm_error.Error _ -> ()
+  done;
+  Db.quiesce db;
+  check "fail-safe entered" true (Db.health db = Db.Failsafe_read_only);
+  let stats = Db.stats db in
+  check "failsafe counted" true (stats.Stats.failsafe_entries > 0);
+  (* Reads still work (or disclose damage as typed errors)... *)
+  (match Db.get db "key-0000" with
+  | Some _ | None -> ()
+  | exception Lsm_error.Error (Lsm_error.Corruption _) -> ());
+  (* ...writes are rejected with the typed Read_only, not a crash. *)
+  check "put rejected" true
+    (try
+       Db.put db ~key:"rejected" "w";
+       false
+     with Lsm_error.Error (Lsm_error.Read_only _) -> true);
+  check "flush rejected" true
+    (try
+       Db.flush db;
+       false
+     with Lsm_error.Error (Lsm_error.Read_only _) -> true);
+  (* try_resume clears fail-safe (to Degraded: quarantines remain) and
+     writes flow again. *)
+  let h = Db.try_resume db in
+  check "resumed out of fail-safe" true (h <> Db.Failsafe_read_only);
+  check "resume counted" true ((Db.stats db).Stats.resumes > 0);
+  Db.put db ~key:"after-resume" "w";
+  check "write after resume" true (Db.get db "after-resume" = Some "w");
+  Db.close db
+
+(* ------------------------------------------------------------------ *)
+(* Proportional backpressure                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_proportional_slowdown_visible_in_stats () =
+  let dev = Device.in_memory () in
+  let config =
+    {
+      (small_config ()) with
+      Config.compaction_backend = Config.Background;
+      write_slowdown_trigger = 1;
+      write_stop_trigger = 8;
+    }
+  in
+  let db = Db.open_db ~config ~dev () in
+  for i = 0 to 999 do
+    Db.put db ~key:(Printf.sprintf "key-%04d" i) (String.make 48 'x')
+  done;
+  Db.quiesce db;
+  let stats = Db.stats db in
+  check "slowdowns triggered" true (stats.Stats.write_slowdowns > 0);
+  let h = stats.Stats.slowdown_delay_ns in
+  check "delays recorded" true (Histogram.count h > 0);
+  (* The ramp is proportional: every recorded delay sits inside the
+     [50µs, 1ms] band, not at a single fixed point. *)
+  check "min >= 50us" true (Histogram.min_value h >= 50_000);
+  check "max <= 1ms (log-bucketed)" true (Histogram.max_value h <= 2_000_000);
+  Db.close db
+
+(* ------------------------------------------------------------------ *)
+(* Doctor salvage                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_doctor_salvages_unhit_keys () =
+  let dev = Device.in_memory () in
+  let config =
+    { Config.default with Config.write_buffer_size = 1 lsl 15; wal_sync_every_write = true }
+  in
+  let key i = Printf.sprintf "key-%04d" i in
+  let value i = Printf.sprintf "val-%04d-%s" i (String.make 48 'v') in
+  let n = 600 in
+  let db = Db.open_db ~config ~dev () in
+  for i = 0 to n - 1 do
+    Db.put db ~key:(key i) (value i)
+  done;
+  Db.flush db;
+  Db.close db;
+  let hits = Device.plan_corruption dev ~seed:21 ~classes:[ Device.F_sst ] ~pages:1 () in
+  check "injection hit" true (hits <> []);
+  check "verify finds the rot" true (Doctor.verify dev <> []);
+  let report = Doctor.repair dev in
+  let db2 = Db.open_db ~config ~dev () in
+  let lost k =
+    List.exists
+      (fun (tr : Doctor.table_report) ->
+        List.exists
+          (fun (lo, hi) -> (lo = "" && hi = "") || (lo <= k && k <= hi))
+          tr.Doctor.tr_lost_ranges)
+      report.Doctor.tables
+  in
+  let salvaged = ref 0 in
+  for i = 0 to n - 1 do
+    match Db.get db2 (key i) with
+    | Some v ->
+      incr salvaged;
+      check "salvaged value exact" true (v = value i)
+    | None -> check "loss disclosed" true (lost (key i))
+  done;
+  check "salvage kept most keys" true (!salvaged > n / 2);
+  Db.close db2
+
+(* ------------------------------------------------------------------ *)
+(* The sweep                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_corruption_sweep () =
+  let ops = Crash.gen_ops ~seed:42 ~count:150 in
+  let r = Harness.sweep ~pages:[ 1; 2; 4 ] ~seeds:[ 11 ] ~ops () in
+  check_int "all classes times all page counts" 9 r.Harness.runs;
+  check "bits actually flipped" true (r.Harness.hits >= r.Harness.runs);
+  Alcotest.(check (list string)) "corruption contract holds" [] r.Harness.failures
+
+let suite =
+  [
+    Alcotest.test_case "plan_corruption: one bit per page" `Quick
+      test_plan_corruption_flips_one_bit_per_page;
+    Alcotest.test_case "plan_corruption: class filter + synced only" `Quick
+      test_plan_corruption_class_filter;
+    Alcotest.test_case "plan_corruption: bad args" `Quick test_plan_corruption_rejects_bad_args;
+    Alcotest.test_case "plan_read_faults: transient + bounded" `Quick
+      test_plan_read_faults_transient;
+    Alcotest.test_case "db reads ride out transient faults" `Quick
+      test_db_reads_ride_out_transient_faults;
+    Alcotest.test_case "corrupt table: typed, quarantined, degraded" `Quick
+      test_corrupt_table_quarantined_typed_degraded;
+    Alcotest.test_case "verify_integrity reports findings" `Quick
+      test_verify_integrity_reports_findings;
+    Alcotest.test_case "background scrub quarantines rot" `Quick test_background_scrub;
+    Alcotest.test_case "bg failure -> fail-safe -> resume" `Quick
+      test_bg_failure_enters_failsafe_and_resume;
+    Alcotest.test_case "proportional slowdown in stats" `Quick
+      test_proportional_slowdown_visible_in_stats;
+    Alcotest.test_case "doctor salvages un-hit keys" `Quick test_doctor_salvages_unhit_keys;
+    Alcotest.test_case "corruption sweep" `Quick test_corruption_sweep;
+  ]

@@ -33,13 +33,15 @@ let batch1 = [ Entry.put ~key:"a" ~seqno:1 "1"; Entry.delete ~key:"b" ~seqno:2 ]
 let batch2 = [ Entry.put ~key:"c" ~seqno:3 "33" ]
 let batch3 = [ Entry.put ~key:"d" ~seqno:4 "444" ]
 
-(* The raw bytes a WAL holding [batches] consists of. *)
+(* The raw bytes a WAL holding [batches] consists of, *without* the
+   close-time seal frame — these helpers build crash-truncated franken
+   logs, which must look unsealed so replay stays tolerant. *)
 let wal_bytes batches =
   let dev = Device.in_memory () in
   let wal = Wal.create dev ~name:"scratch" in
   List.iter (Wal.append wal) batches;
+  let len = Wal.size wal in
   Wal.close wal;
-  let len = Device.size dev "scratch" in
   Device.read dev ~cls:Io_stats.C_misc "scratch" ~off:0 ~len
 
 let write_file dev name data =
@@ -78,34 +80,40 @@ let test_wal_truncated_payload () =
 
 let test_wal_no_resync_after_corrupt_frame () =
   let dev = Device.in_memory () in
-  (* frame2's payload is corrupted; frame3 after it is perfectly valid —
-     replay must stop at the corruption, never resynchronize. *)
+  (* frame2's payload is corrupted; frame3 after it is perfectly valid.
+     A torn tail cannot leave intact frames beyond the damage, so this
+     is bit rot: replay must raise typed — never resynchronize, and
+     never silently truncate acknowledged batches. *)
   let f1 = wal_bytes [ batch1 ] and f2 = wal_bytes [ batch2 ] and f3 = wal_bytes [ batch3 ] in
   let f2 = Bytes.of_string f2 in
   Bytes.set f2 (Bytes.length f2 - 1) '\x7f';
   write_file dev "wal" (f1 ^ Bytes.to_string f2 ^ f3);
-  let n, got = replay_count dev "wal" in
-  check_int "valid frame after corruption is unreachable" 1 n;
-  check "prefix intact" true (got = [ batch1 ])
+  match replay_count dev "wal" with
+  | _ -> Alcotest.fail "mid-log corruption with intact frames after must raise"
+  | exception Lsm_util.Lsm_error.Error (Lsm_util.Lsm_error.Corruption _) -> ()
 
 let test_wal_corrupt_first_frame_recovers_nothing () =
   let dev = Device.in_memory () in
   let f1 = Bytes.of_string (wal_bytes [ batch1 ]) in
   Bytes.set f1 8 '\xee';
   write_file dev "wal" (Bytes.to_string f1 ^ wal_bytes [ batch2 ]);
-  let n, _ = replay_count dev "wal" in
-  check_int "empty prefix" 0 n
+  (* The rotted head is complete and followed by an intact frame: typed
+     corruption, not an empty-prefix recovery. *)
+  match replay_count dev "wal" with
+  | _ -> Alcotest.fail "corrupt head with intact frames after must raise"
+  | exception Lsm_util.Lsm_error.Error (Lsm_util.Lsm_error.Corruption _) -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Manifest recovery robustness                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Seal-free manifest image, for the same reason as [wal_bytes]. *)
 let manifest_bytes edits =
   let dev = Device.in_memory () in
   let m = Manifest.create dev in
   List.iter (Manifest.log_edit m) edits;
   Manifest.close m;
-  let len = Device.size dev Manifest.file_name in
+  let len = Device.size dev Manifest.file_name - Framed_log.seal_size in
   Device.read dev ~cls:Io_stats.C_misc Manifest.file_name ~off:0 ~len
 
 let edit w = { Version.added = []; removed = []; seqno_watermark = w }
@@ -126,7 +134,11 @@ let test_manifest_no_resync_after_corrupt_edit () =
   Bytes.set f2 (Bytes.length f2 - 1) '\x01';
   let f3 = manifest_bytes [ edit 12 ] in
   write_file dev Manifest.file_name (f1 ^ Bytes.to_string f2 ^ f3);
-  check_int "stops at corrupt edit" 5 (recover_watermark dev)
+  (* Intact edits beyond the rotten one: truncating here would drop
+     tables and let open_db garbage-collect them as orphans. Typed. *)
+  match recover_watermark dev with
+  | _ -> Alcotest.fail "mid-log manifest corruption must raise"
+  | exception Lsm_util.Lsm_error.Error (Lsm_util.Lsm_error.Corruption _) -> ()
 
 let test_manifest_torn_tail_mid_frame () =
   let dev = Device.in_memory () in

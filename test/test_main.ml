@@ -19,6 +19,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("scheduler", Test_scheduler.suite);
       ("crash", Test_crash.suite);
+      ("corruption", Test_corruption.suite);
       ("lint", Test_lint.suite);
       ("lockdep", Test_lockdep.suite);
     ]

@@ -234,7 +234,7 @@ let test_sstable_corrupt_footer () =
     (try
        ignore (Sstable.open_reader ~cmp ~dev ~cache ~name:"bad.sst");
        false
-     with Codec.Corrupt _ -> true)
+     with Lsm_util.Lsm_error.Error (Lsm_util.Lsm_error.Corruption _) -> true)
 
 let test_monkey_override_changes_filter_size () =
   let dev, cache = fresh_env () in

@@ -25,6 +25,10 @@
      R6  raw [Domain.spawn] / [Thread.create] outside domain_pool.ml —
          ad-hoc domains escape the pool's bounded-width and
          future-join discipline (and the ~128-domain runtime cap).
+     R7  [failwith] / [raise (Failure _)] in library code — untyped
+         stringly errors cross the API boundary where callers can only
+         catch-all; raise a typed [Lsm_util.Lsm_error] (or a documented
+         module exception) instead. Catching [Failure] is fine.
 
    Per-site suppression: a comment [(* lsm-lint: allow R2 — reason *)]
    on the line of (or the line before) the finding. The reason is
@@ -33,7 +37,7 @@
 
 type finding = { file : string; line : int; rule : string; msg : string }
 
-let all_rules = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
+let all_rules = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ]
 
 (* Files allowed to touch raw mutexes: the blessed combinator itself. *)
 let r1_exempt = [ "ordered_mutex.ml" ]
@@ -50,6 +54,11 @@ let r4_state_allowlist = [ "ordered_mutex.ml"; "scheduler.ml" ]
 
 (* The one module allowed to create domains/threads: the pool. *)
 let r6_exempt = [ "domain_pool.ml" ]
+
+(* Modules allowed [failwith]: the xor filter's peeling loop, whose
+   failure is an internal algorithmic invariant (can't happen on any
+   input), not an error condition a caller could meaningfully type. *)
+let r7_exempt = [ "xor_filter.ml" ]
 
 let compare_finding a b =
   match String.compare a.file b.file with
@@ -272,6 +281,25 @@ let check_r6 ctx e =
            (String.concat "." path))
     | _ -> ()
 
+let check_r7 ctx e =
+  if ctx.active "R7" && not (List.mem ctx.base r7_exempt) then
+    match e.pexp_desc with
+    | Pexp_ident _
+      when head_ident e = [ "failwith" ] || head_ident e = [ "Stdlib"; "failwith" ] ->
+      emit ctx "R7" (line_of e)
+        "failwith raises an untyped Failure; raise a typed Lsm_util.Lsm_error (or a documented module exception)"
+    | Pexp_apply (f, args) -> (
+      let f, args = normalize_apply f args in
+      match (head_ident f, args) with
+      | [ ("raise" | "raise_notrace") ], (_, arg) :: _ -> (
+        match arg.pexp_desc with
+        | Pexp_construct ({ txt; _ }, _) when last_comp (flatten_lid txt) = "Failure" ->
+          emit ctx "R7" (line_of e)
+            "raise (Failure _) is untyped; raise a typed Lsm_util.Lsm_error (or a documented module exception)"
+        | _ -> ())
+      | _ -> ())
+    | _ -> ()
+
 let check_r2_ident ctx e =
   let path = head_ident e in
   if path <> [] then begin
@@ -371,6 +399,7 @@ let lint_structure ctx (str : structure) =
     check_r1 ctx e;
     check_r4_magic ctx e;
     check_r6 ctx e;
+    check_r7 ctx e;
     if ctx.active "R2" && List.mem ctx.base r2_cache_modules && !in_lock > 0 then
       check_r2_ident ctx e;
     match e.pexp_desc with

@@ -8,7 +8,8 @@ let usage = "lsm-lint [--rules R1,R2,...] [path ...]\n\nRules:\n" ^
             "  R3  module without an .mli\n" ^
             "  R4  Obj.magic / module-level mutable state\n" ^
             "  R5  Atomic.get+set pair without a CAS loop\n" ^
-            "  R6  raw Domain.spawn/Thread.create outside Domain_pool\n"
+            "  R6  raw Domain.spawn/Thread.create outside Domain_pool\n" ^
+            "  R7  failwith / raise (Failure _) in library code (use typed Lsm_error)\n"
 
 let () =
   let rules = ref Lsm_lint.Lint.all_rules in
