@@ -1,36 +1,54 @@
 (* Write-stall benchmark: the same skewed, bursty write workload run
-   with the Inline and Background compaction backends, against fresh
-   in-memory devices and one workload seed, reporting foreground
-   per-write latency percentiles (p50/p99/p999 of Stats.write_latency_ns),
-   throughput, and the stall/backpressure counters as JSON
-   (BENCH_write_stalls.json).
+   with the Inline backend and the Background backend at 1, 2, and 4
+   compaction workers, against fresh in-memory devices and one workload
+   seed, reporting foreground per-write latency percentiles
+   (p50/p99/p999 of Stats.write_latency_ns), throughput, compaction
+   byte throughput, per-worker lane utilization, and the
+   stall/backpressure counters as JSON (BENCH_write_stalls.json).
 
-   The claim under test: moving flush+compaction off the write path cuts
-   the write-latency tail. The workload arrives in bursts with short idle
-   gaps — the arrival shape every stall study assumes (SILK, §2.2.3):
-   inline, a rotation-triggering put pays for the whole merge cascade it
-   sets off no matter how much slack follows (the p99 spikes); in
-   background mode the same work runs on the scheduler lane, which
-   drains into the gaps, so writes pay at most a bounded backpressure
-   delay. Both engines end with identical logical state and the same
-   compaction byte counts — the work moved into the slack, it did not
-   shrink (the JSON records both so readers can check).
+   Two claims under test. First (SILK, §2.2.3): moving flush+compaction
+   off the write path cuts the write-latency tail. The workload arrives
+   in bursts with short idle gaps; inline, a rotation-triggering put
+   pays for the whole merge cascade it sets off no matter how much
+   slack follows (the p99 spikes); in background mode the same work
+   runs on the scheduler lane, which drains into the gaps, so writes
+   pay at most a bounded backpressure delay. Second: widening the lane
+   raises compaction byte throughput — each worker count [w] runs with
+   [compaction_workers = w] and [compaction_parallelism = w], so a
+   4-wide lane both overlaps flushes with merges and splits each merge
+   into parallel subcompaction ranges; with byte-denominated
+   backpressure the faster drain also means fewer write stops. The
+   device simulates per-page I/O latency ([Device.simulate_latency]) so
+   the concurrency is measured against disk-like I/O costs rather than
+   the host's core count: overlapped requests overlap their stalls, as
+   on a real device's queue. Every engine ends with identical logical
+   key/value state — the sequencer replays the same edit order at any
+   width — though byte totals may differ a little across parallelism
+   levels, because subcompaction output-file boundaries shift and with
+   them later pick geometry (the JSON records the totals so readers can
+   check).
 
    Sized so a rotation lands within the p99 window: ~50 entries per
-   8 KiB buffer means ~2% of writes trigger one, so the cost a write
+   32 KiB buffer means ~2% of writes trigger one, so the cost a write
    pays at a rotation is exactly what p99 reads. *)
 
 open Common
 
-let ops = 60_000
-let unique = 4_000
-let value_size = 128
+let ops = 30_000
+let unique = 8_000
+let value_size = 512
 let seed = 4321
-let burst = 400 (* puts per burst: ~8 rotations of lane work *)
-let pause_s = 0.004 (* idle gap between bursts: > the burst's merge work *)
+let burst = 200 (* puts per burst: ~4 rotations of lane work *)
+
+(* Idle gap between bursts, sized near the burst's own compaction debt
+   (~1 MiB of merge work on the simulated device): a one-worker lane
+   drains barely too slowly and keeps hitting the byte stop trigger; a
+   wider lane clears the same debt inside the gap. *)
+let pause_s = 0.1
 
 type run = {
   name : string;
+  workers : int; (* 0 = inline (no lane) *)
   rate : float; (* over active (non-idle) time *)
   wall : float;
   p50_us : float;
@@ -41,7 +59,10 @@ type run = {
   slowdowns : int;
   stops : int;
   compactions : int;
+  subcompactions : int;
   compaction_mb : float;
+  compaction_mb_s : float; (* bytes moved per second of merge wall time *)
+  util : float list; (* per-worker-slot busy fraction of run wall *)
 }
 
 (* Bursty zipfian ingestion; returns total time spent idling so the
@@ -61,13 +82,28 @@ let ingest_bursty db =
   Db.flush db;
   !idle
 
-let bench_one ~backend ~name =
+(* Simulated device speed: 20us per 4 KiB page, read and write — a
+   SATA-SSD-ish cost that makes merges I/O-bound, which is the regime
+   the multi-worker lane is for. *)
+let page_lat_ns = 20_000
+
+let bench_one ~backend ~workers ~name =
   let dev = Device.in_memory () in
+  Device.simulate_latency dev ~read_ns_per_page:page_lat_ns
+    ~write_ns_per_page:page_lat_ns ();
   let config =
     {
-      (bench_config ~buffer:(8 * 1024) ~l1:(64 * 1024) ~file:(16 * 1024) ())
+      (bench_config ~buffer:(32 * 1024) ~l1:(256 * 1024) ~file:(16 * 1024)
+         ~cache:(8 lsl 20) ())
       with
       compaction_backend = backend;
+      compaction_workers = max 1 workers;
+      compaction_parallelism = max 1 workers;
+      (* Byte-denominated backpressure, set tight enough to engage on
+         this device: debt past ~4 buffers slows writes, past ~16 stops
+         them — so the sweep shows stops receding as the lane widens. *)
+      write_slowdown_trigger = 128 * 1024;
+      write_stop_trigger = 512 * 1024;
       wal_enabled = false;
     }
   in
@@ -79,9 +115,12 @@ let bench_one ~backend ~name =
   let st = Db.stats db in
   let lat = st.Stats.write_latency_ns in
   let us p = float_of_int (Histogram.percentile lat p) /. 1e3 in
+  let moved = st.Stats.compaction_bytes_read + st.Stats.compaction_bytes_written in
+  let merge_wall_s = float_of_int st.Stats.compaction_wall_ns /. 1e9 in
   let r =
     {
       name;
+      workers;
       rate = float_of_int ops /. Float.max (wall -. idle) 1e-9;
       wall;
       p50_us = us 50.0;
@@ -92,52 +131,79 @@ let bench_one ~backend ~name =
       slowdowns = st.Stats.write_slowdowns;
       stops = st.Stats.write_stops;
       compactions = st.Stats.compactions;
+      subcompactions = st.Stats.subcompactions;
       compaction_mb = float_of_int st.Stats.compaction_bytes_written /. 1048576.0;
+      compaction_mb_s =
+        (if merge_wall_s > 0.0 then float_of_int moved /. 1048576.0 /. merge_wall_s else 0.0);
+      util =
+        Array.to_list st.Stats.sched_workers
+        |> List.map (fun w ->
+               float_of_int w.Stats.w_busy_ns /. Float.max (wall *. 1e9) 1.0);
     }
   in
   Db.close db;
   r
 
 let run () =
-  banner "WS" "write stalls: inline vs background compaction"
-    "backgrounding flush+compaction cuts the foreground write-latency tail at equal compaction work";
+  banner "WS" "write stalls: inline vs background compaction, 1/2/4 workers"
+    "backgrounding flush+compaction cuts the foreground write-latency tail at equal compaction work; widening the lane raises compaction byte throughput and cuts write stops";
   Printf.printf "host: %d recommended domain(s)\n\n" (Domain.recommended_domain_count ());
-  let inline = bench_one ~backend:Lsm_core.Config.Inline ~name:"inline" in
-  let bg = bench_one ~backend:Lsm_core.Config.Background ~name:"background" in
-  let results = [ inline; bg ] in
+  (* Ascending worker counts: the process-wide lane only grows, so each
+     run's lane is exactly as wide as its configuration asks. *)
+  let inline = bench_one ~backend:Lsm_core.Config.Inline ~workers:0 ~name:"inline" in
+  let bg1 = bench_one ~backend:Lsm_core.Config.Background ~workers:1 ~name:"bg-w1" in
+  let bg2 = bench_one ~backend:Lsm_core.Config.Background ~workers:2 ~name:"bg-w2" in
+  let bg4 = bench_one ~backend:Lsm_core.Config.Background ~workers:4 ~name:"bg-w4" in
+  let results = [ inline; bg1; bg2; bg4 ] in
+  let util_str r =
+    if r.util = [] then "-"
+    else String.concat "/" (List.map (fun u -> Printf.sprintf "%.0f%%" (100.0 *. u)) r.util)
+  in
   table
     [ "backend"; "ops/s"; "wall_s"; "p50_us"; "p99_us"; "p999_us"; "max_us";
-      "stalls"; "slowdowns"; "stops"; "compact_MB" ]
+      "stalls"; "slowdn"; "stops"; "cmp"; "subcmp"; "compact_MB"; "cmp_MB/s"; "worker_util" ]
     (List.map
        (fun r ->
          [ r.name; f1 r.rate; f3 r.wall; f1 r.p50_us; f1 r.p99_us; f1 r.p999_us;
-           f1 r.max_us; i0 r.stalls; i0 r.slowdowns; i0 r.stops; f2 r.compaction_mb ])
+           f1 r.max_us; i0 r.stalls; i0 r.slowdowns; i0 r.stops; i0 r.compactions;
+           i0 r.subcompactions; f2 r.compaction_mb;
+           f1 r.compaction_mb_s; util_str r ])
        results);
   let json_row r =
     Printf.sprintf
-      "    {\"backend\": \"%s\", \"ops_per_sec_active\": %.1f, \"wall_s\": %.3f, \
+      "    {\"backend\": \"%s\", \"workers\": %d, \"ops_per_sec_active\": %.1f, \
+       \"wall_s\": %.3f, \
        \"write_latency_us\": {\"p50\": %.1f, \"p99\": %.1f, \"p999\": %.1f, \"max\": %.1f}, \
        \"write_stalls\": %d, \"write_slowdowns\": %d, \"write_stops\": %d, \
-       \"compactions\": %d, \"compaction_bytes_written_mb\": %.2f}"
-      r.name r.rate r.wall r.p50_us r.p99_us r.p999_us r.max_us r.stalls r.slowdowns
-      r.stops r.compactions r.compaction_mb
+       \"compactions\": %d, \"subcompactions\": %d, \"compaction_bytes_written_mb\": %.2f, \
+       \"compaction_throughput_mb_s\": %.1f, \
+       \"worker_utilization\": [%s]}"
+      r.name r.workers r.rate r.wall r.p50_us r.p99_us r.p999_us r.max_us r.stalls
+      r.slowdowns r.stops r.compactions r.subcompactions r.compaction_mb r.compaction_mb_s
+      (String.concat ", " (List.map (Printf.sprintf "%.3f") r.util))
   in
-  let tail_reduction = if bg.p99_us > 0.0 then inline.p99_us /. bg.p99_us else 0.0 in
+  let tail_reduction = if bg1.p99_us > 0.0 then inline.p99_us /. bg1.p99_us else 0.0 in
+  let throughput_scaling =
+    if bg1.compaction_mb_s > 0.0 then bg4.compaction_mb_s /. bg1.compaction_mb_s else 0.0
+  in
   let json =
     Printf.sprintf
       "{\n  \"benchmark\": \"write_stalls\",\n  \"ops\": %d,\n  \
        \"unique_keys\": %d,\n  \"value_size\": %d,\n  \"seed\": %d,\n  \
        \"burst_ops\": %d,\n  \"burst_pause_s\": %.3f,\n  \
        \"host_domains\": %d,\n  \"p99_write_latency_inline_over_background\": %.2f,\n  \
+       \"compaction_throughput_w4_over_w1\": %.2f,\n  \
        \"runs\": [\n%s\n  ]\n}\n"
       ops unique value_size seed burst pause_s
       (Domain.recommended_domain_count ())
-      tail_reduction
+      tail_reduction throughput_scaling
       (String.concat ",\n" (List.map json_row results))
   in
   let oc = open_out "BENCH_write_stalls.json" in
   output_string oc json;
   close_out oc;
-  Printf.printf "\np99 write latency: inline %.1fus vs background %.1fus (%.2fx)\n"
-    inline.p99_us bg.p99_us tail_reduction;
+  Printf.printf "\np99 write latency: inline %.1fus vs background(w1) %.1fus (%.2fx)\n"
+    inline.p99_us bg1.p99_us tail_reduction;
+  Printf.printf "compaction throughput: w1 %.1f MB/s vs w4 %.1f MB/s (%.2fx)\n"
+    bg1.compaction_mb_s bg4.compaction_mb_s throughput_scaling;
   print_endline "wrote BENCH_write_stalls.json"

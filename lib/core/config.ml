@@ -28,6 +28,7 @@ type t = {
   compaction_bytes_per_round : int option;
   compaction_parallelism : int;
   compaction_backend : backend;
+  compaction_workers : int;
   write_slowdown_trigger : int;
   write_stop_trigger : int;
   paranoid_checks : bool;
@@ -42,6 +43,16 @@ let default_backend =
   match Sys.getenv_opt "LSM_COMPACTION_BACKEND" with
   | Some ("background" | "Background" | "BACKGROUND") -> Background
   | Some _ | None -> Inline
+
+(* Same shape for the worker count: the CI workers=4 leg exports
+   LSM_COMPACTION_WORKERS so the whole suite exercises the multi-worker
+   sequencer. Garbage or missing values fall back to 1 (today's strict
+   FIFO lane). *)
+let default_workers =
+  match Sys.getenv_opt "LSM_COMPACTION_WORKERS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | Some _ | None -> 1)
+  | None -> 1
 
 let default =
   {
@@ -70,8 +81,12 @@ let default =
     compaction_bytes_per_round = None;
     compaction_parallelism = 1;
     compaction_backend = default_backend;
-    write_slowdown_trigger = 20;
-    write_stop_trigger = 36;
+    compaction_workers = default_workers;
+    (* Byte-denominated since PR 6: with the default 1 MiB buffer these
+       are the same operating points the old counts (20/36) hit when
+       every debt unit was roughly one buffer-sized run. *)
+    write_slowdown_trigger = 20 lsl 20;
+    write_stop_trigger = 36 lsl 20;
     paranoid_checks = false;
     scrub_delay = 0.;
   }
@@ -90,8 +105,14 @@ let validate t =
   if t.max_open_tables < 8 then invalid_arg "Config: max_open_tables must be >= 8";
   if t.compaction_parallelism < 1 then
     invalid_arg "Config: compaction_parallelism must be >= 1";
-  if t.write_slowdown_trigger < 1 then
-    invalid_arg "Config: write_slowdown_trigger must be >= 1";
+  if t.compaction_workers < 1 then invalid_arg "Config: compaction_workers must be >= 1";
+  (* The triggers are byte thresholds on debt = immutable-buffer bytes +
+     L0 bytes + unapplied compaction input bytes. Anything below one
+     block can never be crossed meaningfully (the smallest debt step is
+     a block-sized run), and a stop at or below the slowdown leaves no
+     ramp. *)
+  if t.write_slowdown_trigger < t.block_size then
+    invalid_arg "Config: write_slowdown_trigger must be >= block_size (it is a byte threshold)";
   if t.write_stop_trigger <= t.write_slowdown_trigger then
     invalid_arg "Config: write_stop_trigger must exceed write_slowdown_trigger";
   if t.scrub_delay < 0. then invalid_arg "Config: scrub_delay must be >= 0";
@@ -113,4 +134,6 @@ let describe t =
     (Lsm_filter.Point_filter.policy_name t.filter)
     (t.block_cache_bytes / 1024)
     (if t.monkey_filters then " monkey" else "")
-  ^ (match t.compaction_backend with Inline -> "" | Background -> " bg")
+  ^ (match t.compaction_backend with
+    | Inline -> ""
+    | Background -> if t.compaction_workers = 1 then " bg" else Printf.sprintf " bg×%d" t.compaction_workers)

@@ -86,15 +86,30 @@ type t = {
           bounded backpressure delays instead. The default flips to
           [Background] when [LSM_COMPACTION_BACKEND=background] is in
           the environment (CI matrix leg). *)
+  compaction_workers : int;
+      (** background mode only: how many of this db's flush/compaction
+          jobs may execute concurrently on the shared lane (>= 1).
+          Only jobs with non-conflicting keys overlap (same level
+          always conflicts; adjacent levels conflict when key ranges
+          overlap), and version edits still apply strictly in enqueue
+          order through the commit sequencer, so [Db.dump_entries]
+          after quiesce is identical for any worker count. 1 (the
+          default) is the PR 4 strict FIFO lane. The default follows
+          [LSM_COMPACTION_WORKERS] in the environment (CI matrix
+          leg). *)
   write_slowdown_trigger : int;
-      (** backpressure (background mode only): once immutable buffers +
-          L0 runs + pending scheduler jobs reach this, each write sleeps
-          a bounded delay (RocksDB's slowdown trigger) *)
+      (** backpressure (background mode only): a {e byte} threshold on
+          compaction debt = immutable-buffer bytes + L0 run bytes +
+          enqueued-but-unapplied compaction input bytes. Once debt
+          reaches this many bytes, each write sleeps a bounded delay
+          that ramps with the overshoot (RocksDB's slowdown trigger).
+          Must be at least [block_size]; scale it off
+          [write_buffer_size] (the default is 20 buffers' worth). *)
   write_stop_trigger : int;
-      (** backpressure (background mode only): once the same debt
-          measure reaches this, writes block on a condition variable
-          until the scheduler catches up; must exceed
-          [write_slowdown_trigger] *)
+      (** backpressure (background mode only): once the same byte debt
+          reaches this, writes block on a condition variable until the
+          scheduler catches up; must exceed [write_slowdown_trigger]
+          (the gap is the slowdown ramp) *)
   paranoid_checks : bool;
       (** verify version invariants after every flush/compaction *)
   scrub_delay : float;

@@ -45,6 +45,17 @@ type t = {
   mutable imm_count : int;
       (** [List.length immutables], maintained so the per-write flush
           trigger and backpressure debt are O(1); same guard *)
+  mutable imm_bytes : int;
+      (** memtable bytes of immutable buffers not yet claimed by a
+          background flush ticket — the buffer component of the
+          byte-denominated backpressure debt (claimed buffers move into
+          the scheduler's unapplied bytes instead, so no byte is counted
+          twice); same guard *)
+  mutable bg_flush_claims : int;
+      (** immutable buffers claimed by enqueued-but-uncommitted
+          background flush tickets — always a prefix of the oldest,
+          since flush tickets enqueue and commit in rotation order;
+          same guard *)
   mutable vers : Version.t;
       (** the maintenance lane's working state — mutated only inline or
           on the serialized background lane (never both concurrently) *)
@@ -330,6 +341,7 @@ let rotate t =
     Ordered_mutex.with_lock t.buf_mutex (fun () ->
         t.immutables <- t.active :: t.immutables;
         t.imm_count <- t.imm_count + 1;
+        t.imm_bytes <- t.imm_bytes + Memtable.footprint t.active.mt;
         t.active <- fresh)
   end
 
@@ -340,7 +352,11 @@ let rotate t =
 let buffers t =
   Ordered_mutex.with_lock t.buf_mutex (fun () -> (t.active, t.immutables))
 
-let flush_one t buffer =
+(* Flushes are split into an execute phase (reads the frozen buffer and
+   writes the L0 run — safe off the sequencer, the buffer is immutable)
+   and a commit phase (group assignment, version edit, WAL retirement —
+   runs only in commit order, so [t.next_group] stays single-threaded). *)
+let flush_execute t buffer =
   let it = Memtable.iterator buffer.mt in
   (* Flush-time GC: drop same-stripe shadowed versions (never the bottom). *)
   let filtered =
@@ -349,7 +365,9 @@ let flush_one t buffer =
       it
   in
   let bits = monkey_bits t ~target_level:0 ~incoming_entries:(Memtable.count buffer.mt) in
-  let metas = write_run t ~cls:Io_stats.C_flush ~filter_bits_override:bits filtered in
+  write_run t ~cls:Io_stats.C_flush ~filter_bits_override:bits filtered
+
+let flush_commit t buffer metas =
   let group = t.next_group in
   t.next_group <- t.next_group + 1;
   let edit =
@@ -364,6 +382,19 @@ let flush_one t buffer =
   (match buffer.wal_name with Some n -> Device.delete t.dev n | None -> ());
   t.db_stats.Stats.flushes <- t.db_stats.Stats.flushes + 1
 
+let flush_one t buffer = flush_commit t buffer (flush_execute t buffer)
+
+(* Remove a flushed buffer from the stack. A buffer claimed by a
+   background flush ticket already left [imm_bytes] at claim time (its
+   bytes were counted as the ticket's unapplied input instead); an
+   unclaimed buffer — the inline path — leaves it here. *)
+let pop_buffer t ~claimed buffer =
+  Ordered_mutex.with_lock t.buf_mutex (fun () ->
+      t.immutables <- List.filter (fun b -> b != buffer) t.immutables;
+      t.imm_count <- t.imm_count - 1;
+      if claimed then t.bg_flush_claims <- t.bg_flush_claims - 1
+      else t.imm_bytes <- t.imm_bytes - Memtable.footprint buffer.mt)
+
 (* Flush first, pop after: between [install_edit] and the pop a reader
    may see the entries both in the immutable memtable and in L0, which
    probe order dedupes; popping first would open a window where a
@@ -375,9 +406,7 @@ let flush_oldest t =
   | [] -> ()
   | oldest :: _ ->
     flush_one t oldest;
-    Ordered_mutex.with_lock t.buf_mutex (fun () ->
-        t.immutables <- List.filter (fun b -> b != oldest) t.immutables;
-        t.imm_count <- t.imm_count - 1)
+    pop_buffer t ~claimed:false oldest
 
 (* ------------------------------------------------------------------ *)
 (* Compaction                                                          *)
@@ -471,9 +500,9 @@ let pick_compaction t =
     !job
   end
 
-let file_iter t ~cls (f : Table_meta.t) =
+let file_iter t ~cls ?(use_cache = false) (f : Table_meta.t) =
   let reader = Table_cache.get t.tables f.file_name in
-  Sstable.iterator reader ~cls ~use_cache:false ()
+  Sstable.iterator reader ~cls ~use_cache ()
 
 let rds_of_files t files =
   List.concat_map
@@ -505,7 +534,7 @@ let retire_files t files =
 (* Clamp a run to the key range [lo, hi) (either bound may be open).
    Files wholly outside the range are skipped via their fence pointers;
    the iterator seeks to [lo] and stops at the first key >= [hi]. *)
-let clamped_run_iter t ~cls ~lo ~hi (r : Version.run) =
+let clamped_run_iter t ~cls ?(use_cache = false) ~lo ~hi (r : Version.run) =
   let cmp = (cmp_of t).Comparator.compare in
   let files =
     List.filter
@@ -516,8 +545,8 @@ let clamped_run_iter t ~cls ~lo ~hi (r : Version.run) =
   in
   let it =
     match files with
-    | [ f ] -> file_iter t ~cls f
-    | files -> Iter.concat (List.map (file_iter t ~cls) files)
+    | [ f ] -> file_iter t ~cls ~use_cache f
+    | files -> Iter.concat (List.map (file_iter t ~cls ~use_cache) files)
   in
   let below_hi () =
     match hi with None -> true | Some h -> cmp (it.Iter.entry ()).Entry.key h < 0
@@ -582,24 +611,84 @@ let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
    boundaries and each range is merged, filtered, and written by a pool
    domain; the per-range outputs concatenate (in key order) into the same
    single sorted run a serial merge would produce, installed by one
-   version edit. *)
-let execute_merge t ~input_runs ~extra_removed ~target_level ~target_group ~bottom =
-  let t_start = now_ns () in
+   version edit.
+
+   Like flushes, merges are split in two: [plan_merge] captures every
+   input from [t.vers] (sequencer context, deterministic), the execute
+   phase does the heavy reading/merging/writing against those captured
+   inputs on any worker, and the commit phase installs the edit in
+   enqueue order. *)
+type merge_plan = {
+  mp_input_runs : Version.run list;
+  mp_input_files : Table_meta.t list;
+  mp_read_bytes : int;
+  mp_extra_removed : int list;
+  mp_target_level : int;
+  mp_target_group : int;
+  mp_bottom : bool;
+  mp_bits : float option;
+}
+
+let plan_merge t ~input_runs ~extra_removed ~target_level ~target_group ~bottom =
   let input_files = List.concat_map (fun (r : Version.run) -> r.Version.files) input_runs in
   let read_bytes = List.fold_left (fun a (f : Table_meta.t) -> a + f.size) 0 input_files in
   let input_entries = List.fold_left (fun a (f : Table_meta.t) -> a + f.entries) 0 input_files in
+  {
+    mp_input_runs = input_runs;
+    mp_input_files = input_files;
+    mp_read_bytes = read_bytes;
+    mp_extra_removed = extra_removed;
+    mp_target_level = target_level;
+    mp_target_group = target_group;
+    mp_bottom = bottom;
+    mp_bits = monkey_bits t ~target_level ~incoming_entries:input_entries;
+  }
+
+let merge_execute t (p : merge_plan) =
+  let t_start = now_ns () in
+  let input_runs = p.mp_input_runs in
+  let input_files = p.mp_input_files in
+  let bottom = p.mp_bottom in
   let rds = rds_of_files t input_files in
-  let bits = monkey_bits t ~target_level ~incoming_entries:input_entries in
-  let ranges =
+  let bits = p.mp_bits in
+  (* Parallel input warm-up: with a pool, load every input file's data
+     blocks into the block cache first, one file per domain. The block
+     reads of one merge then overlap like queued requests on a real
+     device instead of paying their I/O latency one at a time inside
+     the merge loop. The cache disturbance is transient by the same
+     rule as any compaction read: [retire_files] evicts the inputs as
+     soon as the merge commits. *)
+  let warmed =
     match t.pool with
-    | Some pool when Domain_pool.size pool > 1 ->
-      partition_ranges t ~input_files ~k:(Domain_pool.size pool)
+    | Some pool when Domain_pool.size pool > 1 && List.length input_files > 1 ->
+      ignore
+        (Domain_pool.map_list pool
+           (fun (f : Table_meta.t) ->
+             Sstable.prefetch_into_cache
+               (Table_cache.get t.tables f.file_name)
+               ~cls:Io_stats.C_compaction_read)
+           input_files);
+      true
+    | _ -> false
+  in
+  let ranges =
+    (* Cap the fan-out so every range carries at least a target file's
+       worth of input: splitting smaller merges buys no overlap worth
+       having and litters the tree with undersized output files, whose
+       cleanup merges then eat the throughput the split was meant to
+       win. *)
+    let k_bytes = max 1 (p.mp_read_bytes / max 1 t.cfg.Config.target_file_size) in
+    match t.pool with
+    | Some pool when Domain_pool.size pool > 1 && k_bytes > 1 ->
+      partition_ranges t ~input_files ~k:(min (Domain_pool.size pool) k_bytes)
     | _ -> [ (None, None) ]
   in
   let merge_range (lo, hi) =
     let merged =
       Iter.merge (cmp_of t)
-        (List.map (clamped_run_iter t ~cls:Io_stats.C_compaction_read ~lo ~hi) input_runs)
+        (List.map
+           (clamped_run_iter t ~cls:Io_stats.C_compaction_read ~use_cache:warmed ~lo ~hi)
+           input_runs)
     in
     let filtered =
       Merge_filter.filtered ~cmp:(cmp_of t) ~snapshots:t.snapshots ~bottom
@@ -612,24 +701,28 @@ let execute_merge t ~input_runs ~extra_removed ~target_level ~target_group ~bott
     | Some pool, _ :: _ :: _ -> List.concat (Domain_pool.map_list pool merge_range ranges)
     | _ -> List.concat (List.map merge_range ranges)
   in
+  (metas, List.length ranges, now_ns () - t_start)
+
+let merge_commit t (p : merge_plan) (metas, nranges, exec_ns) =
   let written = List.fold_left (fun a (m : Table_meta.t) -> a + m.size) 0 metas in
   let edit =
     {
-      Version.added = List.map (fun m -> (target_level, target_group, m)) metas;
-      removed = List.map (fun (f : Table_meta.t) -> f.file_id) input_files @ extra_removed;
+      Version.added = List.map (fun m -> (p.mp_target_level, p.mp_target_group, m)) metas;
+      removed =
+        List.map (fun (f : Table_meta.t) -> f.file_id) p.mp_input_files @ p.mp_extra_removed;
       seqno_watermark = t.seqno;
     }
   in
   install_edit t edit;
-  retire_files t input_files;
+  retire_files t p.mp_input_files;
   t.db_stats.Stats.compactions <- t.db_stats.Stats.compactions + 1;
-  t.db_stats.Stats.subcompactions <- t.db_stats.Stats.subcompactions + List.length ranges;
-  t.db_stats.Stats.compaction_wall_ns <-
-    t.db_stats.Stats.compaction_wall_ns + (now_ns () - t_start);
-  t.db_stats.Stats.compaction_bytes_read <- t.db_stats.Stats.compaction_bytes_read + read_bytes;
+  t.db_stats.Stats.subcompactions <- t.db_stats.Stats.subcompactions + nranges;
+  t.db_stats.Stats.compaction_wall_ns <- t.db_stats.Stats.compaction_wall_ns + exec_ns;
+  t.db_stats.Stats.compaction_bytes_read <-
+    t.db_stats.Stats.compaction_bytes_read + p.mp_read_bytes;
   t.db_stats.Stats.compaction_bytes_written <-
     t.db_stats.Stats.compaction_bytes_written + written;
-  Lsm_util.Histogram.add t.db_stats.Stats.compaction_burst_bytes (read_bytes + written);
+  Lsm_util.Histogram.add t.db_stats.Stats.compaction_burst_bytes (p.mp_read_bytes + written);
   if t.cfg.Config.cache_refill_after_compaction then
     List.iter
       (fun (m : Table_meta.t) ->
@@ -639,6 +732,10 @@ let execute_merge t ~input_runs ~extra_removed ~target_level ~target_group ~bott
              ~cls:Io_stats.C_compaction_read))
       metas;
   metas
+
+let execute_merge t ~input_runs ~extra_removed ~target_level ~target_group ~bottom =
+  let p = plan_merge t ~input_runs ~extra_removed ~target_level ~target_group ~bottom in
+  merge_commit t p (merge_execute t p)
 
 (* The run group output goes to: reuse the target's single-run group when
    merging into a leveled level that already has a run, else a new group. *)
@@ -670,22 +767,34 @@ let trivial_move t ~files ~target_level ~target_group =
 let has_tombstones files =
   List.exists (fun (f : Table_meta.t) -> f.point_tombstones + f.range_tombstones > 0) files
 
-let execute_job t job =
+(* A planned job: every input captured from [t.vers], target group
+   allocated, round-robin cursor advanced — all the decisions that must
+   happen deterministically in sequencer context. What remains
+   ([run_planned]'s execute phase) only reads the captured immutable
+   files. Background picks plan from exactly the tree states the inline
+   scheduler would see — the sequencer front-inserts hook picks and runs
+   the hook after every commit — so planning needs no batch capping or
+   other background-specific adjustment. *)
+type planned =
+  | P_merge of merge_plan
+  | P_move of { files : Table_meta.t list; target_level : int; target_group : int }
+
+let plan_of_job t job =
   let last = Version.last_level t.vers in
   match job with
   | J_level0 ->
     let l0_runs = Version.level_runs t.vers 0 in
     let target_tiered = run_cap t ~level:1 > 1 in
     if target_tiered then
-      ignore
-        (execute_merge t ~input_runs:l0_runs ~extra_removed:[] ~target_level:1
+      P_merge
+        (plan_merge t ~input_runs:l0_runs ~extra_removed:[] ~target_level:1
            ~target_group:(fresh_group t)
            ~bottom:(last <= 1 && Version.level_runs t.vers 1 = []))
     else begin
       (* Merge with the whole overlapping portion of L1's run. *)
       let l1_runs = Version.level_runs t.vers 1 in
-      ignore
-        (execute_merge t
+      P_merge
+        (plan_merge t
            ~input_runs:(l0_runs @ l1_runs)
            ~extra_removed:[] ~target_level:1 ~target_group:(leveled_target_group t 1)
            ~bottom:(last <= 1))
@@ -702,24 +811,24 @@ let execute_job t job =
         ->
         (* A single leveled run pushed into a tiered level: appendable
            verbatim as its own run. *)
-        trivial_move t ~files:r.Version.files ~target_level:target
-          ~target_group:(fresh_group t)
+        P_move
+          { files = r.Version.files; target_level = target; target_group = fresh_group t }
       | _ ->
-        ignore
-          (execute_merge t ~input_runs:runs ~extra_removed:[] ~target_level:target
+        P_merge
+          (plan_merge t ~input_runs:runs ~extra_removed:[] ~target_level:target
              ~target_group:(fresh_group t) ~bottom)
     end
     else begin
       let next_runs = Version.level_runs t.vers target in
-      ignore
-        (execute_merge t ~input_runs:(runs @ next_runs) ~extra_removed:[] ~target_level:target
+      P_merge
+        (plan_merge t ~input_runs:(runs @ next_runs) ~extra_removed:[] ~target_level:target
            ~target_group:(leveled_target_group t target) ~bottom:(last <= target))
     end
   | J_whole_level l ->
     let runs = Version.level_runs t.vers l in
     let next_runs = Version.level_runs t.vers (l + 1) in
-    ignore
-      (execute_merge t ~input_runs:(runs @ next_runs) ~extra_removed:[] ~target_level:(l + 1)
+    P_merge
+      (plan_merge t ~input_runs:(runs @ next_runs) ~extra_removed:[] ~target_level:(l + 1)
          ~target_group:(leveled_target_group t (l + 1)) ~bottom:(last <= l + 1))
   | J_file (l, f) ->
     let target = l + 1 in
@@ -743,16 +852,61 @@ let execute_job t job =
       t.cfg.Config.allow_trivial_move
       && overlapping = []
       && not (bottom && has_tombstones [ f ])
-    then trivial_move t ~files:[ f ] ~target_level:target ~target_group:(leveled_target_group t target)
+    then
+      P_move
+        { files = [ f ]; target_level = target; target_group = leveled_target_group t target }
     else begin
       let input_runs =
         [ { Version.group = max_int; files = [ f ] };
           { Version.group = 0; files = overlapping } ]
       in
-      ignore
-        (execute_merge t ~input_runs ~extra_removed:[] ~target_level:target
+      P_merge
+        (plan_merge t ~input_runs ~extra_removed:[] ~target_level:target
            ~target_group:(leveled_target_group t target) ~bottom)
     end
+
+let run_planned t = function
+  | P_move { files; target_level; target_group } ->
+    trivial_move t ~files ~target_level ~target_group
+  | P_merge p -> ignore (merge_commit t p (merge_execute t p))
+
+let planned_input_bytes = function
+  | P_merge p -> p.mp_read_bytes
+  | P_move { files; _ } -> List.fold_left (fun a (f : Table_meta.t) -> a + f.size) 0 files
+
+let execute_job t job = run_planned t (plan_of_job t job)
+
+(* Conflict key for a background pick: the job's source level plus the
+   inclusive key span of everything it may read or rewrite — source and
+   next-level runs, or for a single-file job the file plus its (widened)
+   next-level overlap. Computed before planning, so a refused pick has
+   no side effects. A span wider than the eventual inputs only costs
+   parallelism, never correctness. *)
+let key_of_job t job =
+  let span level runs =
+    match Version.runs_key_range ~cmp:(cmp_of t) runs with
+    | Some (lo, hi) -> Scheduler.Compact { level; lo; hi }
+    | None -> Scheduler.Compact { level; lo = ""; hi = "" }
+  in
+  match job with
+  | J_level0 -> span 0 (Version.level_runs t.vers 0 @ Version.level_runs t.vers 1)
+  | J_tier_merge l | J_whole_level l ->
+    span l (Version.level_runs t.vers l @ Version.level_runs t.vers (l + 1))
+  | J_file (l, f) ->
+    let next_run_files =
+      List.concat_map
+        (fun (r : Version.run) -> r.Version.files)
+        (Version.level_runs t.vers (l + 1))
+    in
+    let hi =
+      List.fold_left
+        (fun acc (rd : Entry.t) -> Lsm_util.Comparator.max_key (cmp_of t) acc rd.value)
+        f.Table_meta.max_key (rds_of_files t [ f ])
+    in
+    let overlapping =
+      Picker.overlapping ~cmp:(cmp_of t) ~lo:f.Table_meta.min_key ~hi next_run_files
+    in
+    span l [ { Version.group = 0; files = f :: overlapping } ]
 
 (* One compaction step on the calling domain; no lane coordination —
    [schedule_compactions] runs this from inside background jobs. The
@@ -794,21 +948,6 @@ let quiesce_bg t = match t.sched with Some s -> Scheduler.quiesce s | None -> ()
 let with_pin t f =
   match t.sched with None -> f () | Some _ -> Version.Pins.with_pin t.pins f
 
-(* One job per rotation, each flushing at most one buffer: exactly the
-   work the inline trigger does per rotation, so however far the lane
-   lags, the sequence of flush/compaction steps applied to the version
-   is identical to inline execution — which is what makes
-   [dump_entries] backend-independent. *)
-let bg_flush_step t =
-  let over =
-    Ordered_mutex.with_lock t.buf_mutex (fun () ->
-        t.imm_count > t.cfg.Config.max_immutable_buffers)
-  in
-  if over then begin
-    flush_oldest t;
-    schedule_compactions t
-  end
-
 (* Background jobs report through the scheduler's failure latch; this
    wrapper additionally flips the engine into fail-safe read-only mode
    and makes sure the parked exception is typed. [Device.Crashed] passes
@@ -836,18 +975,86 @@ let guard_inline_maintenance t f =
     enter_failsafe t;
     raise e
 
-(* RocksDB-style backpressure, keyed on the same debt measure at both
-   thresholds: immutable buffers + L0 runs + jobs the scheduler still
-   owes. The debt reads are deliberately lock-free (stale by at most a
-   step — this is a throttle, not an invariant). *)
+(* Wrap both phases of a two-phase background job with the fail-safe
+   guard: an error in either phase flips the engine read-only and parks
+   a typed error in the scheduler's failure latch. *)
+let bg_phases t mk () =
+  let commit = guard_bg_job t mk () in
+  fun () -> guard_bg_job t commit ()
+
+(* Claim the oldest unclaimed immutable buffer for a background flush
+   ticket iff the stack is over the limit net of buffers already
+   claimed — one ticket per buffer, exactly the work the inline trigger
+   does per rotation. Claiming moves the buffer's bytes out of
+   [imm_bytes]: from here until its commit pops it they are accounted
+   as the ticket's unapplied input bytes instead. *)
+let claim_flush t =
+  Ordered_mutex.with_lock t.buf_mutex (fun () ->
+      if t.imm_count - t.bg_flush_claims > t.cfg.Config.max_immutable_buffers then begin
+        let buffer = List.nth (List.rev t.immutables) t.bg_flush_claims in
+        t.bg_flush_claims <- t.bg_flush_claims + 1;
+        t.imm_bytes <- t.imm_bytes - Memtable.footprint buffer.mt;
+        Some buffer
+      end
+      else None)
+
+(* Commit-time compaction picker: the sequencer calls this after every
+   committed edit (in commit order, on whichever worker holds the
+   committer token — serialized, so it may read [t.vers] and allocate
+   groups like the inline scheduler does). Each call submits at most ONE
+   pick, which the sequencer front-inserts at the commit head — so the
+   pick applies before any already-queued flush, exactly where the
+   inline scheduler would have run it. The cascade then advances one
+   step per commit: the pick's own commit re-runs this hook against the
+   updated tree, replaying inline's pick-apply-repick loop until
+   [pick_compaction] returns [None] — the same fixpoint at which the
+   inline cascade stops. A pick whose key conflicts with an in-flight
+   ticket is refused without side effects (the trigger fires again at
+   that ticket's commit); pending flushes are ignored for refusal — see
+   [Scheduler.conflicts_pending]. *)
+let bg_pick_compactions t sched =
+  match pick_compaction t with
+  | None -> ()
+  | Some job ->
+    let key = key_of_job t job in
+    if not (Scheduler.conflicts_pending ~ignore_flush:true sched key) then begin
+      let planned = plan_of_job t job in
+      Scheduler.submit sched ~key ~input_bytes:(planned_input_bytes planned)
+        ~execute:
+          (bg_phases t (fun () ->
+               match planned with
+               | P_move _ -> fun () -> run_planned t planned
+               | P_merge p ->
+                 let res = merge_execute t p in
+                 fun () -> ignore (merge_commit t p res)))
+    end
+
+(* RocksDB-style backpressure, re-denominated in bytes: debt = unclaimed
+   immutable-buffer bytes + L0 run bytes + captured input bytes of every
+   enqueued-but-unapplied ticket. The debt reads are deliberately
+   lock-free (stale by at most a step — this is a throttle, not an
+   invariant). *)
+let bg_debt t sched =
+  t.imm_bytes + Version.level_bytes t.vers 0 + Scheduler.unapplied_bytes sched
+
 let bg_after_rotate t sched =
-  Scheduler.enqueue sched (guard_bg_job t (fun () -> bg_flush_step t));
-  let debt () = t.imm_count + Version.run_count t.vers 0 in
-  let d = debt () + Scheduler.pending sched in
+  (match claim_flush t with
+  | None -> ()
+  | Some buffer ->
+    Scheduler.submit sched ~key:Scheduler.Flush
+      ~input_bytes:(Memtable.footprint buffer.mt)
+      ~execute:
+        (bg_phases t (fun () ->
+             let metas = flush_execute t buffer in
+             fun () ->
+               flush_commit t buffer metas;
+               pop_buffer t ~claimed:true buffer)));
+  let d = bg_debt t sched in
   if d >= t.cfg.Config.write_stop_trigger then begin
     t.db_stats.Stats.write_stops <- t.db_stats.Stats.write_stops + 1;
-    Scheduler.wait_until sched (fun ~pending ->
-        debt () + pending < t.cfg.Config.write_stop_trigger)
+    Scheduler.wait_until sched (fun ~pending:_ ~unapplied_bytes ->
+        t.imm_bytes + Version.level_bytes t.vers 0 + unapplied_bytes
+        < t.cfg.Config.write_stop_trigger)
   end
   else if d >= t.cfg.Config.write_slowdown_trigger then begin
     t.db_stats.Stats.write_slowdowns <- t.db_stats.Stats.write_slowdowns + 1;
@@ -1388,6 +1595,14 @@ let release t s =
    [close] must be able to drain buffers even in fail-safe mode. *)
 let flush_work t =
   quiesce_bg t;
+  (* Rebaseline the claim accounting: with the lane drained no flush
+     ticket is outstanding, but a failed-and-discarded ticket may have
+     left its claim (and byte deduction) behind — its buffer is still
+     in the stack and is about to be flushed inline here. *)
+  Ordered_mutex.with_lock t.buf_mutex (fun () ->
+      t.bg_flush_claims <- 0;
+      t.imm_bytes <-
+        List.fold_left (fun a b -> a + Memtable.footprint b.mt) 0 t.immutables);
   rotate t;
   while t.imm_count > 0 do
     flush_oldest t
@@ -1546,19 +1761,22 @@ let open_db ?(config = Config.default) ~dev () =
     else None
   in
   let manifest = Manifest.create ~name:Manifest.tmp_file_name dev in
+  let db_stats = Stats.create () in
   let t =
     {
       cfg = config;
       dev;
       cache;
       tables;
-      db_stats = Stats.create ();
+      db_stats;
       active =
         { mt = Memtable.create ~kind:config.Config.memtable ~cmp:config.Config.comparator ();
           wal = None;
           wal_name = None };
       immutables = [];
       imm_count = 0;
+      imm_bytes = 0;
+      bg_flush_claims = 0;
       vers = recovered;
       read_view = (Version.empty, []);
       manifest;
@@ -1576,7 +1794,10 @@ let open_db ?(config = Config.default) ~dev () =
         Ordered_mutex.create ~rank:Ordered_mutex.Rank.db_buffers ~name:"db.buffers";
       sched =
         (match config.Config.compaction_backend with
-        | Config.Background -> Some (Scheduler.create ())
+        | Config.Background ->
+          Some
+            (Scheduler.create ~workers:config.Config.compaction_workers
+               ~cmp:config.Config.comparator.Comparator.compare ~stats:db_stats ())
         | Config.Inline -> None);
       pins = Version.Pins.create_registry ();
       health = Atomic.make Healthy;
@@ -1584,6 +1805,13 @@ let open_db ?(config = Config.default) ~dev () =
       closed = false;
     }
   in
+  (* Compaction triggers are evaluated after every committed edit, in
+     commit order, by whichever worker holds the committer token — the
+     background replacement for the inline cascade in
+     [schedule_compactions]. *)
+  (match t.sched with
+  | Some s -> Scheduler.set_on_commit s (guard_bg_job t (fun () -> bg_pick_compactions t s))
+  | None -> ());
   let snapshot_edit =
     {
       Version.added =
@@ -1688,8 +1916,8 @@ let quiesce t =
   quiesce_bg t
 
 let backpressure_debt t =
-  t.imm_count + Version.run_count t.vers 0
-  + match t.sched with Some s -> Scheduler.pending s | None -> 0
+  t.imm_bytes + Version.level_bytes t.vers 0
+  + match t.sched with Some s -> Scheduler.unapplied_bytes s | None -> 0
 
 let close t =
   if not t.closed then begin

@@ -103,8 +103,11 @@ val quiesce : t -> unit
     mode: no-op. *)
 
 val backpressure_debt : t -> int
-(** The write-throttle debt measure: immutable buffers + L0 runs +
-    pending background jobs (0 pending inline). Observability/tests. *)
+(** The write-throttle debt measure, in bytes: immutable buffer bytes
+    + level-0 run bytes + input bytes of enqueued-but-unapplied
+    background compactions (0 pending inline). Compared against
+    [Config.write_slowdown_trigger] / [write_stop_trigger].
+    Observability/tests. *)
 
 val major_compact : t -> unit
 (** Flush, then compact until no trigger fires. *)

@@ -1,5 +1,11 @@
 module Histogram = Lsm_util.Histogram
 
+type worker = {
+  mutable w_jobs : int;
+  mutable w_busy_ns : int;
+  mutable w_bytes : int;
+}
+
 type t = {
   mutable user_puts : int;
   mutable user_deletes : int;
@@ -32,6 +38,10 @@ type t = {
   get_run_probes : Histogram.t;
   write_latency_ns : Histogram.t;
   slowdown_delay_ns : Histogram.t;
+  mutable sched_workers : worker array;
+  mutable sched_edits_parked : int;
+  sched_queue_depth : Histogram.t;
+  sched_parked_edits : Histogram.t;
 }
 
 let create () =
@@ -67,7 +77,15 @@ let create () =
     get_run_probes = Histogram.create ();
     write_latency_ns = Histogram.create ();
     slowdown_delay_ns = Histogram.create ();
+    sched_workers = [||];
+    sched_edits_parked = 0;
+    sched_queue_depth = Histogram.create ();
+    sched_parked_edits = Histogram.create ();
   }
+
+let provision_workers t n =
+  if Array.length t.sched_workers <> n then
+    t.sched_workers <- Array.init n (fun _ -> { w_jobs = 0; w_busy_ns = 0; w_bytes = 0 })
 
 let clear t =
   t.user_puts <- 0;
@@ -100,7 +118,16 @@ let clear t =
   Histogram.clear t.compaction_burst_bytes;
   Histogram.clear t.get_run_probes;
   Histogram.clear t.write_latency_ns;
-  Histogram.clear t.slowdown_delay_ns
+  Histogram.clear t.slowdown_delay_ns;
+  Array.iter
+    (fun w ->
+      w.w_jobs <- 0;
+      w.w_busy_ns <- 0;
+      w.w_bytes <- 0)
+    t.sched_workers;
+  t.sched_edits_parked <- 0;
+  Histogram.clear t.sched_queue_depth;
+  Histogram.clear t.sched_parked_edits
 
 let write_amp_engine t =
   if t.user_bytes_ingested = 0 then 0.0
@@ -111,6 +138,13 @@ let write_amp_engine t =
 let avg_probes_per_get t =
   if t.user_gets = 0 then 0.0 else float_of_int t.runs_probed /. float_of_int t.user_gets
 
+let pp_workers ppf t =
+  Array.iteri
+    (fun i w ->
+      Format.fprintf ppf "@,  worker %d: jobs=%d busy=%dns moved=%dB" i w.w_jobs w.w_busy_ns
+        w.w_bytes)
+    t.sched_workers
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>puts=%d deletes=%d gets=%d (found %d) scans=%d@,\
@@ -118,11 +152,14 @@ let pp ppf t =
      probes/get=%.2f filter: neg=%d fp=%d range-skips=%d@,\
      stalls=%d slowdowns=%d stops=%d stall-bytes: %a@,compaction-bursts: %a@,\
      write-latency-ns: %a@,slowdown-delay-ns: %a@,\
-     corruptions=%d quarantined=%d failsafe=%d resumes=%d scrubs=%d (errors %d)@]"
+     corruptions=%d quarantined=%d failsafe=%d resumes=%d scrubs=%d (errors %d)@,\
+     sched: parked-edits=%d queue-depth: %a park-depth: %a%a@]"
     t.user_puts t.user_deletes t.user_gets t.gets_found t.user_scans t.user_bytes_ingested
     t.flushes t.compactions t.compaction_bytes_read t.compaction_bytes_written
     (avg_probes_per_get t) t.filter_negatives t.filter_false_positives t.range_filter_skips
     t.write_stalls t.write_slowdowns t.write_stops Histogram.pp_summary t.stall_burst_bytes
     Histogram.pp_summary t.compaction_burst_bytes Histogram.pp_summary t.write_latency_ns
     Histogram.pp_summary t.slowdown_delay_ns t.corruptions_detected t.tables_quarantined
-    t.failsafe_entries t.resumes t.scrub_runs t.scrub_errors
+    t.failsafe_entries t.resumes t.scrub_runs t.scrub_errors t.sched_edits_parked
+    Histogram.pp_summary t.sched_queue_depth Histogram.pp_summary t.sched_parked_edits pp_workers
+    t

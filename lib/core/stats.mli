@@ -4,6 +4,19 @@
     engine-level counters (user bytes for write-amp, probe counts for
     read-amp, filter effectiveness, stall bursts, tombstone latency). *)
 
+type worker = {
+  mutable w_jobs : int;  (** background jobs executed on this worker slot *)
+  mutable w_busy_ns : int;
+      (** wall-clock nanoseconds the slot spent inside job execution —
+          divide by elapsed wall time for per-worker utilization *)
+  mutable w_bytes : int;  (** input bytes moved by the slot's jobs *)
+}
+(** Per-worker-slot counters for the multi-worker compaction lane. A
+    "slot" is a logical scheduler worker (0 .. compaction_workers-1),
+    not a fixed domain: the lane assigns the lowest free slot at
+    dispatch, so slot 0 saturates first and the tail slots light up
+    only when jobs genuinely overlap. *)
+
 type t = {
   mutable user_puts : int;
   mutable user_deletes : int;
@@ -61,10 +74,27 @@ type t = {
       (** nanoseconds of proportional backpressure delay injected per
           slowed-down write (between the slowdown and stop triggers the
           delay ramps linearly with compaction debt) *)
+  mutable sched_workers : worker array;
+      (** one entry per scheduler worker slot; sized by the scheduler at
+          creation ([[||]] until a background lane attaches) *)
+  mutable sched_edits_parked : int;
+      (** background jobs that finished out of enqueue order and had to
+          park their version edit until the commit sequencer reached
+          them — the price of out-of-order execution *)
+  sched_queue_depth : Lsm_util.Histogram.t;
+      (** uncommitted scheduler tickets observed at each enqueue (gauge
+          sampled on the producer side) *)
+  sched_parked_edits : Lsm_util.Histogram.t;
+      (** parked (finished-but-uncommitted) edits observed at each park
+          event — how far ahead of the sequencer the workers run *)
 }
 
 val create : unit -> t
 val clear : t -> unit
+
+val provision_workers : t -> int -> unit
+(** (Re)size [sched_workers] to [n] zeroed slots. Called by the
+    scheduler when a lane attaches; idempotent for a same-size lane. *)
 
 val write_amp_engine : t -> float
 (** (flush+compaction bytes written) / user bytes — the engine-level WA. *)

@@ -88,6 +88,21 @@ let level_bytes t l =
     (fun acc r -> List.fold_left (fun a (f : Table_meta.t) -> a + f.size) acc r.files)
     0 (level_runs t l)
 
+(* Inclusive key span of a set of runs — the scheduler's conflict
+   relation keys compaction jobs by the span of their captured inputs.
+   [None] when the runs hold no files. *)
+let runs_key_range ~cmp runs =
+  List.fold_left
+    (fun acc r ->
+      List.fold_left
+        (fun acc (f : Table_meta.t) ->
+          match acc with
+          | None -> Some (f.min_key, f.max_key)
+          | Some (lo, hi) ->
+            Some (Comparator.min_key cmp lo f.min_key, Comparator.max_key cmp hi f.max_key))
+        acc r.files)
+    None runs
+
 let level_entries t l =
   List.fold_left
     (fun acc r -> List.fold_left (fun a (f : Table_meta.t) -> a + f.entries) acc r.files)

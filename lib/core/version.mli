@@ -41,6 +41,12 @@ val level_runs : t -> int -> run list
 val run_count : t -> int -> int
 val level_bytes : t -> int -> int
 val level_entries : t -> int -> int
+
+val runs_key_range : cmp:Lsm_util.Comparator.t -> run list -> (string * string) option
+(** Inclusive [lo, hi] key span of every file in the runs, or [None]
+    when the runs are empty — the key-range half of the scheduler's
+    compaction conflict keys. *)
+
 val last_level : t -> int
 (** Deepest non-empty level; 0 when the tree is empty. *)
 

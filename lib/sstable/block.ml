@@ -9,6 +9,10 @@ module Builder = struct
     restart_interval : int;
     mutable buf : Buffer.t;
     mutable restarts : int list;  (** reversed offsets *)
+    mutable nrestarts : int;
+        (** [List.length restarts], kept incrementally — [size_estimate]
+            runs once per entry, and walking the list each call made
+            block building quadratic in entries per block *)
     mutable since_restart : int;
     mutable last_key : string;
     mutable count : int;
@@ -19,6 +23,7 @@ module Builder = struct
       restart_interval;
       buf = Buffer.create 4096;
       restarts = [];
+      nrestarts = 0;
       since_restart = 0;
       last_key = "";
       count = 0;
@@ -33,6 +38,7 @@ module Builder = struct
     let shared =
       if t.since_restart >= t.restart_interval || t.count = 0 then begin
         t.restarts <- Buffer.length t.buf :: t.restarts;
+        t.nrestarts <- t.nrestarts + 1;
         t.since_restart <- 0;
         0
       end
@@ -49,7 +55,7 @@ module Builder = struct
     t.since_restart <- t.since_restart + 1;
     t.count <- t.count + 1
 
-  let size_estimate t = Buffer.length t.buf + (4 * (List.length t.restarts + 2))
+  let size_estimate t = Buffer.length t.buf + (4 * (t.nrestarts + 2))
   let count t = t.count
   let is_empty t = t.count = 0
 
@@ -58,12 +64,13 @@ module Builder = struct
     let out = Buffer.create (size_estimate t + 4) in
     Buffer.add_buffer out t.buf;
     List.iter (Codec.put_u32 out) restarts;
-    Codec.put_u32 out (List.length restarts);
+    Codec.put_u32 out t.nrestarts;
     let body = Buffer.contents out in
     let crc = Crc32c.mask (Crc32c.string body) in
     Codec.put_u32 out (Int32.to_int crc land 0xffffffff);
     Buffer.clear t.buf;
     t.restarts <- [];
+    t.nrestarts <- 0;
     t.since_restart <- 0;
     t.last_key <- "";
     t.count <- 0;

@@ -52,6 +52,8 @@ type t = {
   mutable is_crashed : bool;
   mutable read_faults : read_faults option;
   mutable read_faults_fired : int;
+  mutable read_lat_ns : int;  (** simulated latency per page read (0 = off) *)
+  mutable write_lat_ns : int;  (** simulated latency per page appended (0 = off) *)
 }
 
 (* Scheduled transient read faults: the next [left] reads of files in
@@ -83,6 +85,8 @@ let in_memory ?(page_size = 4096) () =
     is_crashed = false;
     read_faults = None;
     read_faults_fired = 0;
+    read_lat_ns = 0;
+    write_lat_ns = 0;
   }
 
 let on_disk ?(page_size = 4096) ~dir () =
@@ -98,9 +102,27 @@ let on_disk ?(page_size = 4096) ~dir () =
     is_crashed = false;
     read_faults = None;
     read_faults_fired = 0;
+    read_lat_ns = 0;
+    write_lat_ns = 0;
   }
 
 let locked t f = Lsm_util.Ordered_mutex.with_lock t.m f
+
+let simulate_latency t ?(read_ns_per_page = 0) ?(write_ns_per_page = 0) () =
+  (match t.backend with
+  | Mem _ -> ()
+  | Disk _ -> invalid_arg "Device.simulate_latency: in-memory backend only");
+  if read_ns_per_page < 0 || write_ns_per_page < 0 then
+    invalid_arg "Device.simulate_latency: negative latency";
+  t.read_lat_ns <- read_ns_per_page;
+  t.write_lat_ns <- write_ns_per_page
+
+(* The simulated device stall. Never called with the device lock held —
+   concurrent I/O from different domains must overlap, exactly like
+   queued requests on a real disk. *)
+let lat_sleep ~per_page_ns ~pages =
+  if per_page_ns > 0 && pages > 0 then
+    Unix.sleepf (float_of_int (per_page_ns * pages) *. 1e-9)
 
 let page_size t = t.page_size
 let stats t = t.io
@@ -328,6 +350,8 @@ let append w s =
     Buffer.add_string f.buf s
   | Disk_sink oc -> output_string oc s);
   account_write w (String.length s);
+  lat_sleep ~per_page_ns:w.dev.write_lat_ns
+    ~pages:(pages_of w.dev ~off:(w.w_written - String.length s) ~len:(String.length s));
   if tripped then begin
     locked w.dev (fun () ->
         match w.dev.plan with
@@ -395,6 +419,7 @@ let read t ~cls name ~off ~len =
           really_input_string ic len)
   in
   Io_stats.record_read t.io cls ~pages:(pages_of t ~off ~len) ~bytes:len;
+  lat_sleep ~per_page_ns:t.read_lat_ns ~pages:(pages_of t ~off ~len);
   data
 
 let size t name =

@@ -182,3 +182,12 @@ val plan_read_faults : t -> ?classes:file_class list -> int -> unit
 
 val read_faults_fired : t -> int
 (** Total injected read faults raised so far. *)
+
+val simulate_latency : t -> ?read_ns_per_page:int -> ?write_ns_per_page:int -> unit -> unit
+(** Model device speed: every subsequent {!read} ([append]) sleeps the
+    given time per page touched, with no lock held — so concurrent I/O
+    from different domains overlaps, exactly like queued requests on a
+    real disk. The in-memory backend is otherwise so fast that I/O
+    concurrency is invisible; benchmarks use this to measure it
+    honestly on any host. Defaults/0 disable.
+    @raise Invalid_argument on the on-disk backend or negative values. *)

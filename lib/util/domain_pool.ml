@@ -56,6 +56,20 @@ let create ~size =
 
 let size t = Array.length t.workers
 
+let ensure_size t n =
+  if n < 0 then invalid_arg "Domain_pool.ensure_size: negative size";
+  let to_spawn =
+    Ordered_mutex.with_lock t.m (fun () ->
+        if t.stopped then invalid_arg "Domain_pool.ensure_size: pool is shut down";
+        n - Array.length t.workers)
+  in
+  (* Spawning outside the lock is safe: only the spawner mutates
+     [workers], and a concurrent [ensure_size] to a smaller target is a
+     no-op. Racing growers are not supported (the engine grows the
+     singleton lane from [Scheduler.create] only). *)
+  if to_spawn > 0 then
+    t.workers <- Array.append t.workers (Array.init to_spawn (fun _ -> Domain.spawn (worker_loop t)))
+
 let run_into fut f =
   let v = match f () with r -> Done r | exception e -> Failed e in
   fulfill fut v

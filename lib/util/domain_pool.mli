@@ -22,6 +22,12 @@ val create : size:int -> t
 val size : t -> int
 (** Number of worker domains (0 = inline pool). *)
 
+val ensure_size : t -> int -> unit
+(** Grow the pool to at least [n] workers by spawning the difference.
+    Never shrinks; a target at or below the current size is a no-op.
+    Concurrent growers are not supported.
+    @raise Invalid_argument if the pool has been shut down or [n < 0]. *)
+
 val submit : t -> (unit -> 'a) -> 'a future
 (** Enqueue a task. On a size-0 pool the task runs before [submit]
     returns.

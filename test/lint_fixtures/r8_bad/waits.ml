@@ -1,0 +1,10 @@
+(* Negative fixture for R8: condition waits outside a while-predicate
+   loop. A single [if] (or no guard at all) misses spurious wakeups and
+   stolen signals — the predicate may be false again by the time the
+   wait returns. *)
+
+let wait_ready st =
+  if not st.ready then Condition.wait st.cond st.m
+
+let wait_drained t =
+  if t.pending > 0 then Ordered_mutex.wait t.idle t.m

@@ -1,0 +1,13 @@
+(* Positive fixture for R8: every wait sits in a while loop that
+   re-checks its predicate, so a spurious wakeup just re-tests and
+   sleeps again. *)
+
+let wait_ready st =
+  while not st.ready do
+    Condition.wait st.cond st.m
+  done
+
+let wait_drained t =
+  while t.pending > 0 || t.committing do
+    Ordered_mutex.wait t.idle t.m
+  done

@@ -253,8 +253,11 @@ let test_proportional_slowdown_visible_in_stats () =
     {
       (small_config ()) with
       Config.compaction_backend = Config.Background;
-      write_slowdown_trigger = 1;
-      write_stop_trigger = 8;
+      (* Byte-denominated: one 4 KiB buffer of debt already crosses the
+         slowdown line, and the stop line is out of reach, so every
+         rotation exercises the proportional ramp. *)
+      write_slowdown_trigger = 4096;
+      write_stop_trigger = 1 lsl 20;
     }
   in
   let db = Db.open_db ~config ~dev () in

@@ -1,5 +1,5 @@
 (* lsm-lint behaves as specified on the checked-in fixture snippets:
-   each rule R1–R7 has a failing and a passing fixture, suppressions
+   each rule R1–R8 has a failing and a passing fixture, suppressions
    need a reason, and the real lib/ tree is clean. Fixtures are parsed,
    never compiled, so they can use raw Mutex / Obj.magic freely. *)
 
@@ -28,6 +28,7 @@ let test_r4 = check_flagged "R4" ~bad:"r4_bad" ~ok:"r4_ok" ~expect:4
 let test_r5 = check_flagged "R5" ~bad:"r5_bad" ~ok:"r5_ok" ~expect:2
 let test_r6 = check_flagged "R6" ~bad:"r6_bad" ~ok:"r6_ok" ~expect:2
 let test_r7 = check_flagged "R7" ~bad:"r7_bad" ~ok:"r7_ok" ~expect:3
+let test_r8 = check_flagged "R8" ~bad:"r8_bad" ~ok:"r8_ok" ~expect:2
 
 let test_r2_only_in_cache_modules () =
   (* The same I/O-under-lock shape in a non-cache module is not R2's
@@ -71,6 +72,7 @@ let suite =
     Alcotest.test_case "R5: atomic pair fixtures" `Quick test_r5;
     Alcotest.test_case "R6: raw spawn fixtures" `Quick test_r6;
     Alcotest.test_case "R7: untyped failwith fixtures" `Quick test_r7;
+    Alcotest.test_case "R8: unlooped condition wait fixtures" `Quick test_r8;
     Alcotest.test_case "R2 scoped to cache modules" `Quick test_r2_only_in_cache_modules;
     Alcotest.test_case "findings carry line numbers" `Quick test_finding_positions;
     Alcotest.test_case "suppression with reason" `Quick test_suppression_with_reason;

@@ -70,10 +70,135 @@ let test_scheduler_wait_until () =
     Scheduler.enqueue s (fun () -> ignore (Sys.opaque_identity (String.make 64 'x')))
   done;
   (* Exits when the predicate holds; at the latest when the lane drains. *)
-  Scheduler.wait_until s (fun ~pending -> pending <= 2);
+  Scheduler.wait_until s (fun ~pending ~unapplied_bytes:_ -> pending <= 2);
   check_bool "below threshold" true (Scheduler.pending s <= 2);
-  Scheduler.wait_until s (fun ~pending -> pending = 0);
+  Scheduler.wait_until s (fun ~pending ~unapplied_bytes:_ -> pending = 0);
   check_int "drained" 0 (Scheduler.pending s)
+
+(* ---------- multi-worker dispatch ---------- *)
+
+(* Tickets whose keys touch levels >= 2 apart may overlap in time; the
+   first spins until it observes the second running (bounded by a
+   timeout so a regression fails rather than hangs). *)
+let test_nonconflicting_tickets_overlap () =
+  let s = Scheduler.create ~workers:2 () in
+  let running = Atomic.make 0 in
+  let max_running = Atomic.make 0 in
+  let job () =
+    let r = 1 + Atomic.fetch_and_add running 1 in
+    if r > Atomic.get max_running then Atomic.set max_running r;
+    let t0 = Unix.gettimeofday () in
+    while Atomic.get running < 2 && Unix.gettimeofday () -. t0 < 5. do
+      Domain.cpu_relax ()
+    done;
+    if Atomic.get running > Atomic.get max_running then
+      Atomic.set max_running (Atomic.get running);
+    ignore (Atomic.fetch_and_add running (-1));
+    fun () -> ()
+  in
+  Scheduler.submit s
+    ~key:(Scheduler.Compact { level = 0; lo = "a"; hi = "m" })
+    ~input_bytes:0 ~execute:job;
+  Scheduler.submit s
+    ~key:(Scheduler.Compact { level = 3; lo = "a"; hi = "m" })
+    ~input_bytes:0 ~execute:job;
+  Scheduler.quiesce s;
+  check_int "distant levels ran concurrently" 2 (Atomic.get max_running);
+  Scheduler.shutdown s
+
+(* Same level (or adjacent with overlapping ranges): never concurrent,
+   and edits still commit in enqueue order. *)
+let test_conflicting_tickets_serialize () =
+  let s = Scheduler.create ~workers:4 () in
+  let inside = Atomic.make false in
+  let overlapped = Atomic.make false in
+  let commits = ref [] in
+  let job i () =
+    if Atomic.get inside then Atomic.set overlapped true;
+    Atomic.set inside true;
+    Unix.sleepf 0.01;
+    Atomic.set inside false;
+    fun () -> commits := i :: !commits
+  in
+  for i = 1 to 4 do
+    Scheduler.submit s
+      ~key:(Scheduler.Compact { level = 2; lo = "a"; hi = "z" })
+      ~input_bytes:0 ~execute:(job i)
+  done;
+  (* Adjacent level, overlapping range: also serialized against level 2. *)
+  Scheduler.submit s
+    ~key:(Scheduler.Compact { level = 3; lo = "m"; hi = "q" })
+    ~input_bytes:0 ~execute:(job 5);
+  Scheduler.quiesce s;
+  check_bool "conflicting tickets never overlapped" false (Atomic.get overlapped);
+  Alcotest.(check (list int)) "edits committed in enqueue order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !commits);
+  Scheduler.shutdown s
+
+(* A parked out-of-order edit whose predecessor fails must be discarded:
+   the failed ticket's successors were planned against a version that
+   will never exist. *)
+let test_failed_predecessor_discards_parked () =
+  let s = Scheduler.create ~workers:2 () in
+  let gate = Atomic.make false in
+  let parked = Atomic.make false in
+  let committed = Atomic.make false in
+  Scheduler.submit s
+    ~key:(Scheduler.Compact { level = 0; lo = "a"; hi = "b" })
+    ~input_bytes:0
+    ~execute:(fun () ->
+        while not (Atomic.get gate) do
+          Domain.cpu_relax ()
+        done;
+        raise Boom);
+  (* Distant level: runs concurrently, finishes first, parks its edit. *)
+  Scheduler.submit s
+    ~key:(Scheduler.Compact { level = 4; lo = "a"; hi = "b" })
+    ~input_bytes:0
+    ~execute:(fun () ->
+        Atomic.set parked true;
+        fun () -> Atomic.set committed true);
+  while not (Atomic.get parked) do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set gate true;
+  Alcotest.check_raises "predecessor failure re-raised" Boom (fun () -> Scheduler.quiesce s);
+  check_bool "parked successor edit discarded, not committed" false (Atomic.get committed);
+  check_int "queue drained" 0 (Scheduler.pending s);
+  (* The lane stays usable after the discard. *)
+  let ran = ref false in
+  Scheduler.enqueue s (fun () -> ran := true);
+  Scheduler.quiesce s;
+  check_bool "lane usable after discard" true !ran;
+  Scheduler.shutdown s
+
+(* [shutdown] with edits parked behind a failed predecessor must drain
+   silently rather than deadlock waiting for commits that cannot run. *)
+let test_shutdown_with_parked_edits () =
+  let s = Scheduler.create ~workers:2 () in
+  let gate = Atomic.make false in
+  let parked = Atomic.make false in
+  Scheduler.submit s
+    ~key:(Scheduler.Compact { level = 0; lo = "a"; hi = "b" })
+    ~input_bytes:0
+    ~execute:(fun () ->
+        while not (Atomic.get gate) do
+          Domain.cpu_relax ()
+        done;
+        raise Boom);
+  Scheduler.submit s
+    ~key:(Scheduler.Compact { level = 4; lo = "a"; hi = "b" })
+    ~input_bytes:4096
+    ~execute:(fun () ->
+        Atomic.set parked true;
+        fun () -> ());
+  while not (Atomic.get parked) do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set gate true;
+  Scheduler.shutdown s;
+  check_int "drained after shutdown" 0 (Scheduler.pending s);
+  check_int "no unapplied bytes left" 0 (Scheduler.unapplied_bytes s)
 
 (* ---------- version pinning ---------- *)
 
@@ -180,6 +305,37 @@ let test_background_self_determinism () =
   Db.close a;
   Db.close b
 
+(* The multi-worker determinism property: for any seed, the physical
+   entry stream after quiesce is identical across Inline, one worker,
+   and four workers — commits apply in enqueue order and picks replay
+   the inline cascade whatever the interleaving of job execution. *)
+let test_worker_count_determinism () =
+  let dump ~config ~seed =
+    let dev = Device.in_memory () in
+    let db = Db.open_db ~config ~dev () in
+    run_workload db ~seed ~ops:1500;
+    Db.quiesce db;
+    let d = dump_strings db in
+    Db.close db;
+    d
+  in
+  for i = 0 to 19 do
+    let seed = 0x5EED + (i * 7919) in
+    let inline = dump ~config:(small_config ~backend:Config.Inline) ~seed in
+    let w1 =
+      dump
+        ~config:{ (small_config ~backend:Config.Background) with compaction_workers = 1 }
+        ~seed
+    in
+    let w4 =
+      dump
+        ~config:{ (small_config ~backend:Config.Background) with compaction_workers = 4 }
+        ~seed
+    in
+    Alcotest.(check (list string)) (Printf.sprintf "seed %#x: workers=1 = inline" seed) inline w1;
+    Alcotest.(check (list string)) (Printf.sprintf "seed %#x: workers=4 = inline" seed) inline w4
+  done
+
 (* ---------- concurrent readers vs background compaction ---------- *)
 
 (* Reader domains hammer a committed stable prefix while the main domain
@@ -240,9 +396,19 @@ let test_backpressure_validation () =
     | exception Invalid_argument _ -> ()
   in
   expect_invalid { Config.default with write_slowdown_trigger = 0 };
-  expect_invalid { Config.default with write_slowdown_trigger = 8; write_stop_trigger = 8 };
-  expect_invalid { Config.default with write_slowdown_trigger = 8; write_stop_trigger = 3 };
-  Config.validate { Config.default with write_slowdown_trigger = 1; write_stop_trigger = 2 }
+  (* Byte thresholds: anything below one block is meaningless. *)
+  expect_invalid
+    { Config.default with
+      write_slowdown_trigger = Config.default.block_size - 1;
+      write_stop_trigger = 1 lsl 20 };
+  expect_invalid
+    { Config.default with write_slowdown_trigger = 1 lsl 20; write_stop_trigger = 1 lsl 20 };
+  expect_invalid
+    { Config.default with write_slowdown_trigger = 1 lsl 20; write_stop_trigger = 1 lsl 16 };
+  Config.validate
+    { Config.default with
+      write_slowdown_trigger = Config.default.block_size;
+      write_stop_trigger = 2 * Config.default.block_size }
 
 let test_backpressure_engages () =
   (* Hair-trigger thresholds: sustained writes must trip the slowdown
@@ -250,9 +416,11 @@ let test_backpressure_engages () =
      logically intact — backpressure delays, it never deadlocks. *)
   let dev = Device.in_memory () in
   let config =
+    (* One block of byte debt already slows, two stop — with an 8 KiB
+       buffer every rotation lands well past both thresholds. *)
     { (small_config ~backend:Config.Background) with
-      write_slowdown_trigger = 1;
-      write_stop_trigger = 2 }
+      write_slowdown_trigger = 1024;
+      write_stop_trigger = 2048 }
   in
   let db = Db.open_db ~config ~dev () in
   for i = 0 to 2999 do
@@ -268,7 +436,9 @@ let test_backpressure_engages () =
     (Lsm_util.Histogram.count st.Stats.write_latency_ns = 3000);
   Db.quiesce db;
   Db.flush db;
-  check_bool "debt settles once quiesced" true (Db.backpressure_debt db <= 4);
+  (* Settled debt is just whatever L0 holds below its compaction trigger:
+     under level0_limit buffers' worth of bytes. *)
+  check_bool "debt settles once quiesced" true (Db.backpressure_debt db <= 64 * 1024);
   check_int "all keys live" 400 (List.length (Db.scan db ~lo:"" ~hi:None ()));
   Db.close db
 
@@ -318,9 +488,19 @@ let suite =
     Alcotest.test_case "scheduler: serialized lane" `Quick test_scheduler_serializes;
     Alcotest.test_case "scheduler: failure latch" `Quick test_scheduler_failure_latch;
     Alcotest.test_case "scheduler: wait_until" `Quick test_scheduler_wait_until;
+    Alcotest.test_case "scheduler: non-conflicting tickets overlap" `Quick
+      test_nonconflicting_tickets_overlap;
+    Alcotest.test_case "scheduler: conflicting tickets serialize" `Quick
+      test_conflicting_tickets_serialize;
+    Alcotest.test_case "scheduler: failed predecessor discards parked edit" `Quick
+      test_failed_predecessor_discards_parked;
+    Alcotest.test_case "scheduler: shutdown with parked edits" `Quick
+      test_shutdown_with_parked_edits;
     Alcotest.test_case "version pins: deferred deletion" `Quick test_version_pins;
     Alcotest.test_case "background = inline" `Slow test_background_equals_inline;
     Alcotest.test_case "background: reproducible" `Slow test_background_self_determinism;
+    Alcotest.test_case "determinism across worker counts (20 seeds)" `Slow
+      test_worker_count_determinism;
     Alcotest.test_case "stress: readers vs background compaction" `Slow
       test_readers_during_background_compaction;
     Alcotest.test_case "backpressure: config validation" `Quick test_backpressure_validation;

@@ -29,6 +29,12 @@
          stringly errors cross the API boundary where callers can only
          catch-all; raise a typed [Lsm_util.Lsm_error] (or a documented
          module exception) instead. Catching [Failure] is fine.
+     R8  [Condition.wait] (or [Ordered_mutex.wait]) not syntactically
+         inside a [while]-predicate loop body: condition variables have
+         spurious wakeups and stolen signals, so a wait guarded by a
+         single [if] — or by nothing — proceeds on a predicate that may
+         no longer hold. Only ordered_mutex.ml itself is exempt (it
+         defines the delegating wrapper).
 
    Per-site suppression: a comment [(* lsm-lint: allow R2 — reason *)]
    on the line of (or the line before) the finding. The reason is
@@ -37,7 +43,7 @@
 
 type finding = { file : string; line : int; rule : string; msg : string }
 
-let all_rules = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ]
+let all_rules = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8" ]
 
 (* Files allowed to touch raw mutexes: the blessed combinator itself. *)
 let r1_exempt = [ "ordered_mutex.ml" ]
@@ -59,6 +65,10 @@ let r6_exempt = [ "domain_pool.ml" ]
    failure is an internal algorithmic invariant (can't happen on any
    input), not an error condition a caller could meaningfully type. *)
 let r7_exempt = [ "xor_filter.ml" ]
+
+(* The module defining the blessed wait wrapper: its own
+   [Condition.wait] is a one-line delegation, not a wait site. *)
+let r8_exempt = [ "ordered_mutex.ml" ]
 
 let compare_finding a b =
   match String.compare a.file b.file with
@@ -300,6 +310,25 @@ let check_r7 ctx e =
       | _ -> ())
     | _ -> ()
 
+(* R8: a condition wait whose enclosing syntax is not a while-loop body.
+   [in_while] counts enclosing [Pexp_while] bodies (maintained by
+   [lint_structure]); waits in the loop *condition* do not count —
+   `while Condition.wait ... do () done` re-checks nothing. *)
+let check_r8 ctx ~in_while e =
+  if ctx.active "R8" && not (List.mem ctx.base r8_exempt) && in_while = 0 then begin
+    let path = head_ident e in
+    let len = List.length path in
+    if
+      len >= 2
+      && last_comp path = "wait"
+      && List.mem (List.nth path (len - 2)) [ "Condition"; "Ordered_mutex" ]
+    then
+      emit ctx "R8" (line_of e)
+        (Printf.sprintf
+           "%s outside a while-predicate loop: spurious wakeups and stolen signals require re-checking the predicate (while not (pred) do wait done)"
+           (String.concat "." path))
+  end
+
 let check_r2_ident ctx e =
   let path = head_ident e in
   if path <> [] then begin
@@ -395,11 +424,13 @@ let check_r5_binding ctx vb =
 
 let lint_structure ctx (str : structure) =
   let in_lock = ref 0 in
+  let in_while = ref 0 in
   let expr it e =
     check_r1 ctx e;
     check_r4_magic ctx e;
     check_r6 ctx e;
     check_r7 ctx e;
+    check_r8 ctx ~in_while:!in_while e;
     if ctx.active "R2" && List.mem ctx.base r2_cache_modules && !in_lock > 0 then
       check_r2_ident ctx e;
     match e.pexp_desc with
@@ -412,6 +443,11 @@ let lint_structure ctx (str : structure) =
         decr in_lock
       end
       else List.iter (fun (_, a) -> it.Ast_iterator.expr it a) args
+    | Pexp_while (cond, body) ->
+      it.Ast_iterator.expr it cond;
+      incr in_while;
+      it.Ast_iterator.expr it body;
+      decr in_while
     | _ -> Ast_iterator.default_iterator.expr it e
   in
   let structure_item it si =
