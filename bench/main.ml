@@ -5,27 +5,29 @@
    dune exec bench/main.exe -- --micro   - Bechamel microbenchmarks
    dune exec bench/main.exe -- --parallel - parallel-compaction bench (JSON)
    dune exec bench/main.exe -- --stall   - write-stall bench, inline vs background (JSON)
+   dune exec bench/main.exe -- --server  - sharded front-door closed-loop bench (JSON)
    dune exec bench/main.exe -- --crash   - crash-recovery fault-injection smoke
    dune exec bench/main.exe -- --corruption - silent-corruption bit-rot smoke
    dune exec bench/main.exe -- --list    - list experiments *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse only micro list_only par stall crash rot = function
-    | [] -> (only, micro, list_only, par, stall, crash, rot)
-    | "--micro" :: rest -> parse only true list_only par stall crash rot rest
-    | "--parallel" :: rest -> parse only micro list_only true stall crash rot rest
-    | "--stall" :: rest -> parse only micro list_only par true crash rot rest
-    | "--crash" :: rest -> parse only micro list_only par stall true rot rest
-    | "--corruption" :: rest -> parse only micro list_only par stall crash true rest
-    | "--list" :: rest -> parse only micro true par stall crash rot rest
-    | "--only" :: id :: rest -> parse (id :: only) micro list_only par stall crash rot rest
+  let rec parse only micro list_only par stall crash rot srv = function
+    | [] -> (only, micro, list_only, par, stall, crash, rot, srv)
+    | "--micro" :: rest -> parse only true list_only par stall crash rot srv rest
+    | "--parallel" :: rest -> parse only micro list_only true stall crash rot srv rest
+    | "--stall" :: rest -> parse only micro list_only par true crash rot srv rest
+    | "--crash" :: rest -> parse only micro list_only par stall true rot srv rest
+    | "--corruption" :: rest -> parse only micro list_only par stall crash true srv rest
+    | "--server" :: rest -> parse only micro list_only par stall crash rot true rest
+    | "--list" :: rest -> parse only micro true par stall crash rot srv rest
+    | "--only" :: id :: rest -> parse (id :: only) micro list_only par stall crash rot srv rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
       exit 2
   in
-  let only, micro, list_only, par, stall, crash, rot =
-    parse [] false false false false false false args
+  let only, micro, list_only, par, stall, crash, rot, srv =
+    parse [] false false false false false false false args
   in
   if crash then begin
     Crash_smoke.run ();
@@ -41,6 +43,10 @@ let () =
   end;
   if stall then begin
     Stall.run ();
+    exit 0
+  end;
+  if srv then begin
+    Server_bench.run ();
     exit 0
   end;
   if list_only then begin

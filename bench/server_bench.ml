@@ -1,0 +1,155 @@
+(* Serving front-door benchmark: the closed-loop simulator drives an
+   in-process sharded server over a Unix socket — 240 connections,
+   zipfian tenant and key skew, the mixed point/group workload — and
+   reports end-to-end request latency percentiles, throughput, and the
+   per-shard backpressure counters as JSON (BENCH_server.json).
+
+   This measures the request path the paper's serving sections care
+   about: RESP framing, per-connection pipelining, hash partitioning
+   across shard engines, the multi_get/batch fan-out, and the engines'
+   own flush/compaction backpressure — not just raw engine puts. The
+   simulator's exact acked-write model runs the whole time, so the
+   numbers come with a correctness bill attached: the run is only
+   reportable with zero model violations and zero torn group reads
+   (both recorded in the JSON; the CI gate asserts them). Client and
+   server share one domain (the server is a select reactor stepped by
+   the driver's pump), so latency includes scheduling interleave — the
+   shard engines' background lanes are where the domains are. *)
+
+open Common
+
+let connections = 240
+let tenants = 16
+let keys_per_client = 64
+let value_size = 256
+let total_ops = 60_000
+let mget_group = 8
+let theta = 0.99
+let seed = 97
+let reconnect_every = 120
+let shards = 4
+let workers = 2
+let fanout = 2
+
+module Server = Lsm_server.Server
+module Shard_map = Lsm_server.Shard_map
+module Server_harness = Lsm_workload.Server_harness
+
+let run () =
+  banner "SRV" "sharded server front door: 240-connection zipfian closed loop"
+    "the RESP front door sustains pipelined multi-tenant load across hash-partitioned \
+     shard engines with exact acked-write semantics; per-shard backpressure shows up as \
+     tail latency, not lost or torn reads";
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lsm-bench-%d.sock" (Unix.getpid ()))
+  in
+  let config =
+    {
+      (bench_config ~buffer:(64 * 1024) ~l1:(512 * 1024) ~file:(32 * 1024)
+         ~cache:(8 lsl 20) ())
+      with
+      compaction_backend = Lsm_core.Config.Background;
+      compaction_workers = workers;
+      compaction_parallelism = workers;
+      wal_enabled = false;
+    }
+  in
+  let map = Shard_map.open_shards ~config ~fanout_workers:fanout ~count:shards ~mode:`Memory () in
+  (* The whole fleet connects at once; the accept queue must hold it. *)
+  let server = Server.create ~backlog:(2 * connections) ~shards:map ~sock_path:sock () in
+  let report =
+    Server_harness.run
+      {
+        Server_harness.sock_path = sock;
+        connections;
+        tenants;
+        keys_per_client;
+        value_size;
+        total_ops;
+        mget_group;
+        theta;
+        seed;
+        reconnect_every;
+        pump = (fun () -> ignore (Server.step server ~timeout:0.0));
+      }
+  in
+  (* Drain gracefully so the shard engines' counters are final. *)
+  Server.request_shutdown server;
+  while Server.step server ~timeout:0.01 do
+    ()
+  done;
+  let sstats = Server.stats server in
+  let shard_rows =
+    List.init shards (fun i ->
+        let st = Db.stats (Shard_map.db map i) in
+        (i, st.Stats.write_stalls, st.Stats.write_slowdowns, st.Stats.write_stops,
+         st.Stats.flushes, st.Stats.compactions))
+  in
+  Shard_map.close_all map;
+  let lat = report.Server_harness.latency in
+  let us p = float_of_int (Histogram.percentile lat p) /. 1e3 in
+  table
+    [ "conns"; "ops"; "ops/s"; "p50_us"; "p99_us"; "p999_us"; "violations"; "torn";
+      "errors"; "reconnects"; "verified" ]
+    [
+      [ i0 connections; i0 report.Server_harness.ops_done;
+        f1 report.Server_harness.ops_per_sec; f1 (us 50.0); f1 (us 99.0); f1 (us 99.9);
+        i0 report.Server_harness.model_violations; i0 report.Server_harness.torn_mgets;
+        i0 report.Server_harness.server_errors; i0 report.Server_harness.reconnects;
+        i0 report.Server_harness.verified_keys ];
+    ];
+  table
+    [ "shard"; "stalls"; "slowdowns"; "stops"; "flushes"; "compactions" ]
+    (List.map
+       (fun (i, stalls, slow, stops, fl, cmp) ->
+         [ i0 i; i0 stalls; i0 slow; i0 stops; i0 fl; i0 cmp ])
+       shard_rows);
+  let shard_json =
+    String.concat ",\n"
+      (List.map
+         (fun (i, stalls, slow, stops, fl, cmp) ->
+           Printf.sprintf
+             "    {\"shard\": %d, \"write_stalls\": %d, \"write_slowdowns\": %d, \
+              \"write_stops\": %d, \"flushes\": %d, \"compactions\": %d}"
+             i stalls slow stops fl cmp)
+         shard_rows)
+  in
+  let json =
+    Printf.sprintf
+      "{\n  \"benchmark\": \"server\",\n  \"connections\": %d,\n  \"tenants\": %d,\n  \
+       \"keys_per_client\": %d,\n  \"value_size\": %d,\n  \"total_ops\": %d,\n  \
+       \"mget_group\": %d,\n  \"zipf_theta\": %.2f,\n  \"seed\": %d,\n  \
+       \"shards\": %d,\n  \"compaction_workers\": %d,\n  \"fanout_workers\": %d,\n  \
+       \"ops_done\": %d,\n  \"writes_acked\": %d,\n  \"reads\": %d,\n  \
+       \"wall_s\": %.3f,\n  \"ops_per_sec\": %.1f,\n  \
+       \"request_latency_us\": {\"p50\": %.1f, \"p99\": %.1f, \"p999\": %.1f, \"max\": %.1f},\n  \
+       \"model_violations\": %d,\n  \"torn_mgets\": %d,\n  \"server_errors\": %d,\n  \
+       \"quota_denials\": %d,\n  \"reconnects\": %d,\n  \"verified_keys\": %d,\n  \
+       \"server_commands\": %d,\n  \"server_bytes_in\": %d,\n  \"server_bytes_out\": %d,\n  \
+       \"shards_detail\": [\n%s\n  ]\n}\n"
+      connections tenants keys_per_client value_size total_ops mget_group theta seed
+      shards workers fanout report.Server_harness.ops_done
+      report.Server_harness.writes_acked report.Server_harness.reads
+      report.Server_harness.wall_s report.Server_harness.ops_per_sec (us 50.0) (us 99.0)
+      (us 99.9)
+      (float_of_int (Histogram.max_value lat) /. 1e3)
+      report.Server_harness.model_violations report.Server_harness.torn_mgets
+      report.Server_harness.server_errors report.Server_harness.quota_denials
+      report.Server_harness.reconnects report.Server_harness.verified_keys
+      sstats.Server.commands sstats.Server.bytes_in sstats.Server.bytes_out shard_json
+  in
+  let oc = open_out "BENCH_server.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "\n%d connections, %d ops: %.0f ops/s, p99 %.0fus, p999 %.0fus; \
+     %d model violations, %d torn group reads\n"
+    connections report.Server_harness.ops_done report.Server_harness.ops_per_sec (us 99.0)
+    (us 99.9) report.Server_harness.model_violations report.Server_harness.torn_mgets;
+  if report.Server_harness.model_violations > 0 || report.Server_harness.torn_mgets > 0
+  then begin
+    print_endline "CORRECTNESS FAILURE: acked writes lost or group reads torn";
+    exit 1
+  end;
+  print_endline "wrote BENCH_server.json"

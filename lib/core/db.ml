@@ -67,8 +67,26 @@ type t = {
           range-deleted keys) *)
   mutable manifest : Manifest.t;
   mutable seqno : int;
-  mutable clock : int;
+      (** last {e allocated} sequence number — may run ahead of what the
+          memtable holds while a write/batch is mid-insert *)
+  visible_seqno : int Atomic.t;
+      (** last {e published} sequence number: every entry at or below it
+          is fully inserted in the memtable stack. The writer stores it
+          after the memtable insert(s) of a write/batch complete, so a
+          reader that captures it as its read ceiling can never observe
+          a half-applied batch (the atomic store/load pair also orders
+          the plain memtable writes before the reader's traversal). *)
+  clock : int Atomic.t;
+      (** logical clock, ticked by every operation including concurrent
+          readers — a plain read-modify-write here loses ticks under
+          [multi_get]/[get] from several domains, starving TTL-based
+          compaction triggers *)
   mutable snapshots : int list;
+      (** live snapshot seqnos; guarded by [snap_mutex] — registration
+          from one domain must never be lost to a concurrent
+          register/release (a dropped registration lets compaction GC
+          versions the snapshot still needs) *)
+  snap_mutex : Ordered_mutex.t;  (** guards [snapshots] *)
   mutable next_file_id : int;
   mutable next_group : int;
   mutable wal_counter : int;
@@ -99,6 +117,13 @@ type t = {
 }
 
 let cmp_of t = t.cfg.Config.comparator
+
+(* The one blessed read of the snapshot registry: a consistent copy taken
+   under [snap_mutex]. Flush/merge planning captures through here; a
+   registration that happened-before the capture is never missed, which
+   is what keeps merge-time GC from dropping versions a live snapshot
+   still needs. (The list itself is immutable — only the field mutates.) *)
+let live_snapshots t = Ordered_mutex.with_lock t.snap_mutex (fun () -> t.snapshots)
 
 (* ------------------------------------------------------------------ *)
 (* Health & quarantine                                                 *)
@@ -320,7 +345,7 @@ let write_run t ~cls ~filter_bits_override src =
     let props =
       Sstable.build
         ~config:(build_config t ~filter_bits_override)
-        ~cmp:(cmp_of t) ~dev:t.dev ~cls ~name ~created_at:t.clock part
+        ~cmp:(cmp_of t) ~dev:t.dev ~cls ~name ~created_at:(Atomic.get t.clock) part
     in
     let size = Device.size t.dev name in
     metas := Table_meta.of_props ~file_id ~file_name:name ~size props :: !metas
@@ -358,9 +383,13 @@ let buffers t =
    runs only in commit order, so [t.next_group] stays single-threaded). *)
 let flush_execute t buffer =
   let it = Memtable.iterator buffer.mt in
-  (* Flush-time GC: drop same-stripe shadowed versions (never the bottom). *)
+  (* Flush-time GC: drop same-stripe shadowed versions (never the bottom).
+     The snapshot list is captured under its mutex: a snapshot registered
+     after this point has a seqno at or above every seqno in the frozen
+     buffer, so it only needs each key's newest version — which the
+     filter always keeps. *)
   let filtered =
-    Merge_filter.filtered ~cmp:(cmp_of t) ~snapshots:t.snapshots ~bottom:false
+    Merge_filter.filtered ~cmp:(cmp_of t) ~snapshots:(live_snapshots t) ~bottom:false
       ~range_tombstones:(Memtable.range_tombstones buffer.mt)
       it
   in
@@ -456,7 +485,8 @@ let pick_compaction t =
                 | _ -> None
               in
               let candidates =
-                Picker.annotate ~cmp:(cmp_of t) ~now:t.clock ~ttl ~next_level:next_files files
+                Picker.annotate ~cmp:(cmp_of t) ~now:(Atomic.get t.clock) ~ttl
+                  ~next_level:next_files files
               in
               let cursor = Hashtbl.find_opt t.rr_cursors l in
               match Picker.pick policy.Policy.movement ~cursor candidates with
@@ -478,7 +508,7 @@ let pick_compaction t =
                    (fun (f : Table_meta.t) ->
                      if
                        f.point_tombstones + f.range_tombstones > 0
-                       && t.clock - f.created_at > ttl
+                       && Atomic.get t.clock - f.created_at > ttl
                        && l >= 1
                      then begin
                        job := Some (J_file (l, f));
@@ -486,7 +516,7 @@ let pick_compaction t =
                      end
                      else if
                        f.point_tombstones + f.range_tombstones > 0
-                       && t.clock - f.created_at > ttl
+                       && Atomic.get t.clock - f.created_at > ttl
                        && l = 0
                      then begin
                        job := Some J_level0;
@@ -627,6 +657,12 @@ type merge_plan = {
   mp_target_group : int;
   mp_bottom : bool;
   mp_bits : float option;
+  mp_snapshots : int list;
+      (** live-snapshot seqnos captured (under [snap_mutex]) at plan
+          time; the execute phase filters against exactly this list. A
+          snapshot taken after planning has a seqno at or above every
+          seqno in the captured inputs, so it only needs each key's
+          newest input version, which [Merge_filter] always retains. *)
 }
 
 let plan_merge t ~input_runs ~extra_removed ~target_level ~target_group ~bottom =
@@ -642,6 +678,7 @@ let plan_merge t ~input_runs ~extra_removed ~target_level ~target_group ~bottom 
     mp_target_group = target_group;
     mp_bottom = bottom;
     mp_bits = monkey_bits t ~target_level ~incoming_entries:input_entries;
+    mp_snapshots = live_snapshots t;
   }
 
 let merge_execute t (p : merge_plan) =
@@ -691,7 +728,7 @@ let merge_execute t (p : merge_plan) =
            input_runs)
     in
     let filtered =
-      Merge_filter.filtered ~cmp:(cmp_of t) ~snapshots:t.snapshots ~bottom
+      Merge_filter.filtered ~cmp:(cmp_of t) ~snapshots:p.mp_snapshots ~bottom
         ~range_tombstones:rds merged
     in
     write_run t ~cls:Io_stats.C_compaction_write ~filter_bits_override:bits filtered
@@ -1133,11 +1170,16 @@ let after_memtable_add t ~throttle =
 let write t (e : Entry.t) =
   check_writable t;
   let t0 = now_ns () in
-  t.clock <- t.clock + 1;
+  ignore (Atomic.fetch_and_add t.clock 1);
   (match t.active.wal with
   | Some w -> Wal.append w ~sync:t.cfg.Config.wal_sync_every_write [ e ]
   | None -> ());
   Memtable.add t.active.mt e;
+  (* Publish only after the memtable insert: readers that observe this
+     ceiling are guaranteed to find the entry (SC atomics order the
+     plain insert before the store, and the reader's load before its
+     traversal). *)
+  Atomic.set t.visible_seqno e.Entry.seqno;
   after_memtable_add t ~throttle:true;
   Lsm_util.Histogram.add t.db_stats.Stats.write_latency_ns (now_ns () - t0)
 
@@ -1192,7 +1234,7 @@ let apply_batch t batch =
       List.map
         (fun (kind, key, value) ->
           let seqno = next_seqno t in
-          t.clock <- t.clock + 1;
+          ignore (Atomic.fetch_and_add t.clock 1);
           (match kind with
           | Entry.Put | Entry.Merge ->
             t.db_stats.Stats.user_puts <- t.db_stats.Stats.user_puts + 1
@@ -1207,6 +1249,10 @@ let apply_batch t batch =
     | Some w -> Wal.append w ~sync:t.cfg.Config.wal_sync_every_write entries
     | None -> ());
     List.iter (Memtable.add t.active.mt) entries;
+    (* The whole batch becomes visible at once: the ceiling moves only
+       after the last entry is inserted, so no reader can resolve part
+       of the batch without the rest (multi_get atomicity). *)
+    Atomic.set t.visible_seqno t.seqno;
     after_memtable_add t ~throttle:false;
     Lsm_util.Histogram.add t.db_stats.Stats.write_latency_ns (now_ns () - t0)
 
@@ -1216,7 +1262,7 @@ let apply_batch t batch =
 
 (* Highest-seqno visible range tombstone covering [key]. [active],
    [immutables], and [table_rds] are the caller's consistent snapshot
-   (see [lookup_value]). *)
+   (see [capture_read_ctx]). *)
 let covering_rd_seqno t ~active ~immutables ~table_rds ~snap key =
   let cmp = cmp_of t in
   let best = ref 0 in
@@ -1347,20 +1393,72 @@ let resolve_merge_chain t ~v ~active ~immutables ~snap ~rd_seq key =
     | Some f -> Some (f key base oldest_first)
     | None -> Some (List.hd (List.rev oldest_first)))
 
-(* The full read path for one key, minus clock/statistics bookkeeping:
-   shared by {!get} (record = true) and the pool domains of {!multi_get}
-   (record = false).
+(* One coherent view of the database, captured once and then used to
+   resolve any number of keys: the snapshot ceiling, the memtable stack,
+   and the installed version with its range tombstones. Every read API
+   resolves {e all} of its keys against a single capture — this is what
+   makes a {!multi_get} (either path) atomic with respect to a
+   concurrent {!apply_batch}: a per-key re-capture could observe the
+   batch half-applied across the returned list. *)
+type read_ctx = {
+  rc_snap : int;  (** highest visible seqno *)
+  rc_active : buffer_unit;
+  rc_immutables : buffer_unit list;
+  rc_version : Version.t;
+  rc_rds : (string * string * int) list;  (** table range tombstones of [rc_version] *)
+}
 
-   Snapshot order is load-bearing under a background flush: the memtable
-   stack is snapshotted (under the buffer lock) *before* [read_view] is
-   read, and the flush job installs the new view *before* popping the
-   buffer. So if the buffer is already gone from our snapshot, the view
-   we then read must contain its flushed table — entries can be seen
-   twice during the overlap (probe order dedupes) but never zero times.
-   The caller holds a version pin, keeping every file of [v] on disk. *)
-let lookup_value t ~snap ~record key =
-  let active, immutables = buffers t in
+(* Capture order is load-bearing twice over.
+
+   Ceiling and buffers together, under the buffer lock: [visible_seqno]
+   is published only after the whole write/batch is in the memtable, so
+   every entry at or below the ceiling is already fully inserted —
+   reading both in one critical section, a reader can never select a
+   seqno whose entry it cannot find, and can never see a batch's tail
+   without its head. The lock matters for the ceiling too, not just the
+   stack copy: flush-time GC keeps only each key's newest version (plus
+   registered-snapshot pins), so an implicit read point — which is
+   registered nowhere — is only safe while the buffers that resolve it
+   are still reachable. Reading the ceiling outside the lock opens a
+   stall window in which the buffer holding every entry at or below the
+   ceiling is flushed, GC'd down to versions above the ceiling, and
+   popped — leaving the context with no resolvable version of any key.
+   Pops take this same lock, so inside the critical section the stack
+   cannot retire under us; after it, our references keep the captured
+   memtables alive no matter what the maintenance lane does.
+
+   Buffers before view: the memtable stack is snapshotted *before*
+   [read_view] is read, and the flush job installs the new view *before*
+   popping the buffer. So if a buffer is already gone from our snapshot,
+   the view we then read must contain its flushed table — entries can be
+   seen twice during the overlap (probe order dedupes) but never zero
+   times. The caller holds a version pin, keeping every file of
+   [rc_version] on disk.
+
+   An explicit [snapshot] needs none of the ceiling choreography — its
+   seqno is protected from GC by the registry ([live_snapshots]) — but
+   shares the locked stack copy. *)
+let capture_read_ctx t ?snapshot () =
+  let snap, active, immutables =
+    Ordered_mutex.with_lock t.buf_mutex (fun () ->
+        let snap =
+          match snapshot with
+          | Some s -> Snapshot.seqno s
+          | None -> Atomic.get t.visible_seqno
+        in
+        (snap, t.active, t.immutables))
+  in
   let v, table_rds = t.read_view in
+  { rc_snap = snap; rc_active = active; rc_immutables = immutables;
+    rc_version = v; rc_rds = table_rds }
+
+(* The full read path for one key against a captured context, minus
+   clock/statistics bookkeeping: shared by {!get} (record = true) and
+   both paths of {!multi_get} (record = false on pool domains — the
+   counters are not domain-safe; the caller aggregates instead). *)
+let lookup_in_ctx t ctx ~record key =
+  let { rc_snap = snap; rc_active = active; rc_immutables = immutables;
+        rc_version = v; rc_rds = table_rds } = ctx in
   let rd_seq = covering_rd_seqno t ~active ~immutables ~table_rds ~snap key in
   let newest =
     match Memtable.find active.mt ~max_seqno:snap key with
@@ -1392,11 +1490,13 @@ let lookup_value t ~snap ~record key =
 
 let get t ?snapshot key =
   check_open t;
-  t.clock <- t.clock + 1;
+  ignore (Atomic.fetch_and_add t.clock 1);
   t.db_stats.Stats.user_gets <- t.db_stats.Stats.user_gets + 1;
-  let snap = match snapshot with Some s -> Snapshot.seqno s | None -> max_int in
   let probes_before = t.db_stats.Stats.runs_probed in
-  let result = with_pin t (fun () -> lookup_value t ~snap ~record:true key) in
+  let result =
+    with_pin t (fun () ->
+        lookup_in_ctx t (capture_read_ctx t ?snapshot ()) ~record:true key)
+  in
   Lsm_util.Histogram.add t.db_stats.Stats.get_run_probes
     (t.db_stats.Stats.runs_probed - probes_before);
   if result <> None then t.db_stats.Stats.gets_found <- t.db_stats.Stats.gets_found + 1;
@@ -1421,30 +1521,35 @@ let chunk_list n xs =
 
 let multi_get t ?snapshot keys =
   check_open t;
-  t.clock <- t.clock + 1;
-  let snap = match snapshot with Some s -> Snapshot.seqno s | None -> max_int in
-  match t.pool with
-  | Some pool when Domain_pool.size pool > 1 && List.length keys > 1 ->
-    (* One chunk per worker: the per-task overhead (queue lock, future
-       wakeup) amortizes over the chunk, and results concatenate back in
-       input order. Reads are pure — all statistics except the get count
-       are accounted here, on the calling domain. *)
-    let chunks = chunk_list (Domain_pool.size pool) keys in
-    let results =
-      (* One pin covers the whole fan-out: taken on the calling domain,
-         held until every chunk has settled. *)
-      with_pin t (fun () ->
+  ignore (Atomic.fetch_and_add t.clock 1);
+  let results =
+    (* One pin and ONE captured context cover the whole batch, on either
+       path — every key resolves against the same snapshot ceiling,
+       memtable stack, and version, so the result list is a point-in-time
+       cut (a concurrent [apply_batch] is all-there or all-absent, never
+       half). The pin is taken on the calling domain and held until every
+       chunk has settled. *)
+    with_pin t (fun () ->
+        let ctx = capture_read_ctx t ?snapshot () in
+        match t.pool with
+        | Some pool when Domain_pool.size pool > 1 && List.length keys > 1 ->
+          (* One chunk per worker: the per-task overhead (queue lock,
+             future wakeup) amortizes over the chunk, and results
+             concatenate back in input order. Reads are pure — all
+             statistics except probe counters are accounted below, on the
+             calling domain. *)
+          let chunks = chunk_list (Domain_pool.size pool) keys in
           List.concat
             (Domain_pool.map_list pool
-               (fun chunk -> List.map (fun key -> lookup_value t ~snap ~record:false key) chunk)
-               chunks))
-    in
-    let n = List.length keys in
-    t.db_stats.Stats.user_gets <- t.db_stats.Stats.user_gets + n;
-    let found = List.fold_left (fun a r -> if r <> None then a + 1 else a) 0 results in
-    t.db_stats.Stats.gets_found <- t.db_stats.Stats.gets_found + found;
-    results
-  | _ -> List.map (fun key -> get t ?snapshot key) keys
+               (fun chunk -> List.map (fun key -> lookup_in_ctx t ctx ~record:false key) chunk)
+               chunks)
+        | _ -> List.map (fun key -> lookup_in_ctx t ctx ~record:false key) keys)
+  in
+  let n = List.length keys in
+  t.db_stats.Stats.user_gets <- t.db_stats.Stats.user_gets + n;
+  let found = List.fold_left (fun a r -> if r <> None then a + 1 else a) 0 results in
+  t.db_stats.Stats.gets_found <- t.db_stats.Stats.gets_found + found;
+  results
 
 (* ---------------- scan ---------------- *)
 
@@ -1467,15 +1572,16 @@ let scan_rds t ~active ~immutables ~table_rds ~snap ~lo ~hi =
 
 let fold t ?snapshot ?(limit = max_int) ~lo ~hi ~init ~f () =
   check_open t;
-  t.clock <- t.clock + 1;
+  ignore (Atomic.fetch_and_add t.clock 1);
   t.db_stats.Stats.user_scans <- t.db_stats.Stats.user_scans + 1;
   let cmp = cmp_of t in
-  let snap = match snapshot with Some s -> Snapshot.seqno s | None -> max_int in
   with_pin t @@ fun () ->
-  (* Same snapshot discipline as [lookup_value]: buffers first, view
-     second, one read each. *)
-  let active, immutables = buffers t in
-  let v, table_rds = t.read_view in
+  (* Same capture discipline as [get]/[multi_get]: ceiling first, then
+     buffers, then view, one read each. *)
+  let { rc_snap = snap; rc_active = active; rc_immutables = immutables;
+        rc_version = v; rc_rds = table_rds } =
+    capture_read_ctx t ?snapshot ()
+  in
   let rds = scan_rds t ~active ~immutables ~table_rds ~snap ~lo ~hi in
   let rd_covering key seqno =
     List.exists
@@ -1572,17 +1678,28 @@ let scan t ?snapshot ?limit ~lo ~hi () =
 (* Snapshots                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Registration and release are read-modify-writes on the registry list;
+   unsynchronized, two concurrent calls lose one of the updates — and a
+   lost registration means merge-time GC no longer knows the snapshot
+   exists. Both run under [snap_mutex] (rank [db_snapshots]; no other
+   lock is ever taken inside).
+
+   The snapshot pins [visible_seqno], not [seqno]: the allocation
+   counter may run ahead of the memtable mid-batch, and a snapshot at
+   such a seqno would read a half-applied batch. *)
 let snapshot t =
-  let s = Snapshot.make t.seqno in
-  t.snapshots <- Snapshot.seqno s :: t.snapshots;
-  s
+  check_open t;
+  Ordered_mutex.with_lock t.snap_mutex (fun () ->
+      let s = Snapshot.make (Atomic.get t.visible_seqno) in
+      t.snapshots <- Snapshot.seqno s :: t.snapshots;
+      s)
 
 let release t s =
   let rec remove_one = function
     | [] -> []
     | x :: rest -> if x = Snapshot.seqno s then rest else x :: remove_one rest
   in
-  t.snapshots <- remove_one t.snapshots
+  Ordered_mutex.with_lock t.snap_mutex (fun () -> t.snapshots <- remove_one t.snapshots)
 
 (* ------------------------------------------------------------------ *)
 (* Maintenance & introspection                                         *)
@@ -1781,8 +1898,11 @@ let open_db ?(config = Config.default) ~dev () =
       read_view = (Version.empty, []);
       manifest;
       seqno = recovered.Version.last_seqno;
-      clock = 0;
+      visible_seqno = Atomic.make recovered.Version.last_seqno;
+      clock = Atomic.make 0;
       snapshots = [];
+      snap_mutex =
+        Ordered_mutex.create ~rank:Ordered_mutex.Rank.db_snapshots ~name:"db.snapshots";
       next_file_id = recovered.Version.next_file_id;
       next_group = recovered.Version.next_group;
       wal_counter = 0;
@@ -1880,6 +2000,7 @@ let open_db ?(config = Config.default) ~dev () =
   | None when batches <> [] -> flush t
   | _ -> ());
   List.iter (fun (_, name) -> Device.delete dev name) old_wals;
+  Atomic.set t.visible_seqno t.seqno;
   t
 
 let major_compact t =
@@ -1905,9 +2026,7 @@ let major_compact t =
   end;
   schedule_compactions t
 
-let wake t =
-  t.clock <- t.clock + 1;
-  t.clock
+let wake t = 1 + Atomic.fetch_and_add t.clock 1
 
 (* Wait until every queued background job has run (no-op inline);
    re-raises a background failure on this, the foreground, domain. *)
@@ -1984,7 +2103,7 @@ let io_stats t = Device.stats t.dev
 let version t = t.vers
 let block_cache t = t.cache
 let table_cache t = t.tables
-let tick t = t.clock
+let tick t = Atomic.get t.clock
 let last_seqno t = t.seqno
 
 (* Every on-disk entry with its level, in probe order (level ascending,

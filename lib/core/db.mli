@@ -63,12 +63,14 @@ val apply_batch : t -> Write_batch.t -> unit
 val get : t -> ?snapshot:Snapshot.t -> string -> string option
 
 val multi_get : t -> ?snapshot:Snapshot.t -> string list -> string option list
-(** Point-lookup fan-out: resolves every key against one coherent view of
-    the database, returning results in input order. With
+(** Point-lookup fan-out: resolves every key against ONE captured read
+    context — one snapshot ceiling, one memtable stack, one version — so
+    the result list is a point-in-time cut of the database on {e both}
+    execution paths. A concurrent {!apply_batch} is observed either
+    entirely or not at all, matching the batch's crash atomicity. With
     [Config.compaction_parallelism] > 1 the lookups are sharded across
-    the worker-domain pool; otherwise this is [List.map (get t)]. Must
-    not race writes on [t] (the engine is externally single-writer; the
-    parallelism here is internal). *)
+    the worker-domain pool; otherwise they resolve sequentially on the
+    calling domain (against the same single context). *)
 
 val scan :
   t -> ?snapshot:Snapshot.t -> ?limit:int -> lo:string -> hi:string option ->
@@ -85,7 +87,19 @@ val fold :
 (** {1 Snapshots} *)
 
 val snapshot : t -> Snapshot.t
+(** Pin the current visible state: reads through the returned handle see
+    exactly the entries published at this instant, until {!release}.
+    Registration is synchronized (a ranked [Ordered_mutex]) with the
+    flush/compaction planners that consult the registry, so a snapshot
+    taken from any domain is never lost to a concurrently planned merge. *)
+
 val release : t -> Snapshot.t -> unit
+(** Unregister one registration of the snapshot's seqno (idempotent per
+    registration; releasing twice only affects duplicate pins). *)
+
+val live_snapshots : t -> int list
+(** Consistent copy of the registered snapshot seqnos, newest first —
+    what flush/merge planning passes to the merge filter. Test hook. *)
 
 (** {1 Internal operations} *)
 

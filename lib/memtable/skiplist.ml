@@ -2,7 +2,18 @@
 
     Expected O(log n) insert and lookup, O(1) sorted-iterator creation.
     Ordered by [Entry.compare]: user key ascending, seqno descending, so
-    the first node matching a key is its newest version. *)
+    the first node matching a key is its newest version.
+
+    Forward pointers are [Atomic.t], RocksDB-InlineSkipList style: the
+    single writer initializes a new node's pointers {e before} linking
+    it (each link is a release store), so a reader racing the insert
+    either misses the node entirely or sees it fully wired — its onward
+    pointers never read as a stale [None] that would truncate the walk.
+    This is what lets {!Db.get}/{!Db.multi_get} run concurrently with
+    the one writer: entries at or below the reader's published-seqno
+    ceiling are always reachable, and in-flight entries above it are at
+    worst skipped, never corrupting the traversal. Still single-writer:
+    [add] is not safe to call from two domains. *)
 
 module Entry = Lsm_record.Entry
 module Iter = Lsm_record.Iter
@@ -15,7 +26,7 @@ let branching = 4
 
 type node = {
   nentry : Entry.t option;  (** [None] only for the head sentinel *)
-  forward : node option array;
+  forward : node option Atomic.t array;
 }
 
 type t = {
@@ -30,7 +41,7 @@ type t = {
 let create ~cmp () =
   {
     cmp;
-    head = { nentry = None; forward = Array.make max_level None };
+    head = { nentry = None; forward = Array.init max_level (fun _ -> Atomic.make None) };
     rng = Rng.create 0x5eed;
     level = 1;
     count = 0;
@@ -51,13 +62,13 @@ let find_greater_or_equal t cmp_fn ?update () =
   for lvl = t.level - 1 downto 0 do
     let continue = ref true in
     while !continue do
-      match !x.forward.(lvl) with
+      match Atomic.get !x.forward.(lvl) with
       | Some nxt when cmp_fn (entry_of nxt) < 0 -> x := nxt
       | _ -> continue := false
     done;
     match update with Some u -> u.(lvl) <- !x | None -> ()
   done;
-  !x.forward.(0)
+  Atomic.get !x.forward.(0)
 
 let add t e =
   let update = Array.make max_level t.head in
@@ -69,10 +80,15 @@ let add t e =
     done;
     t.level <- lvl
   end;
-  let node = { nentry = Some e; forward = Array.make lvl None } in
+  let node = { nentry = Some e; forward = Array.init lvl (fun _ -> Atomic.make None) } in
+  (* Wire the node fully, then link bottom-up: each link publishes (the
+     atomic store is a release) a node whose own pointers are already
+     set, so a concurrent reader never walks off a half-built node. *)
   for i = 0 to lvl - 1 do
-    node.forward.(i) <- update.(i).forward.(i);
-    update.(i).forward.(i) <- Some node
+    Atomic.set node.forward.(i) (Atomic.get update.(i).forward.(i))
+  done;
+  for i = 0 to lvl - 1 do
+    Atomic.set update.(i).forward.(i) (Some node)
   done;
   t.count <- t.count + 1;
   t.footprint <- t.footprint + Entry.footprint e
@@ -94,7 +110,7 @@ let find t ?(max_seqno = max_int) key =
       let e = entry_of n in
       if t.cmp.compare e.Entry.key key <> 0 then None
       else if e.Entry.seqno <= max_seqno && e.Entry.kind <> Entry.Range_delete then Some e
-      else walk n.forward.(0)
+      else walk (Atomic.get n.forward.(0))
   in
   walk (seek_node t key)
 
@@ -106,7 +122,7 @@ let iterator t =
   {
     Iter.valid = (fun () -> !cur <> None);
     entry = (fun () -> match !cur with Some n -> entry_of n | None -> invalid_arg "skiplist iter");
-    next = (fun () -> match !cur with Some n -> cur := n.forward.(0) | None -> ());
+    next = (fun () -> match !cur with Some n -> cur := Atomic.get n.forward.(0) | None -> ());
     seek = (fun target -> cur := seek_node t target);
-    seek_to_first = (fun () -> cur := t.head.forward.(0));
+    seek_to_first = (fun () -> cur := Atomic.get t.head.forward.(0));
   }

@@ -1,0 +1,72 @@
+(* Fixed-window tenant quotas. One hashtable entry per tenant seen;
+   windows roll lazily on the next [admit], so an idle tenant costs
+   nothing. All-or-nothing admission: a denied request charges zero,
+   keeping retry behavior predictable and batches atomic. *)
+
+type limits = { max_ops : int option; max_bytes : int option }
+
+let unlimited = { max_ops = None; max_bytes = None }
+
+type tenant_state = {
+  mutable limits : limits;
+  mutable window_start : float;
+  mutable used_ops : int;
+  mutable used_bytes : int;
+}
+
+type t = {
+  window_s : float;
+  default : limits;
+  tenants : (string, tenant_state) Hashtbl.t;
+}
+
+type denial = {
+  tenant : string;
+  dimension : [ `Ops | `Bytes ];
+  used : int;
+  requested : int;
+  limit : int;
+}
+
+let create ?(window_s = 1.0) ?(default = unlimited) () =
+  if window_s <= 0.0 then invalid_arg "Quota.create: window must be positive";
+  { window_s; default; tenants = Hashtbl.create 16 }
+
+let state t ~tenant ~now =
+  match Hashtbl.find_opt t.tenants tenant with
+  | Some s -> s
+  | None ->
+    let s = { limits = t.default; window_start = now; used_ops = 0; used_bytes = 0 } in
+    Hashtbl.add t.tenants tenant s;
+    s
+
+let set_limits t ~tenant limits =
+  (* [now] only matters for a brand-new entry, where zero usage makes any
+     window placement equivalent until the first [admit] rolls it. *)
+  (state t ~tenant ~now:0.0).limits <- limits
+
+let admit t ~tenant ~now ~ops ~bytes =
+  let s = state t ~tenant ~now in
+  if now -. s.window_start >= t.window_s then begin
+    s.window_start <- now;
+    s.used_ops <- 0;
+    s.used_bytes <- 0
+  end;
+  let deny dimension used requested limit =
+    Error { tenant; dimension; used; requested; limit }
+  in
+  let over lim used req = match lim with Some l -> used + req > l | None -> false in
+  if over s.limits.max_ops s.used_ops ops then
+    deny `Ops s.used_ops ops (Option.get s.limits.max_ops)
+  else if over s.limits.max_bytes s.used_bytes bytes then
+    deny `Bytes s.used_bytes bytes (Option.get s.limits.max_bytes)
+  else begin
+    s.used_ops <- s.used_ops + ops;
+    s.used_bytes <- s.used_bytes + bytes;
+    Ok ()
+  end
+
+let describe d =
+  Printf.sprintf "tenant %s over %s quota: used %d + requested %d > limit %d" d.tenant
+    (match d.dimension with `Ops -> "ops" | `Bytes -> "byte")
+    d.used d.requested d.limit

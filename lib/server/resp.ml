@@ -1,0 +1,178 @@
+(* RESP2 framing. Incremental by construction: every parser either
+   consumes a whole frame or returns [None] ("need more bytes") without
+   side effects, so the caller can retry with a longer buffer. Malformed
+   bytes — as opposed to merely short — raise {!Malformed}; the server
+   treats that as connection-fatal, matching Redis.
+
+   Length headers are bounded by [max_bulk_len] before any allocation
+   happens: a hostile [$9999999999] costs the attacker a closed
+   connection, not the server a 10 GB buffer. *)
+
+exception Malformed of string
+
+let max_bulk_len = 64 * 1024 * 1024
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+(* ---------------- encoding ---------------- *)
+
+let encode_command args =
+  let b = Buffer.create 64 in
+  Buffer.add_char b '*';
+  Buffer.add_string b (string_of_int (List.length args));
+  Buffer.add_string b "\r\n";
+  List.iter
+    (fun a ->
+      Buffer.add_char b '$';
+      Buffer.add_string b (string_of_int (String.length a));
+      Buffer.add_string b "\r\n";
+      Buffer.add_string b a;
+      Buffer.add_string b "\r\n")
+    args;
+  Buffer.contents b
+
+type reply =
+  | Simple of string
+  | Error of string
+  | Int of int
+  | Bulk of string
+  | Nil
+  | Array of reply list
+
+let rec add_reply b = function
+  | Simple s ->
+    Buffer.add_char b '+';
+    Buffer.add_string b s;
+    Buffer.add_string b "\r\n"
+  | Error s ->
+    Buffer.add_char b '-';
+    Buffer.add_string b s;
+    Buffer.add_string b "\r\n"
+  | Int n ->
+    Buffer.add_char b ':';
+    Buffer.add_string b (string_of_int n);
+    Buffer.add_string b "\r\n"
+  | Bulk s ->
+    Buffer.add_char b '$';
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_string b "\r\n";
+    Buffer.add_string b s;
+    Buffer.add_string b "\r\n"
+  | Nil -> Buffer.add_string b "$-1\r\n"
+  | Array rs ->
+    Buffer.add_char b '*';
+    Buffer.add_string b (string_of_int (List.length rs));
+    Buffer.add_string b "\r\n";
+    List.iter (add_reply b) rs
+
+let encode_reply r =
+  let b = Buffer.create 64 in
+  add_reply b r;
+  Buffer.contents b
+
+(* ---------------- decoding ---------------- *)
+
+(* Find "\r\n" starting at [pos]; the line body is [pos, i). *)
+let find_crlf buf ~pos ~len =
+  let rec go i =
+    if i + 1 >= len then None
+    else if Bytes.get buf i = '\r' then
+      if Bytes.get buf (i + 1) = '\n' then Some i
+      else malformed "bare CR in frame header"
+    else go (i + 1)
+  in
+  go pos
+
+(* Decode a decimal integer line (sign allowed) ending in CRLF. *)
+let parse_int_line buf ~pos ~len =
+  match find_crlf buf ~pos ~len with
+  | None -> None
+  | Some stop ->
+    if stop = pos then malformed "empty length header";
+    let neg = Bytes.get buf pos = '-' in
+    let start = if neg then pos + 1 else pos in
+    if start = stop then malformed "sign with no digits";
+    let n = ref 0 in
+    for i = start to stop - 1 do
+      let c = Bytes.get buf i in
+      if c < '0' || c > '9' then malformed "non-digit %C in length header" c;
+      n := (!n * 10) + (Char.code c - Char.code '0');
+      if !n > max_bulk_len then malformed "length header exceeds %d" max_bulk_len
+    done;
+    Some ((if neg then - !n else !n), stop + 2)
+
+(* [$len\r\ndata\r\n] at [pos]. [$-1] maps to [None] payload. *)
+let parse_bulk buf ~pos ~len =
+  if pos >= len then None
+  else if Bytes.get buf pos <> '$' then
+    malformed "expected bulk string, got %C" (Bytes.get buf pos)
+  else
+    match parse_int_line buf ~pos:(pos + 1) ~len with
+    | None -> None
+    | Some (-1, pos') -> Some (None, pos')
+    | Some (n, _) when n < 0 -> malformed "negative bulk length %d" n
+    | Some (n, pos') ->
+      if pos' + n + 2 > len then None
+      else if Bytes.get buf (pos' + n) <> '\r' || Bytes.get buf (pos' + n + 1) <> '\n' then
+        malformed "bulk payload not CRLF-terminated"
+      else Some (Some (Bytes.sub_string buf pos' n), pos' + n + 2)
+
+let parse_command buf ~pos ~len =
+  if pos >= len then None
+  else if Bytes.get buf pos <> '*' then
+    malformed "expected array, got %C" (Bytes.get buf pos)
+  else
+    match parse_int_line buf ~pos:(pos + 1) ~len with
+    | None -> None
+    | Some (n, _) when n <= 0 -> malformed "command arity %d" n
+    | Some (n, pos') ->
+      let rec go k pos acc =
+        if k = 0 then Some (List.rev acc, pos)
+        else
+          match parse_bulk buf ~pos ~len with
+          | None -> None
+          | Some (None, _) -> malformed "nil bulk inside command"
+          | Some (Some s, pos') -> go (k - 1) pos' (s :: acc)
+      in
+      go n pos' []
+
+let rec parse_reply buf ~pos ~len =
+  if pos >= len then None
+  else
+    match Bytes.get buf pos with
+    | '+' | '-' -> (
+      match find_crlf buf ~pos:(pos + 1) ~len with
+      | None -> None
+      | Some stop ->
+        let s = Bytes.sub_string buf (pos + 1) (stop - pos - 1) in
+        Some ((if Bytes.get buf pos = '+' then Simple s else Error s), stop + 2))
+    | ':' -> (
+      match parse_int_line buf ~pos:(pos + 1) ~len with
+      | None -> None
+      | Some (n, pos') -> Some (Int n, pos'))
+    | '$' -> (
+      match parse_bulk buf ~pos ~len with
+      | None -> None
+      | Some (None, pos') -> Some (Nil, pos')
+      | Some (Some s, pos') -> Some (Bulk s, pos'))
+    | '*' -> (
+      match parse_int_line buf ~pos:(pos + 1) ~len with
+      | None -> None
+      | Some (n, _) when n < 0 -> malformed "negative array arity %d" n
+      | Some (n, pos') ->
+        let rec go k pos acc =
+          if k = 0 then Some (Array (List.rev acc), pos)
+          else
+            match parse_reply buf ~pos ~len with
+            | None -> None
+            | Some (r, pos') -> go (k - 1) pos' (r :: acc)
+        in
+        go n pos' [])
+    | c -> malformed "unknown reply type byte %C" c
+
+let error_code = function
+  | Error s -> (
+    match String.index_opt s ' ' with
+    | Some i -> Some (String.sub s 0 i)
+    | None -> Some s)
+  | _ -> None

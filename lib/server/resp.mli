@@ -1,0 +1,49 @@
+(** RESP2 wire framing (the Redis serialization protocol, request subset).
+
+    Requests are arrays of bulk strings — [*N\r\n] followed by N
+    [$len\r\ndata\r\n] frames — and replies are the five RESP2 reply
+    kinds. The codec is allocation-light and incremental: parsers take a
+    buffer and an offset and either return the decoded value with the
+    offset one past its last byte, or report that more bytes are needed,
+    so a connection can accumulate partial frames across reads
+    (pipelining falls out for free: keep parsing until [Incomplete]).
+
+    Malformed input raises {!Malformed} — a protocol error, distinct
+    from short input, which is never an error. *)
+
+exception Malformed of string
+(** The bytes cannot be a RESP frame (bad type byte, non-numeric length,
+    missing CRLF, negative or oversized length). Connection-fatal. *)
+
+val max_bulk_len : int
+(** Upper bound accepted for any single bulk string or array arity
+    (defense against hostile [$9999999999] headers). *)
+
+(** {1 Requests — arrays of bulk strings} *)
+
+val encode_command : string list -> string
+(** Client side: [encode_command ["PUT"; k; v]] is the request frame. *)
+
+val parse_command : Bytes.t -> pos:int -> len:int -> (string list * int) option
+(** Server side: decode one command from [bytes[pos, len)]. [Some (args,
+    pos')] on a complete frame, [None] if more bytes are needed.
+    @raise Malformed on protocol errors. *)
+
+(** {1 Replies} *)
+
+type reply =
+  | Simple of string  (** [+OK\r\n] *)
+  | Error of string  (** [-CODE message\r\n]; the string is "CODE message" *)
+  | Int of int  (** [:n\r\n] *)
+  | Bulk of string  (** [$len\r\ndata\r\n] *)
+  | Nil  (** [$-1\r\n] — absent value *)
+  | Array of reply list  (** [*N\r\n] followed by N replies *)
+
+val encode_reply : reply -> string
+
+val parse_reply : Bytes.t -> pos:int -> len:int -> (reply * int) option
+(** Client side: decode one reply from [bytes[pos, len)]; same contract
+    as {!parse_command}. @raise Malformed on protocol errors. *)
+
+val error_code : reply -> string option
+(** [Some code] (the first word) when the reply is an [Error]. *)

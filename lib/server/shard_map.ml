@@ -1,0 +1,125 @@
+(* N hash-partitioned engines behind one map. Each shard is a full [Db]
+   — its own device (and so its own WAL and manifest when on disk, under
+   [root/shard-NNN/]), its own background lane membership, its own
+   backpressure. Keys route by [Hashing.string64] of the {e stored} key
+   (tenant prefix included), so one tenant's data spreads across every
+   shard and no shard is a tenant hotspot.
+
+   Tenancy is a key-namespace discipline, not a per-tenant tree: the
+   stored key is [tenant ^ "\x00" ^ user_key]. NUL is reserved as the
+   separator — tenants containing it are rejected at the door — which
+   keeps tenants prefix-disjoint under the default comparator (no
+   tenant's range scan can leak into another's).
+
+   Cross-shard fan-out (multi-get, grouped batch writes) runs on an
+   optional [Domain_pool] owned by the map, one task per shard; shard
+   configs keep [compaction_parallelism = 1] in the server so the only
+   pool in play is this one (no nested fan-out). Writes remain
+   single-writer {e per shard}: the map is driven by one server loop,
+   and a fan-out issues at most one task per shard. *)
+
+module Db = Lsm_core.Db
+module Config = Lsm_core.Config
+module Write_batch = Lsm_core.Write_batch
+module Device = Lsm_storage.Device
+module Hashing = Lsm_util.Hashing
+module Domain_pool = Lsm_util.Domain_pool
+
+type t = {
+  shards : Db.t array;
+  pool : Domain_pool.t option;  (** cross-shard fan-out; [None] = sequential *)
+}
+
+let tenant_sep = '\x00'
+
+let encode_key ~tenant key =
+  if String.contains tenant tenant_sep then
+    invalid_arg "Shard_map.encode_key: tenant contains NUL";
+  let b = Bytes.create (String.length tenant + 1 + String.length key) in
+  Bytes.blit_string tenant 0 b 0 (String.length tenant);
+  Bytes.set b (String.length tenant) tenant_sep;
+  Bytes.blit_string key 0 b (String.length tenant + 1) (String.length key);
+  Bytes.unsafe_to_string b
+
+let valid_tenant tenant = tenant <> "" && not (String.contains tenant tenant_sep)
+
+let open_shards ?(config = Config.default) ?(fanout_workers = 0) ~count ~mode () =
+  if count < 1 then invalid_arg "Shard_map.open_shards: count must be >= 1";
+  let shards =
+    Array.init count (fun i ->
+        let dev =
+          match mode with
+          | `Memory -> Device.in_memory ()
+          | `Disk root ->
+            let dir = Filename.concat root (Printf.sprintf "shard-%03d" i) in
+            (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            Device.on_disk ~dir ()
+        in
+        Db.open_db ~config ~dev ())
+  in
+  let pool =
+    if fanout_workers > 1 then Some (Domain_pool.create ~size:(min fanout_workers count))
+    else None
+  in
+  { shards; pool }
+
+let count t = Array.length t.shards
+let db t i = t.shards.(i)
+
+let shard_of_key t stored_key =
+  Int64.to_int
+    (Int64.rem
+       (Int64.logand (Hashing.string64 stored_key) Int64.max_int)
+       (Int64.of_int (Array.length t.shards)))
+
+(* Fan [f shard_index] across every listed shard; the pool path keeps
+   result order aligned with [idxs]. *)
+let over_shards t idxs f =
+  match t.pool with
+  | Some pool when List.length idxs > 1 -> Domain_pool.map_list pool f idxs
+  | _ -> List.map f idxs
+
+(* Point-lookup fan-out: group keys by shard (preserving each key's
+   input position), one [Db.multi_get] per touched shard — each shard's
+   batch resolves against one read context — then scatter results back
+   into input order. Cross-shard, the cut is per-shard, which is exactly
+   the atomicity {!apply_grouped} offers writes. *)
+let multi_get t stored_keys =
+  let n = List.length stored_keys in
+  let buckets = Array.make (Array.length t.shards) [] in
+  List.iteri
+    (fun i k ->
+      let s = shard_of_key t k in
+      buckets.(s) <- (i, k) :: buckets.(s))
+    stored_keys;
+  let touched =
+    Array.to_list (Array.mapi (fun s b -> (s, List.rev b)) buckets)
+    |> List.filter (fun (_, b) -> b <> [])
+  in
+  let out = Array.make n None in
+  let per_shard =
+    over_shards t touched (fun (s, pairs) ->
+        (pairs, Db.multi_get t.shards.(s) (List.map snd pairs)))
+  in
+  List.iter
+    (fun (pairs, results) ->
+      List.iter2 (fun (i, _) r -> out.(i) <- r) pairs results)
+    per_shard;
+  Array.to_list out
+
+(* Batch write fan-out: one [Write_batch] per touched shard, applied
+   with [Db.apply_batch] — atomic (and crash-atomic) within each shard.
+   The batches were grouped by the caller (the server) from one client
+   request, so per shard there is still exactly one writer. *)
+let apply_grouped t batches =
+  ignore
+    (over_shards t batches (fun (s, wb) ->
+         Db.apply_batch t.shards.(s) wb))
+
+let iter t f = Array.iteri f t.shards
+let flush_all t = Array.iter Db.flush t.shards
+let quiesce_all t = Array.iter Db.quiesce t.shards
+
+let close_all t =
+  Array.iter Db.close t.shards;
+  match t.pool with Some p -> Domain_pool.shutdown p | None -> ()

@@ -1,0 +1,59 @@
+(** N hash-partitioned {!Lsm_core.Db} shards behind one routing map.
+
+    Each shard is a complete engine with its own device — on disk, its
+    own WAL and manifest under [root/shard-NNN/] — so shards flush,
+    compact, and apply backpressure independently; the shared background
+    scheduler lane interleaves their jobs. Stored keys are
+    [tenant ^ "\x00" ^ key] (see {!encode_key}) and route to a shard by
+    hash of the full stored key.
+
+    Driven by a single server loop: reads may fan out internally, but
+    at most one writer touches a shard at a time. *)
+
+type t
+
+val open_shards :
+  ?config:Lsm_core.Config.t ->
+  ?fanout_workers:int ->
+  count:int ->
+  mode:[ `Memory | `Disk of string ] ->
+  unit ->
+  t
+(** Open [count] shards. [`Disk root] places each shard under
+    [root/shard-NNN/] (directories are created). [fanout_workers] > 1
+    enables a domain pool for cross-shard read/write fan-out (capped at
+    [count]); the default 0 keeps everything on the calling domain.
+    Shard configs should keep [compaction_parallelism = 1] — the map's
+    pool is the only fan-out layer. *)
+
+val count : t -> int
+val db : t -> int -> Lsm_core.Db.t  (** shard by index; test/stats hook *)
+
+val encode_key : tenant:string -> string -> string
+(** The stored form: [tenant ^ "\x00" ^ key]. Tenants are
+    prefix-disjoint under the default comparator.
+    @raise Invalid_argument if [tenant] contains NUL. *)
+
+val valid_tenant : string -> bool
+(** Non-empty and NUL-free. *)
+
+val shard_of_key : t -> string -> int
+(** Routing hash over the {e stored} key. *)
+
+val multi_get : t -> string list -> string option list
+(** Stored keys, any shards, results in input order. Each shard's subset
+    resolves against one read context ({!Lsm_core.Db.multi_get}); the
+    fan-out runs on the map's pool when present. *)
+
+val apply_grouped : t -> (int * Lsm_core.Write_batch.t) list -> unit
+(** Apply one pre-grouped batch per shard (indices from
+    {!shard_of_key}), fanned across the pool. Atomic per shard, not
+    across shards. *)
+
+val iter : t -> (int -> Lsm_core.Db.t -> unit) -> unit
+val flush_all : t -> unit
+val quiesce_all : t -> unit
+
+val close_all : t -> unit
+(** Close every shard and shut the fan-out pool down. Call
+    {!quiesce_all} first for a graceful drain. *)

@@ -18,6 +18,7 @@
 
 module Rank = struct
   let db_buffers = 8
+  let db_snapshots = 9
   let db = 10
   let version_pins = 12
   let table_cache = 20

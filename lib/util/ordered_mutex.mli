@@ -20,6 +20,11 @@ module Rank : sig
       backpressure condition. Outermost: held across no other lock
       except those below it. *)
 
+  val db_snapshots : int
+  (** [Db] snapshot registry — the list of live snapshot seqnos, mutated
+      by [Db.snapshot]/[Db.release] from any domain and copied by
+      flush/compaction planning. *)
+
   val db : int  (** [Db.id_mutex] — file-id allocation *)
 
   val version_pins : int

@@ -1,0 +1,417 @@
+(* Closed-loop client simulator for the serving front door.
+
+   One driver loop multiplexes hundreds of concurrent connections over
+   [select] — each client is a tiny state machine with at most one
+   request in flight (closed loop), so offered load self-regulates to
+   the server's service rate and the latency histogram measures real
+   request round trips, not queue-buildup artifacts.
+
+   Correctness model. Every client owns a {e private} slice of the key
+   space (key [c<id>-k<j>] is written only by client [id]); tenants are
+   drawn zipfian across clients, keys zipfian within the slice. Single
+   writer per key makes exact checking sound in the presence of server
+   concurrency: once a PUT/MSET is acked, the client's reference map is
+   the truth for those keys — the model is updated {e on ack}, not on
+   send, so the check matches exactly the guarantee the server gives —
+   and every later GET/MGET must return exactly the mapped value
+   ([model_violations] counts both lost acked writes and wrong values).
+   Group keys live in a separate per-client namespace ([c<id>-g<g>-k<j>])
+   written {e only} by whole-group MSETs with one uniform tag, so a
+   group-MGET must return a uniform result: a torn batch — some keys
+   new, some old — is counted separately ([torn_mgets]) even though it
+   also violates the model. (Point PUTs never touch group keys; mixing
+   them would make tag uniformity trivially false for a sequential
+   client.) After every [reconnect_every] acked writes
+   the client drops its connection, reconnects, re-binds its tenant,
+   and MGETs everything it ever wrote — the acked-write-survives-
+   reconnect check.
+
+   In-process servers (tests, bench) are driven by passing their
+   [Server.step] as [pump]; the driver calls it once per select round,
+   interleaving server and client work on one domain. Against an
+   external server process, [pump] is [ignore]. *)
+
+module Resp = Lsm_server.Resp
+module Histogram = Lsm_util.Histogram
+module Rng = Lsm_util.Rng
+module Zipf = Lsm_util.Zipf
+
+type config = {
+  sock_path : string;
+  connections : int;
+  tenants : int;
+  keys_per_client : int;
+  value_size : int;
+  total_ops : int;
+  mget_group : int;  (** keys per MSET/MGET group (torn-batch probe width) *)
+  theta : float;
+  seed : int;
+  reconnect_every : int;  (** acked writes between reconnect+verify cycles; 0 = never *)
+  pump : unit -> unit;
+}
+
+let default =
+  {
+    sock_path = "";
+    connections = 64;
+    tenants = 8;
+    keys_per_client = 64;
+    value_size = 128;
+    total_ops = 10_000;
+    mget_group = 8;
+    theta = 0.99;
+    seed = 7;
+    reconnect_every = 500;
+    pump = ignore;
+  }
+
+type report = {
+  ops_done : int;
+  writes_acked : int;  (** puts + per-key mset acks *)
+  reads : int;
+  model_violations : int;
+  torn_mgets : int;
+  quota_denials : int;
+  server_errors : int;
+  reconnects : int;
+  verified_keys : int;  (** keys re-checked across a reconnect *)
+  wall_s : float;
+  ops_per_sec : float;
+  latency : Histogram.t;  (** request round trip, nanoseconds *)
+}
+
+(* What the in-flight request was, and how to judge its reply. *)
+type expect =
+  | E_bind  (** TENANT — Simple OK, nothing else to do *)
+  | E_write of (string * string) list  (** PUT/MSET; apply to model on ack *)
+  | E_get of string
+  | E_mget of string list * [ `Group | `Verify ]
+
+type phase =
+  | Waiting of expect * int  (** request in flight since [t0] ns *)
+  | Idle  (** connected, bound, ready to issue *)
+  | Done
+
+type client = {
+  id : int;
+  tenant : string;
+  rng : Rng.t;
+  zipf : Zipf.t;
+  model : (string, string) Hashtbl.t;
+  mutable fd : Unix.file_descr option;
+  mutable phase : phase;
+  mutable inbuf : Bytes.t;
+  mutable in_len : int;
+  mutable outbuf : string;  (** unsent request bytes *)
+  mutable out_off : int;
+  mutable acked_writes : int;
+  mutable acked_since_reconnect : int;
+  mutable tag : int;  (** monotone per-client write tag *)
+}
+
+type totals = {
+  mutable ops : int;
+  mutable writes : int;
+  mutable reads : int;
+  mutable violations : int;
+  mutable torn : int;
+  mutable denials : int;
+  mutable errors : int;
+  mutable reconnects : int;
+  mutable verified : int;
+}
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let key_of c j = Printf.sprintf "c%04d-k%04d" c.id j
+let group_key c g i = Printf.sprintf "c%04d-g%02d-k%04d" c.id g i
+let n_groups cfg = max 1 (cfg.keys_per_client / max 1 cfg.mget_group)
+
+(* Values carry the owning key and the write tag, padded to size: any
+   returned value identifies exactly which write produced it, so torn
+   groups are detectable by tag alone. *)
+let value_of ~key ~tag size =
+  let base = Printf.sprintf "%s:%08d:" key tag in
+  if String.length base >= size then base
+  else base ^ String.make (size - String.length base) 'x'
+
+let tag_of_value v =
+  match String.index_opt v ':' with
+  | Some i when String.length v >= i + 9 -> Some (String.sub v (i + 1) 8)
+  | _ -> None
+
+let connect cfg c =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  (try Unix.connect fd (Unix.ADDR_UNIX cfg.sock_path)
+   with Unix.Unix_error ((Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+  c.fd <- Some fd;
+  c.in_len <- 0;
+  c.outbuf <- Resp.encode_command [ "TENANT"; c.tenant ];
+  c.out_off <- 0;
+  c.phase <- Waiting (E_bind, now_ns ())
+
+let disconnect c =
+  (match c.fd with Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ()) | None -> ());
+  c.fd <- None
+
+let send c expect frame =
+  c.outbuf <- frame;
+  c.out_off <- 0;
+  c.phase <- Waiting (expect, now_ns ())
+
+(* Issue the next operation: 40% put, 25% get, 20% group mset, 15%
+   group mget. Group operations address one of the client's aligned
+   groups so a group MGET re-reads exactly one MSET's keys. *)
+let issue cfg c =
+  let j = Zipf.next_scrambled c.zipf c.rng in
+  let r = Rng.int c.rng 100 in
+  if r < 40 then begin
+    let key = key_of c j in
+    c.tag <- c.tag + 1;
+    let v = value_of ~key ~tag:c.tag cfg.value_size in
+    send c (E_write [ (key, v) ]) (Resp.encode_command [ "PUT"; key; v ])
+  end
+  else if r < 65 then begin
+    let key = key_of c j in
+    send c (E_get key) (Resp.encode_command [ "GET"; key ])
+  end
+  else begin
+    let g = Rng.int c.rng (n_groups cfg) in
+    let keys = List.init (max 1 cfg.mget_group) (group_key c g) in
+    if r < 85 then begin
+      c.tag <- c.tag + 1;
+      let kvs = List.map (fun k -> (k, value_of ~key:k ~tag:c.tag cfg.value_size)) keys in
+      send c (E_write kvs)
+        (Resp.encode_command ("MSET" :: List.concat_map (fun (k, v) -> [ k; v ]) kvs))
+    end
+    else send c (E_mget (keys, `Group)) (Resp.encode_command ("MGET" :: keys))
+  end
+
+(* Reconnect verification: MGET every key this client ever acked, in
+   slice order, and require exact model agreement. *)
+let issue_verify c =
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) c.model [] |> List.sort compare
+  in
+  match keys with
+  | [] -> c.phase <- Idle
+  | keys -> send c (E_mget (keys, `Verify)) (Resp.encode_command ("MGET" :: keys))
+
+(* Judge one reply. Returns [true] if it acked a write. *)
+let judge (t : totals) c expect reply =
+  match (expect, reply) with
+  | E_bind, Resp.Simple _ -> false
+  | E_write kvs, Resp.Simple _ ->
+    List.iter (fun (k, v) -> Hashtbl.replace c.model k v) kvs;
+    t.writes <- t.writes + List.length kvs;
+    true
+  | E_get key, (Resp.Bulk _ | Resp.Nil) ->
+    t.reads <- t.reads + 1;
+    let got = match reply with Resp.Bulk v -> Some v | _ -> None in
+    if got <> Hashtbl.find_opt c.model key then t.violations <- t.violations + 1;
+    false
+  | E_mget (keys, kind), Resp.Array rs when List.length rs = List.length keys ->
+    t.reads <- t.reads + List.length keys;
+    let got = List.map (function Resp.Bulk v -> Some v | _ -> None) rs in
+    List.iter2
+      (fun k g -> if g <> Hashtbl.find_opt c.model k then t.violations <- t.violations + 1)
+      keys got;
+    (match kind with
+    | `Group -> (
+      match List.filter_map (fun g -> Option.bind g tag_of_value) got with
+      | [] -> ()
+      | t0 :: rest -> if List.exists (fun x -> x <> t0) rest then t.torn <- t.torn + 1)
+    | `Verify -> t.verified <- t.verified + List.length keys);
+    false
+  | _, Resp.Error e ->
+    (match Resp.error_code (Resp.Error e) with
+    | Some "QUOTA_EXCEEDED" -> t.denials <- t.denials + 1
+    | _ -> t.errors <- t.errors + 1);
+    false
+  | _ ->
+    t.errors <- t.errors + 1;
+    false
+
+let read_chunk = 8 * 1024
+
+let ensure_capacity c need =
+  let cap = Bytes.length c.inbuf in
+  if c.in_len + need > cap then begin
+    let nb = Bytes.create (max (cap * 2) (c.in_len + need)) in
+    Bytes.blit c.inbuf 0 nb 0 c.in_len;
+    c.inbuf <- nb
+  end
+
+(* Reply arrived: time it, judge it, decide the next move. *)
+let on_reply cfg t lat c reply =
+  match c.phase with
+  | Waiting (expect, t0) ->
+    Histogram.add lat (max 0 (now_ns () - t0));
+    let acked = judge t c expect reply in
+    c.phase <- Idle;
+    if acked then begin
+      c.acked_writes <- c.acked_writes + 1;
+      c.acked_since_reconnect <- c.acked_since_reconnect + 1
+    end;
+    (match expect with E_bind -> () | _ -> t.ops <- t.ops + 1);
+    if
+      cfg.reconnect_every > 0
+      && c.acked_since_reconnect >= cfg.reconnect_every
+      && c.phase = Idle
+    then begin
+      c.acked_since_reconnect <- 0;
+      t.reconnects <- t.reconnects + 1;
+      disconnect c;
+      connect cfg c
+      (* the verify MGET is issued right after the TENANT re-bind *)
+    end
+  | _ -> t.errors <- t.errors + 1
+
+let handle_readable cfg t lat c fd =
+  ensure_capacity c read_chunk;
+  match Unix.read fd c.inbuf c.in_len read_chunk with
+  | 0 ->
+    (* Server closed (e.g. drain): a client mid-request counts an error
+       only if it was still owed a reply. *)
+    (match c.phase with Waiting _ -> t.errors <- t.errors + 1 | _ -> ());
+    disconnect c;
+    c.phase <- Done
+  | n ->
+    c.in_len <- c.in_len + n;
+    let pos = ref 0 in
+    let continue = ref true in
+    (try
+       (* A reconnect inside [on_reply] swaps the connection out under
+          us (and zeroes [in_len]); stop parsing the stale buffer. *)
+       while !continue && !pos < c.in_len do
+         match Resp.parse_reply c.inbuf ~pos:!pos ~len:c.in_len with
+         | Some (reply, pos') ->
+           pos := pos';
+           let was_bind = match c.phase with Waiting (E_bind, _) -> true | _ -> false in
+           let was_reconnect = was_bind && Hashtbl.length c.model > 0 in
+           on_reply cfg t lat c reply;
+           if was_reconnect && c.phase = Idle then issue_verify c
+         | None -> continue := false
+       done
+     with Resp.Malformed _ ->
+       t.errors <- t.errors + 1;
+       disconnect c;
+       c.phase <- Done);
+    if !pos > 0 && c.in_len >= !pos then begin
+      Bytes.blit c.inbuf !pos c.inbuf 0 (c.in_len - !pos);
+      c.in_len <- c.in_len - !pos
+    end
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ ->
+    disconnect c;
+    c.phase <- Done
+
+let handle_writable t c fd =
+  let remaining = String.length c.outbuf - c.out_off in
+  if remaining > 0 then
+    match Unix.write_substring fd c.outbuf c.out_off remaining with
+    | n -> c.out_off <- c.out_off + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ ->
+      t.errors <- t.errors + 1;
+      disconnect c;
+      c.phase <- Done
+
+let run cfg =
+  if cfg.sock_path = "" then invalid_arg "Server_harness.run: sock_path required";
+  if cfg.connections < 1 then invalid_arg "Server_harness.run: connections must be >= 1";
+  let rng0 = Rng.create cfg.seed in
+  let tenant_zipf = Zipf.create ~theta:cfg.theta cfg.tenants in
+  let clients =
+    Array.init cfg.connections (fun id ->
+        {
+          id;
+          tenant = Printf.sprintf "tenant-%03d" (Zipf.next_scrambled tenant_zipf rng0);
+          rng = Rng.split rng0;
+          zipf = Zipf.create ~theta:cfg.theta cfg.keys_per_client;
+          model = Hashtbl.create 64;
+          fd = None;
+          phase = Idle;
+          inbuf = Bytes.create read_chunk;
+          in_len = 0;
+          outbuf = "";
+          out_off = 0;
+          acked_writes = 0;
+          acked_since_reconnect = 0;
+          tag = 0;
+        })
+  in
+  let t =
+    {
+      ops = 0;
+      writes = 0;
+      reads = 0;
+      violations = 0;
+      torn = 0;
+      denials = 0;
+      errors = 0;
+      reconnects = 0;
+      verified = 0;
+    }
+  in
+  let lat = Histogram.create () in
+  Array.iter (fun c -> connect cfg c) clients;
+  let t0 = Unix.gettimeofday () in
+  let live () =
+    Array.exists (fun c -> c.phase <> Done && c.fd <> None) clients
+  in
+  while t.ops < cfg.total_ops && live () do
+    (* Idle clients issue (or stop, once the op budget is spent). *)
+    Array.iter
+      (fun c ->
+        if c.phase = Idle && c.fd <> None then
+          if t.ops < cfg.total_ops then issue cfg c
+          else begin
+            disconnect c;
+            c.phase <- Done
+          end)
+      clients;
+    cfg.pump ();
+    let rds =
+      Array.to_list clients
+      |> List.filter_map (fun c ->
+             match (c.fd, c.phase) with Some fd, Waiting _ -> Some fd | _ -> None)
+    in
+    let wrs =
+      Array.to_list clients
+      |> List.filter_map (fun c ->
+             match c.fd with
+             | Some fd when String.length c.outbuf > c.out_off -> Some fd
+             | _ -> None)
+    in
+    let r, w, _ =
+      match Unix.select rds wrs [] 0.02 with
+      | x -> x
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    Array.iter
+      (fun c ->
+        match c.fd with
+        | Some fd ->
+          if List.memq fd w then handle_writable t c fd;
+          if List.memq fd r then handle_readable cfg t lat c fd
+        | None -> ())
+      clients
+  done;
+  Array.iter (fun c -> disconnect c) clients;
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    ops_done = t.ops;
+    writes_acked = t.writes;
+    reads = t.reads;
+    model_violations = t.violations;
+    torn_mgets = t.torn;
+    quota_denials = t.denials;
+    server_errors = t.errors;
+    reconnects = t.reconnects;
+    verified_keys = t.verified;
+    wall_s = wall;
+    ops_per_sec = (if wall > 0.0 then float_of_int t.ops /. wall else 0.0);
+    latency = lat;
+  }

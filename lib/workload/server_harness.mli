@@ -1,0 +1,62 @@
+(** Closed-loop client simulator for the {!Lsm_server.Server} front
+    door, with exact acked-write model checking.
+
+    Drives [connections] concurrent RESP clients from one [select]
+    loop, each with at most one request in flight (closed loop).
+    Tenants are drawn zipfian across clients and keys zipfian within
+    each client's {e private} key slice — single writer per key, which
+    is what makes exact checking sound under server-side concurrency:
+    every GET/MGET must return precisely the last {e acked} write of
+    that key (the reference model updates on ack, not on send).
+
+    Three failure classes are counted separately:
+    - [model_violations] — a read disagreed with the model (lost acked
+      write, stale or wrong value);
+    - [torn_mgets] — a group MGET over keys always written together by
+      one MSET returned a mix of write tags (a torn batch read);
+    - [server_errors] — unexpected error replies or protocol failures
+      ([QUOTA_EXCEEDED] is counted as [quota_denials], not an error).
+
+    Every [reconnect_every] acked writes a client tears its connection
+    down, reconnects, re-binds its tenant, and MGETs its entire written
+    key set against the model ([verified_keys] counts these). *)
+
+type config = {
+  sock_path : string;
+  connections : int;
+  tenants : int;
+  keys_per_client : int;
+  value_size : int;
+  total_ops : int;
+  mget_group : int;  (** keys per MSET/MGET group (torn-batch probe width) *)
+  theta : float;  (** zipf skew for both tenant and key choice *)
+  seed : int;
+  reconnect_every : int;  (** acked writes between reconnect+verify; 0 = never *)
+  pump : unit -> unit;
+      (** called once per driver round; pass the in-process server's
+          [fun () -> ignore (Server.step s ~timeout:0.0)] or [ignore]
+          for an external server *)
+}
+
+val default : config
+(** 64 connections, 8 tenants, 10k ops, zipf 0.99; [sock_path] must be
+    overridden. *)
+
+type report = {
+  ops_done : int;
+  writes_acked : int;
+  reads : int;
+  model_violations : int;
+  torn_mgets : int;
+  quota_denials : int;
+  server_errors : int;
+  reconnects : int;
+  verified_keys : int;
+  wall_s : float;
+  ops_per_sec : float;
+  latency : Lsm_util.Histogram.t;  (** request round trips, ns *)
+}
+
+val run : config -> report
+(** Blocks until [total_ops] requests completed (or every client died).
+    Deterministic request stream for a given seed; timing is not. *)

@@ -22,4 +22,6 @@ let () =
       ("corruption", Test_corruption.suite);
       ("lint", Test_lint.suite);
       ("lockdep", Test_lockdep.suite);
+      ("races", Test_races.suite);
+      ("server", Test_server.suite);
     ]

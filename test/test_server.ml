@@ -1,0 +1,345 @@
+(* Serving front door: RESP framing units, quota windows, shard
+   routing, and in-process end-to-end runs — the closed-loop simulator
+   against a live server on an ephemeral Unix socket, with exact
+   acked-write model checking, plus the graceful SHUTDOWN drain. *)
+
+module Resp = Lsm_server.Resp
+module Quota = Lsm_server.Quota
+module Shard_map = Lsm_server.Shard_map
+module Server = Lsm_server.Server
+module Server_harness = Lsm_workload.Server_harness
+module Config = Lsm_core.Config
+module Db = Lsm_core.Db
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ---------- RESP framing ---------- *)
+
+let test_resp_command_roundtrip () =
+  let cmd = [ "MSET"; "k1"; "v\r\nwith crlf"; "k2"; String.make 300 'x' ] in
+  let s = Resp.encode_command cmd in
+  let b = Bytes.of_string s in
+  (match Resp.parse_command b ~pos:0 ~len:(Bytes.length b) with
+  | Some (got, consumed) ->
+    Alcotest.(check (list string)) "args" cmd got;
+    check_int "consumed all" (Bytes.length b) consumed
+  | None -> Alcotest.fail "complete frame did not parse");
+  (* Every strict prefix is Incomplete, never Malformed. *)
+  for cut = 0 to Bytes.length b - 1 do
+    match Resp.parse_command b ~pos:0 ~len:cut with
+    | None -> ()
+    | Some _ -> Alcotest.fail (Printf.sprintf "prefix of %d bytes parsed" cut)
+  done
+
+let test_resp_reply_roundtrip () =
+  let replies =
+    [
+      Resp.Simple "OK";
+      Resp.Error "ERR boom";
+      Resp.Int (-42);
+      Resp.Bulk "payload";
+      Resp.Nil;
+      Resp.Array [ Resp.Bulk "a"; Resp.Nil; Resp.Int 7 ];
+    ]
+  in
+  List.iter
+    (fun r ->
+      let s = Resp.encode_reply r in
+      let b = Bytes.of_string s in
+      match Resp.parse_reply b ~pos:0 ~len:(Bytes.length b) with
+      | Some (got, consumed) ->
+        check_bool "roundtrip" true (got = r);
+        check_int "consumed" (Bytes.length b) consumed
+      | None -> Alcotest.fail "reply did not parse")
+    replies
+
+let test_resp_pipelined () =
+  let s = Resp.encode_command [ "PING" ] ^ Resp.encode_command [ "GET"; "k" ] in
+  let b = Bytes.of_string s in
+  match Resp.parse_command b ~pos:0 ~len:(Bytes.length b) with
+  | Some ([ "PING" ], p1) -> (
+    match Resp.parse_command b ~pos:p1 ~len:(Bytes.length b) with
+    | Some ([ "GET"; "k" ], p2) -> check_int "both consumed" (Bytes.length b) p2
+    | _ -> Alcotest.fail "second frame")
+  | _ -> Alcotest.fail "first frame"
+
+let test_resp_malformed () =
+  let raises s =
+    let b = Bytes.of_string s in
+    match Resp.parse_command b ~pos:0 ~len:(Bytes.length b) with
+    | exception Resp.Malformed _ -> true
+    | _ -> false
+  in
+  check_bool "bad type byte" true (raises "&3\r\n");
+  check_bool "non-numeric arity" true (raises "*x\r\n");
+  check_bool "hostile length" true (raises "*1\r\n$99999999999\r\n");
+  check_bool "zero arity" true (raises "*0\r\n")
+
+(* ---------- quota windows ---------- *)
+
+let test_quota_window () =
+  let q = Quota.create ~window_s:1.0 () in
+  Quota.set_limits q ~tenant:"t" { Quota.max_ops = Some 3; max_bytes = Some 100 };
+  let admit ~now ~ops ~bytes = Quota.admit q ~tenant:"t" ~now ~ops ~bytes in
+  check_bool "under" true (Result.is_ok (admit ~now:0.0 ~ops:2 ~bytes:10));
+  check_bool "exact" true (Result.is_ok (admit ~now:0.1 ~ops:1 ~bytes:10));
+  (match admit ~now:0.2 ~ops:1 ~bytes:1 with
+  | Error d ->
+    check_bool "ops dimension" true (d.Quota.dimension = `Ops);
+    check_int "denial charges nothing: used stays" 3 d.Quota.used
+  | Ok () -> Alcotest.fail "fourth op admitted");
+  (* Window rolls: usage resets. *)
+  check_bool "next window" true (Result.is_ok (admit ~now:1.5 ~ops:3 ~bytes:99));
+  (match admit ~now:1.6 ~ops:0 ~bytes:5 with
+  | Error d -> check_bool "bytes dimension" true (d.Quota.dimension = `Bytes)
+  | Ok () -> Alcotest.fail "byte overflow admitted");
+  (* Unknown tenants are unlimited by default. *)
+  check_bool "stranger" true
+    (Result.is_ok (Quota.admit q ~tenant:"other" ~now:0.0 ~ops:1_000_000 ~bytes:max_int))
+
+(* ---------- shard routing ---------- *)
+
+let test_shard_routing () =
+  let map = Shard_map.open_shards ~count:4 ~mode:`Memory () in
+  Fun.protect ~finally:(fun () -> Shard_map.close_all map) @@ fun () ->
+  check_bool "tenant with NUL rejected" true
+    (match Shard_map.encode_key ~tenant:"a\x00b" "k" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "NUL tenant invalid" false (Shard_map.valid_tenant "a\x00b");
+  check_bool "empty tenant invalid" false (Shard_map.valid_tenant "");
+  (* Routing is deterministic and spreads: 256 keys must touch every
+     shard (probability of a miss is ~1e-28 for a uniform hash). *)
+  let hit = Array.make 4 0 in
+  for i = 0 to 255 do
+    let stored = Shard_map.encode_key ~tenant:"t" (string_of_int i) in
+    let s = Shard_map.shard_of_key map stored in
+    check_int "stable" s (Shard_map.shard_of_key map stored);
+    hit.(s) <- hit.(s) + 1
+  done;
+  Array.iteri (fun i n -> check_bool (Printf.sprintf "shard %d hit" i) true (n > 0)) hit;
+  (* multi_get crosses shards and preserves input order. *)
+  let keys = List.init 64 (fun i -> Shard_map.encode_key ~tenant:"t" (string_of_int i)) in
+  List.iteri
+    (fun i k -> Db.put (Shard_map.db map (Shard_map.shard_of_key map k)) ~key:k (string_of_int i))
+    keys;
+  let got = Shard_map.multi_get map keys in
+  List.iteri
+    (fun i r -> Alcotest.(check (option string)) "order kept" (Some (string_of_int i)) r)
+    got
+
+(* ---------- raw in-process client ---------- *)
+
+let sock_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "lsm-%s-%d.sock" name (Unix.getpid ()))
+
+let pump server () = ignore (Server.step server ~timeout:0.0)
+
+type raw = { fd : Unix.file_descr; mutable buf : Bytes.t; mutable len : int }
+
+let raw_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error ((Unix.EINPROGRESS | Unix.EAGAIN), _, _) -> ());
+  { fd; buf = Bytes.create 4096; len = 0 }
+
+let raw_close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(* Send a command and pump the single-threaded server until its reply
+   arrives (both sides share this domain, so every blocking wait must
+   interleave server steps). *)
+let rpc server c args =
+  let s = Resp.encode_command args in
+  let off = ref 0 in
+  while !off < String.length s do
+    pump server ();
+    match Unix.write_substring c.fd s !off (String.length s - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  done;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let result = ref None in
+  while !result = None do
+    if Unix.gettimeofday () > deadline then Alcotest.fail "rpc timeout";
+    pump server ();
+    (match Resp.parse_reply c.buf ~pos:0 ~len:c.len with
+    | Some (r, consumed) ->
+      Bytes.blit c.buf consumed c.buf 0 (c.len - consumed);
+      c.len <- c.len - consumed;
+      result := Some r
+    | None -> (
+      if c.len + 4096 > Bytes.length c.buf then begin
+        let nb = Bytes.create (Bytes.length c.buf * 2) in
+        Bytes.blit c.buf 0 nb 0 c.len;
+        c.buf <- nb
+      end;
+      match Unix.read c.fd c.buf c.len 4096 with
+      | n -> c.len <- c.len + n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        ()))
+  done;
+  Option.get !result
+
+let small_server ?quota ~name ~shards ~fanout () =
+  let config =
+    {
+      Config.default with
+      write_buffer_size = 16 * 1024;
+      level1_capacity = 64 * 1024;
+      compaction_backend = Config.Background;
+      compaction_workers = 2;
+      wal_enabled = false;
+    }
+  in
+  let map = Shard_map.open_shards ~config ~fanout_workers:fanout ~count:shards ~mode:`Memory () in
+  let server = Server.create ?quota ~shards:map ~sock_path:(sock_path name) () in
+  (map, server)
+
+(* ---------- wire-level behavior ---------- *)
+
+let test_server_basic_commands () =
+  let map, server = small_server ~name:"basic" ~shards:4 ~fanout:0 () in
+  Fun.protect ~finally:(fun () ->
+      Server.close server;
+      Shard_map.close_all map)
+  @@ fun () ->
+  let c = raw_connect (Server.sock_path server) in
+  Fun.protect ~finally:(fun () -> raw_close c) @@ fun () ->
+  check_bool "ping" true (rpc server c [ "PING" ] = Resp.Simple "PONG");
+  (* Data commands demand a tenant binding. *)
+  (match rpc server c [ "GET"; "k" ] with
+  | Resp.Error e -> check_str "notenant" "NOTENANT" (Option.get (Resp.error_code (Resp.Error e)))
+  | _ -> Alcotest.fail "unbound GET accepted");
+  check_bool "bind" true (rpc server c [ "TENANT"; "acme" ] = Resp.Simple "OK");
+  check_bool "put" true (rpc server c [ "PUT"; "k"; "v1" ] = Resp.Simple "OK");
+  check_bool "get" true (rpc server c [ "GET"; "k" ] = Resp.Bulk "v1");
+  check_bool "del" true (rpc server c [ "DEL"; "k" ] = Resp.Simple "OK");
+  check_bool "get after del" true (rpc server c [ "GET"; "k" ] = Resp.Nil);
+  check_bool "mset" true
+    (rpc server c [ "MSET"; "a"; "1"; "b"; "2"; "c"; "3" ] = Resp.Simple "OK");
+  check_bool "mget" true
+    (rpc server c [ "MGET"; "a"; "missing"; "c" ]
+    = Resp.Array [ Resp.Bulk "1"; Resp.Nil; Resp.Bulk "3" ]);
+  (match rpc server c [ "STATS" ] with
+  | Resp.Bulk s -> check_bool "stats mentions shards" true (String.length s > 0)
+  | _ -> Alcotest.fail "STATS");
+  check_bool "flush" true (rpc server c [ "FLUSH" ] = Resp.Simple "OK");
+  check_bool "get after flush" true (rpc server c [ "GET"; "a" ] = Resp.Bulk "1")
+
+let test_server_tenant_isolation () =
+  let map, server = small_server ~name:"iso" ~shards:4 ~fanout:0 () in
+  Fun.protect ~finally:(fun () ->
+      Server.close server;
+      Shard_map.close_all map)
+  @@ fun () ->
+  let a = raw_connect (Server.sock_path server) in
+  let b = raw_connect (Server.sock_path server) in
+  Fun.protect ~finally:(fun () ->
+      raw_close a;
+      raw_close b)
+  @@ fun () ->
+  ignore (rpc server a [ "TENANT"; "alpha" ]);
+  ignore (rpc server b [ "TENANT"; "beta" ]);
+  ignore (rpc server a [ "PUT"; "shared-key"; "alpha-value" ]);
+  check_bool "other tenant blind" true (rpc server b [ "GET"; "shared-key" ] = Resp.Nil);
+  check_bool "owner sees it" true
+    (rpc server a [ "GET"; "shared-key" ] = Resp.Bulk "alpha-value")
+
+let test_server_quota_denial () =
+  let quota = Quota.create ~window_s:3600.0 () in
+  let map, server = small_server ~quota ~name:"quota" ~shards:2 ~fanout:0 () in
+  Fun.protect ~finally:(fun () ->
+      Server.close server;
+      Shard_map.close_all map)
+  @@ fun () ->
+  let c = raw_connect (Server.sock_path server) in
+  Fun.protect ~finally:(fun () -> raw_close c) @@ fun () ->
+  ignore (rpc server c [ "TENANT"; "capped" ]);
+  check_bool "set quota" true (rpc server c [ "QUOTA"; "capped"; "3"; "-" ] = Resp.Simple "OK");
+  let denied = ref 0 and ok = ref 0 in
+  for i = 1 to 6 do
+    match rpc server c [ "PUT"; Printf.sprintf "k%d" i; "v" ] with
+    | Resp.Simple _ -> incr ok
+    | Resp.Error e when Resp.error_code (Resp.Error e) = Some "QUOTA_EXCEEDED" ->
+      incr denied
+    | _ -> Alcotest.fail "unexpected reply"
+  done;
+  check_int "admitted to the limit" 3 !ok;
+  check_int "denied past the limit" 3 !denied;
+  (* Another tenant on the same server is unaffected. *)
+  let c2 = raw_connect (Server.sock_path server) in
+  Fun.protect ~finally:(fun () -> raw_close c2) @@ fun () ->
+  ignore (rpc server c2 [ "TENANT"; "free" ]);
+  check_bool "other tenant unaffected" true
+    (rpc server c2 [ "PUT"; "k"; "v" ] = Resp.Simple "OK");
+  check_int "denials counted" 3 (Server.stats server).Server.quota_denials
+
+(* ---------- end-to-end: simulator against a live server ---------- *)
+
+let run_e2e ~name ~fanout ~connections ~ops () =
+  let map, server = small_server ~name ~shards:4 ~fanout () in
+  Fun.protect ~finally:(fun () -> Shard_map.close_all map) @@ fun () ->
+  let report =
+    Server_harness.run
+      {
+        Server_harness.default with
+        sock_path = Server.sock_path server;
+        connections;
+        tenants = 6;
+        keys_per_client = 32;
+        value_size = 64;
+        total_ops = ops;
+        mget_group = 6;
+        seed = 11;
+        (* Low enough that every client reconnects at least once within
+           its ~ops/connections share of the run. *)
+        reconnect_every = 15;
+        pump = pump server;
+      }
+  in
+  (* In-flight ops finish after the global target is reached, so the
+     count can overshoot by up to one op per connection. *)
+  check_bool "all ops completed" true (report.Server_harness.ops_done >= ops);
+  check_int "zero model violations" 0 report.Server_harness.model_violations;
+  check_int "zero torn group reads" 0 report.Server_harness.torn_mgets;
+  check_int "zero server errors" 0 report.Server_harness.server_errors;
+  check_bool "writes acked" true (report.Server_harness.writes_acked > 0);
+  check_bool "reconnect verification ran" true (report.Server_harness.verified_keys > 0);
+  (* Graceful shutdown: +OK, then the listener drains and exits. *)
+  let c = raw_connect (Server.sock_path server) in
+  check_bool "shutdown acked" true (rpc server c [ "SHUTDOWN" ] = Resp.Simple "OK");
+  raw_close c;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let running = ref true in
+  while !running do
+    if Unix.gettimeofday () > deadline then Alcotest.fail "drain timeout";
+    running := Server.step server ~timeout:0.01
+  done;
+  check_bool "socket file removed" false (Sys.file_exists (Server.sock_path server))
+
+let test_e2e_sequential () = run_e2e ~name:"e2e-seq" ~fanout:0 ~connections:40 ~ops:2_500 ()
+let test_e2e_fanout () = run_e2e ~name:"e2e-fan" ~fanout:4 ~connections:60 ~ops:3_000 ()
+
+let suite =
+  [
+    Alcotest.test_case "resp: command roundtrip + incremental prefixes" `Quick
+      test_resp_command_roundtrip;
+    Alcotest.test_case "resp: reply roundtrip" `Quick test_resp_reply_roundtrip;
+    Alcotest.test_case "resp: pipelined frames" `Quick test_resp_pipelined;
+    Alcotest.test_case "resp: malformed input raises" `Quick test_resp_malformed;
+    Alcotest.test_case "quota: fixed windows, typed denials" `Quick test_quota_window;
+    Alcotest.test_case "shard map: routing, isolation encoding, ordered mget" `Quick
+      test_shard_routing;
+    Alcotest.test_case "server: command set over the wire" `Quick test_server_basic_commands;
+    Alcotest.test_case "server: tenant namespaces are disjoint" `Quick
+      test_server_tenant_isolation;
+    Alcotest.test_case "server: quota denial is typed and per-tenant" `Quick
+      test_server_quota_denial;
+    Alcotest.test_case "server: e2e simulator, sequential shards" `Slow test_e2e_sequential;
+    Alcotest.test_case "server: e2e simulator, pooled fan-out + shutdown drain" `Slow
+      test_e2e_fanout;
+  ]
