@@ -88,4 +88,58 @@ val enabled : unit -> bool
 
 val held_names : unit -> string list
 (** Names of the locks the calling domain currently holds, outermost
-    first. Debugging aid; meaningful only while enforcement is on. *)
+    first. Debugging aid; meaningful only while enforcement or graph
+    recording is on. *)
+
+(** Acquired-before graph recorder (RocksDB-style lockdep debug mode).
+
+    When recording is on — [LSM_LOCKDEP_GRAPH=path] in the environment,
+    or {!Graph.set_path} — every acquisition taken while other ordered
+    mutexes are held appends (held-name → acquired-name) edges to a
+    per-run table, each edge carrying one sample stack from its first
+    sighting. At process exit the run's edges are merged into the
+    persisted graph file (read, union, atomic tmp+rename) and any cycle
+    in the {e merged} graph is reported on stderr: two acquisition
+    orders that never interleave in a single run — and that rank
+    enforcement therefore never sees racing — still meet across runs.
+    [lsm-lint --lockdep-graph FILE] loads the same file, turns cycles
+    into failing findings, and cross-checks the observed relation
+    against the statically inferred one (DESIGN.md §9.4).
+
+    Recording is independent of {!set_enforce}: with enforcement off
+    nothing raises, but the held stack is still tracked and edges still
+    recorded — that is what lets a deliberately inverted order from one
+    run meet its mirror image from another in the merged file. *)
+module Graph : sig
+  type edge = { src : string; dst : string; stack : string list }
+  (** One observed acquired-before pair: [dst] was acquired while [src]
+      was held; [stack] is the full held-stack sample (outermost first,
+      [dst] last) from the edge's first sighting. *)
+
+  val set_path : string option -> unit
+  (** [set_path (Some file)] starts recording and registers the
+      exit-time merge into [file]; [set_path None] stops recording
+      (already-recorded edges of this run are kept until
+      {!reset_run}). *)
+
+  val path : unit -> string option
+  val recording : unit -> bool
+
+  val edges : unit -> edge list
+  (** This run's edges so far, sorted. *)
+
+  val reset_run : unit -> unit
+  (** Clear this run's edge table (tests simulate multiple runs). *)
+
+  val merge_to_file : unit -> edge list
+  (** Merge this run's edges into the configured file now and return
+      the merged graph; [[]] and a no-op when no path is set. Called
+      automatically at exit. *)
+
+  val load : string -> edge list
+  (** Parse a persisted graph file; [[]] if the file does not exist. *)
+
+  val cycles : edge list -> string list list
+  (** One representative cycle per knot in the given graph, each as a
+      node list whose last element repeats the first. Deterministic. *)
+end

@@ -1,0 +1,2 @@
+(* lsm-lint: allow R7 — historical: nothing here raises anymore *)
+let safe () = 42

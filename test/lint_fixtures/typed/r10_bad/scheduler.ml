@@ -1,0 +1,5 @@
+(* Deferred-executor stand-in: canonicalizes to Scheduler.submit. The
+   closure is stored, to run later — after any pin the submitter held
+   has been released. *)
+let queue : (unit -> unit) list ref = ref []
+let submit f = queue := f :: !queue

@@ -1,0 +1,4 @@
+type read_ctx = { snap : int }
+
+let capture () = { snap = 0 }
+let with_pin f = f ()

@@ -1,0 +1,2 @@
+let queue : (unit -> unit) list ref = ref []
+let submit f = queue := f :: !queue

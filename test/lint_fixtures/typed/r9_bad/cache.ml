@@ -1,0 +1,14 @@
+(* Holds its own rank-30 lock and calls across the module boundary into
+   Engine.kick, which acquires rank 10 — a descending edge no single
+   file shows. lsm-lint must report the full chain
+   Cache.refill -> Engine.kick. *)
+module Ordered_mutex = Lsm_util.Ordered_mutex
+
+type t = { m : Ordered_mutex.t; eng : Engine.t; mutable size : int }
+
+let create eng = { m = Ordered_mutex.create ~rank:30 ~name:"fix.cache"; eng; size = 0 }
+
+let refill t =
+  Ordered_mutex.with_lock t.m (fun () ->
+      t.size <- t.size + 1;
+      Engine.kick t.eng)

@@ -1,0 +1,8 @@
+(* Low-ranked lock (rank 10): acquiring it while a higher-ranked lock
+   is held is the inversion the fixture seeds. *)
+module Ordered_mutex = Lsm_util.Ordered_mutex
+
+type t = { m : Ordered_mutex.t; mutable kicks : int }
+
+let create () = { m = Ordered_mutex.create ~rank:10 ~name:"fix.engine"; kicks = 0 }
+let kick t = Ordered_mutex.with_lock t.m (fun () -> t.kicks <- t.kicks + 1)

@@ -1,0 +1,12 @@
+(* Same cross-module call under a held lock as r9_bad, but the callee's
+   lock ranks above the held one — a legal ascending edge. *)
+module Ordered_mutex = Lsm_util.Ordered_mutex
+
+type t = { m : Ordered_mutex.t; eng : Engine.t; mutable size : int }
+
+let create eng = { m = Ordered_mutex.create ~rank:10 ~name:"fix.cache"; eng; size = 0 }
+
+let refill t =
+  Ordered_mutex.with_lock t.m (fun () ->
+      t.size <- t.size + 1;
+      Engine.kick t.eng)

@@ -1,0 +1,6 @@
+module Ordered_mutex = Lsm_util.Ordered_mutex
+
+type t = { m : Ordered_mutex.t; mutable kicks : int }
+
+let create () = { m = Ordered_mutex.create ~rank:30 ~name:"fix.engine"; kicks = 0 }
+let kick t = Ordered_mutex.with_lock t.m (fun () -> t.kicks <- t.kicks + 1)

@@ -83,6 +83,12 @@ let test_exception_releases_lock () =
   Om.with_lock m (fun () -> ())
 
 let test_enforcement_off_is_silent () =
+  (* Pause graph recording: this test's deliberate inversion must not
+     leak into a CI-configured LSM_LOCKDEP_GRAPH file as a fake cycle. *)
+  let prev_path = Om.Graph.path () in
+  Om.Graph.set_path None;
+  Fun.protect ~finally:(fun () -> Om.Graph.set_path prev_path)
+  @@ fun () ->
   with_enforce false @@ fun () ->
   let db = db_m () and shard = shard_m () in
   (* Inverted and even "re-entrant-looking" sequential use: no raise
@@ -130,6 +136,89 @@ let test_engine_under_lockdep () =
   Alcotest.(check int) "every key readable" 250 hits;
   Db.close db
 
+let test_unlock_drops_exactly_one () =
+  (* Regression: unlock must drop exactly one held entry. Two shard
+     locks share a name; with recording on (enforcement off, so the
+     same-rank pair is legal) releasing the inner one must leave the
+     outer hold tracked — a drop-all-matches unlock would empty the
+     stack. *)
+  let tmp = Filename.temp_file "lockdep_unlock" ".graph" in
+  let prev_path = Om.Graph.path () in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Drop this test's contrived edges before restoring any
+         CI-configured recording destination. *)
+      Om.Graph.reset_run ();
+      Om.Graph.set_path prev_path;
+      try Sys.remove tmp with Sys_error _ -> ())
+  @@ fun () ->
+  Om.Graph.set_path (Some tmp);
+  with_enforce false @@ fun () ->
+  let a = shard_m () and b = shard_m () in
+  Om.lock a;
+  Om.lock b;
+  Om.unlock b;
+  Alcotest.(check (list string)) "outer hold survives" [ "block_cache.shard" ] (Om.held_names ());
+  Om.unlock a;
+  Alcotest.(check (list string)) "empty after both" [] (Om.held_names ())
+
+let test_graph_cross_run_cycle () =
+  (* The recorder's reason to exist: two runs, each acyclic on its own,
+     whose merged acquired-before graph has a cycle — the cross-run
+     deadlock class single-run enforcement cannot see. *)
+  let tmp = Filename.temp_file "lockdep_graph" ".graph" in
+  Sys.remove tmp;
+  let prev_path = Om.Graph.path () in
+  Fun.protect
+    ~finally:(fun () ->
+      (* The seeded inversion must not reach a CI-configured graph
+         file: clear the run table before restoring the real path. *)
+      Om.Graph.reset_run ();
+      Om.Graph.set_path prev_path;
+      try Sys.remove tmp with Sys_error _ -> ())
+  @@ fun () ->
+  (* Flush edges observed so far in this process to their own file
+     before repointing recording at the temp file. *)
+  if prev_path <> None then ignore (Om.Graph.merge_to_file ());
+  Om.Graph.reset_run ();
+  Om.Graph.set_path (Some tmp);
+  let db = db_m () and shard = shard_m () in
+  (* Run 1: the legal order, enforcement live. *)
+  with_enforce true (fun () ->
+      Om.with_lock db (fun () -> Om.with_lock shard (fun () -> ())));
+  let run1 = Om.Graph.merge_to_file () in
+  Alcotest.(check bool) "run 1 records db -> shard" true
+    (List.exists
+       (fun (e : Om.Graph.edge) -> e.Om.Graph.src = "db.id" && e.dst = "block_cache.shard")
+       run1);
+  Alcotest.(check bool) "run 1 acyclic" true (Om.Graph.cycles run1 = []);
+  (* Run 2: the mirror order with enforcement off — nothing raises, but
+     recording is independent of enforcement, so the edge still lands. *)
+  Om.Graph.reset_run ();
+  with_enforce false (fun () ->
+      Om.with_lock shard (fun () -> Om.with_lock db (fun () -> ())));
+  ignore (Om.Graph.merge_to_file ());
+  let loaded = Om.Graph.load tmp in
+  Alcotest.(check bool) "merged file holds both orders" true
+    (List.exists
+       (fun (e : Om.Graph.edge) -> e.Om.Graph.src = "block_cache.shard" && e.dst = "db.id")
+       loaded
+    && List.exists
+         (fun (e : Om.Graph.edge) -> e.Om.Graph.src = "db.id" && e.dst = "block_cache.shard")
+         loaded);
+  (match Om.Graph.cycles loaded with
+  | [] -> Alcotest.fail "expected a cross-run cycle in the merged graph"
+  | cyc :: _ ->
+    Alcotest.(check bool) "cycle names both locks" true
+      (List.mem "db.id" cyc && List.mem "block_cache.shard" cyc));
+  (* `lsm-lint --lockdep-graph` judges the same file: the cycle is a
+     failing finding. *)
+  let report = Lsm_lint.Lockdep_graph.analyze ~file:tmp ~static_edges:[] in
+  Alcotest.(check (list string)) "lint reports the cycle" [ "R11" ]
+    (List.map
+       (fun (f : Lsm_lint.Finding.t) -> f.Lsm_lint.Finding.rule)
+       report.Lsm_lint.Lockdep_graph.g_findings)
+
 let suite =
   [
     Alcotest.test_case "clean rank ordering passes" `Quick test_clean_ordering;
@@ -141,4 +230,6 @@ let suite =
     Alcotest.test_case "enforcement off is silent" `Quick test_enforcement_off_is_silent;
     Alcotest.test_case "domain pool under lockdep" `Quick test_domain_pool_under_lockdep;
     Alcotest.test_case "engine smoke under lockdep" `Quick test_engine_under_lockdep;
+    Alcotest.test_case "unlock drops exactly one hold" `Quick test_unlock_drops_exactly_one;
+    Alcotest.test_case "graph recorder: cross-run cycle" `Quick test_graph_cross_run_cycle;
   ]

@@ -1,0 +1,233 @@
+(* A lint finding, shared by both frontends (Parsetree and Typedtree),
+   plus the suppression-comment machinery.
+
+   [chain] is populated by the whole-program passes: for R9 it is the
+   inter-module call chain from the lock-holding function to the
+   acquisition that violates the order (e.g. [Db.get -> Table_cache.get
+   -> Block_cache.find]); empty for per-site rules. *)
+
+type t = { file : string; line : int; rule : string; msg : string; chain : string list }
+
+let v ?(chain = []) ~file ~line ~rule msg = { file; line; rule; msg; chain }
+
+let compare_finding a b =
+  match String.compare a.file b.file with
+  | 0 -> (match compare a.line b.line with 0 -> String.compare a.rule b.rule | c -> c)
+  | c -> c
+
+let pp_text ppf f =
+  Format.fprintf ppf "%s:%d %s %s" f.file f.line f.rule f.msg;
+  if f.chain <> [] then Format.fprintf ppf " [chain: %s]" (String.concat " -> " f.chain)
+
+(* Hand-rolled JSON: findings are flat records of strings/ints, and the
+   toolchain has no JSON dependency to lean on. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf {|{"file":"%s","line":%d,"rule":"%s","message":"%s","chain":[%s]}|}
+    (json_escape f.file) f.line (json_escape f.rule) (json_escape f.msg)
+    (String.concat "," (List.map (fun c -> "\"" ^ json_escape c ^ "\"") f.chain))
+
+let list_to_json fs = "[" ^ String.concat ",\n " (List.map to_json fs) ^ "]"
+
+(* ---------------- suppression comments ---------------- *)
+
+(* Per-site suppression: an lsm-lint comment [allow Rn — reason] on the
+   finding's line or the line before. The reason is mandatory; a
+   reasonless or malformed comment is itself a finding (R0). [s_used]
+   is flipped when the suppression absorbs a finding, so the driver can
+   report suppressions that suppress nothing (also R0): stale allows
+   must not rot in the tree. *)
+type suppression = {
+  s_rules : string list;
+  s_first : int;
+  s_last : int;
+  mutable s_used : bool;
+}
+
+(* Scan raw source for comments, tracking comment nesting and string
+   literals (normal "..." with escapes and {tag|...|tag} quoted
+   strings). Returns (start_line, end_line, text) per comment. *)
+let comments_of_source src =
+  let n = String.length src in
+  let line = ref 1 in
+  let comments = ref [] in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  let take () =
+    let c = src.[!i] in
+    bump c;
+    incr i;
+    c
+  in
+  let rec skip_string () =
+    if !i < n then
+      match take () with
+      | '\\' ->
+        if !i < n then ignore (take ());
+        skip_string ()
+      | '"' -> ()
+      | _ -> skip_string ()
+  in
+  let rec skip_quoted tag =
+    if !i < n then
+      match take () with
+      | '|' ->
+        let tl = String.length tag in
+        if !i + tl < n && String.sub src !i tl = tag && src.[!i + tl] = '}' then begin
+          (* the tag and '}' contain no newlines *)
+          i := !i + tl + 1
+        end
+        else skip_quoted tag
+      | _ -> skip_quoted tag
+  in
+  let read_comment start =
+    let buf = Buffer.create 64 in
+    let depth = ref 1 in
+    while !depth > 0 && !i < n do
+      if src.[!i] = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        Buffer.add_string buf "(*";
+        i := !i + 2;
+        incr depth
+      end
+      else if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        i := !i + 2;
+        decr depth;
+        if !depth > 0 then Buffer.add_string buf "*)"
+      end
+      else Buffer.add_char buf (take ())
+    done;
+    comments := (start, !line, Buffer.contents buf) :: !comments
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '"' then begin
+      incr i;
+      skip_string ()
+    end
+    else if c = '{' then begin
+      let j = ref (!i + 1) in
+      while !j < n && (src.[!j] = '_' || (src.[!j] >= 'a' && src.[!j] <= 'z')) do
+        incr j
+      done;
+      if !j < n && src.[!j] = '|' then begin
+        let tag = String.sub src (!i + 1) (!j - !i - 1) in
+        i := !j + 1;
+        skip_quoted tag
+      end
+      else incr i
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let start = !line in
+      i := !i + 2;
+      read_comment start
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  List.rev !comments
+
+let rule_token tok =
+  let tok =
+    if String.length tok > 1 && tok.[String.length tok - 1] = ',' then
+      String.sub tok 0 (String.length tok - 1)
+    else tok
+  in
+  if
+    String.length tok >= 2
+    && tok.[0] = 'R'
+    && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub tok 1 (String.length tok - 1))
+  then Some tok
+  else None
+
+let find_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = if i + nn > nh then None else if String.sub hay i nn = needle then Some i else go (i + 1) in
+  go 0
+
+(* Parse suppressions out of one file's comments: valid suppressions
+   plus R0 findings for malformed / reasonless ones. *)
+let parse_suppressions file comments =
+  let sups = ref [] and bad = ref [] in
+  let r0 line msg = bad := v ~file ~line ~rule:"R0" msg :: !bad in
+  List.iter
+    (fun (first, last_line, text) ->
+      match find_substring text "lsm-lint" with
+      | None -> ()
+      | Some at
+        when (* Only a colon right after the tool name opens a
+                suppression; prose that merely mentions lsm-lint does
+                not. *)
+             let j = ref (at + String.length "lsm-lint") in
+             while !j < String.length text && text.[!j] = ' ' do
+               incr j
+             done;
+             !j < String.length text && text.[!j] = ':' ->
+        let rest = String.sub text at (String.length text - at) in
+        let rest =
+          match String.index_opt rest ':' with
+          | Some c -> String.sub rest (c + 1) (String.length rest - c - 1)
+          | None -> ""
+        in
+        let toks =
+          String.map (fun c -> if c = '\n' || c = '\t' || c = '\r' then ' ' else c) rest
+          |> String.split_on_char ' '
+          |> List.filter (fun s -> s <> "")
+        in
+        (match toks with
+        | "allow" :: more ->
+          let rec take_rules acc = function
+            | tok :: tl -> (
+              match rule_token tok with
+              | Some r -> take_rules (r :: acc) tl
+              | None -> (List.rev acc, tok :: tl))
+            | [] -> (List.rev acc, [])
+          in
+          let rules, reason = take_rules [] more in
+          let reason = match reason with ("\xe2\x80\x94" | "-" | "--" | ":") :: tl -> tl | tl -> tl in
+          if rules = [] then r0 first "lsm-lint comment names no rule (expected: lsm-lint: allow Rn \xe2\x80\x94 reason)"
+          else if reason = [] then
+            r0 first
+              (Printf.sprintf "suppression of %s has no reason (format: lsm-lint: allow Rn \xe2\x80\x94 reason)"
+                 (String.concat "," rules))
+          else sups := { s_rules = rules; s_first = first; s_last = last_line + 1; s_used = false } :: !sups
+        | _ -> r0 first "malformed lsm-lint comment (expected: lsm-lint: allow Rn \xe2\x80\x94 reason)")
+      | Some _ -> ())
+    comments;
+  (!sups, !bad)
+
+(* Marks the matching suppression used — unused ones are reported. *)
+let suppressed sups rule line =
+  match
+    List.find_opt (fun s -> List.mem rule s.s_rules && line >= s.s_first && line <= s.s_last) sups
+  with
+  | Some s ->
+    s.s_used <- true;
+    true
+  | None -> false
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_suppressions path =
+  match read_file path with
+  | src -> parse_suppressions path (comments_of_source src)
+  | exception Sys_error _ -> ([], [])

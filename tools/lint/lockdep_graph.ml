@@ -1,0 +1,69 @@
+(* `lsm-lint --lockdep-graph FILE`: offline judgment of the runtime
+   lockdep graph recorder's output (Ordered_mutex.Graph).
+
+   The recorder merges each run's observed acquired-before edges into a
+   persisted file; a cycle in the *merged* graph means two executions
+   acquired the same locks in opposite orders even though each run on
+   its own was acyclic — the cross-run deadlock class single-run rank
+   enforcement cannot see. Cycles here are failing findings.
+
+   The loaded graph is also cross-checked against the statically
+   inferred relation (R9): runtime edges absent from the static graph
+   expose holes in the static model (an unknown higher-order invoker,
+   an FFI callback); static edges never observed at runtime are
+   untested orderings. Both asymmetries are informational — printed,
+   not findings — since each side over/under-approximates the other by
+   design. *)
+
+module Graph = Lsm_util.Ordered_mutex.Graph
+
+type report = {
+  g_edges : Graph.edge list;
+  g_findings : Finding.t list;  (* one per cycle *)
+  only_runtime : (string * string) list;  (* observed, not derived *)
+  only_static : (string * string) list;  (* derived, never observed *)
+}
+
+let analyze ~file ~(static_edges : Lock_summary.edge list) : report =
+  let g_edges = Graph.load file in
+  let cycles = Graph.cycles g_edges in
+  let g_findings =
+    List.map
+      (fun cyc ->
+        let stack =
+          (* sample stack of the first edge participating in the cycle,
+             if any — gives the reader one concrete acquisition path *)
+          match cyc with
+          | a :: b :: _ -> (
+            match List.find_opt (fun (e : Graph.edge) -> e.src = a && e.dst = b) g_edges with
+            | Some e -> e.stack
+            | None -> [])
+          | _ -> []
+        in
+        Finding.v ~file ~line:1 ~rule:"R11" ~chain:stack
+          (Printf.sprintf "cycle in merged runtime lockdep graph: %s" (String.concat " -> " cyc)))
+      cycles
+  in
+  let runtime_set = List.map (fun (e : Graph.edge) -> (e.src, e.dst)) g_edges in
+  let static_set =
+    List.map (fun (e : Lock_summary.edge) -> (e.Lock_summary.e_src, e.Lock_summary.e_dst)) static_edges
+  in
+  let diff a b = List.filter (fun p -> not (List.mem p b)) a in
+  {
+    g_edges;
+    g_findings;
+    only_runtime = List.sort_uniq compare (diff runtime_set static_set);
+    only_static = List.sort_uniq compare (diff static_set runtime_set);
+  }
+
+let pp_cross_check ppf r =
+  Format.fprintf ppf "lockdep graph: %d observed edge(s), %d cycle(s)@."
+    (List.length r.g_edges) (List.length r.g_findings);
+  if r.only_runtime <> [] then begin
+    Format.fprintf ppf "observed at runtime but not statically derived (static-model holes?):@.";
+    List.iter (fun (s, d) -> Format.fprintf ppf "  %s -> %s@." s d) r.only_runtime
+  end;
+  if r.only_static <> [] then begin
+    Format.fprintf ppf "statically derived but never observed (untested orderings):@.";
+    List.iter (fun (s, d) -> Format.fprintf ppf "  %s -> %s@." s d) r.only_static
+  end

@@ -1,11 +1,10 @@
-(* lsm-lint: AST-driven concurrency & invariant checks for lib/.
+(* The Parsetree frontend: per-file syntactic rules R1-R8.
 
-   The engine's multi-domain correctness rests on structural invariants
-   no type checker sees — which mutex combinator is blessed, what may
-   run under a cache lock, which modules are sealed. This linter makes
-   them machine-checked. It parses each source file with the compiler's
-   own frontend (compiler-libs; parsing only, no typing, so test
-   fixtures need not compile) and walks the Parsetree.
+   These rules deliberately require no typing — each file is parsed
+   with the compiler's own frontend (compiler-libs, parsing only), so
+   test fixtures need not compile and the pass runs on any tree state.
+   Cross-module, resolution-dependent analyses (R9 static lockdep, R10
+   iterator escape) live in the Typedtree frontend (typed_rules.ml).
 
    Rules:
      R1  raw [Mutex.lock]/[unlock]/[try_lock] call sites — everything
@@ -34,14 +33,7 @@
          spurious wakeups and stolen signals, so a wait guarded by a
          single [if] — or by nothing — proceeds on a predicate that may
          no longer hold. Only ordered_mutex.ml itself is exempt (it
-         defines the delegating wrapper).
-
-   Per-site suppression: a comment [(* lsm-lint: allow R2 — reason *)]
-   on the line of (or the line before) the finding. The reason is
-   mandatory; a reasonless or malformed suppression is itself reported
-   (as rule R0) and cannot be suppressed. *)
-
-type finding = { file : string; line : int; rule : string; msg : string }
+         defines the delegating wrapper). *)
 
 let all_rules = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8" ]
 
@@ -54,8 +46,8 @@ let r2_io_modules = [ "Device"; "Wal"; "Sstable" ]
 let lock_combinators = [ "with_lock"; "locked" ]
 
 (* Modules allowed module-level mutable state (documented, reviewed:
-   the lockdep enforcement flag; the scheduler's process-wide
-   background lane singleton). *)
+   the lockdep enforcement flag and graph recorder; the scheduler's
+   process-wide background lane singleton). *)
 let r4_state_allowlist = [ "ordered_mutex.ml"; "scheduler.ml" ]
 
 (* The one module allowed to create domains/threads: the pool. *)
@@ -69,162 +61,6 @@ let r7_exempt = [ "xor_filter.ml" ]
 (* The module defining the blessed wait wrapper: its own
    [Condition.wait] is a one-line delegation, not a wait site. *)
 let r8_exempt = [ "ordered_mutex.ml" ]
-
-let compare_finding a b =
-  match String.compare a.file b.file with
-  | 0 -> (match compare a.line b.line with 0 -> String.compare a.rule b.rule | c -> c)
-  | c -> c
-
-(* ---------------- suppression comments ---------------- *)
-
-type suppression = { s_rules : string list; s_first : int; s_last : int }
-
-(* Scan raw source for comments, tracking comment nesting and string
-   literals (normal "..." with escapes and {tag|...|tag} quoted
-   strings). Returns (start_line, end_line, text) per comment. *)
-let comments_of_source src =
-  let n = String.length src in
-  let line = ref 1 in
-  let comments = ref [] in
-  let i = ref 0 in
-  let bump c = if c = '\n' then incr line in
-  let take () =
-    let c = src.[!i] in
-    bump c;
-    incr i;
-    c
-  in
-  let rec skip_string () =
-    if !i < n then
-      match take () with
-      | '\\' ->
-        if !i < n then ignore (take ());
-        skip_string ()
-      | '"' -> ()
-      | _ -> skip_string ()
-  in
-  let rec skip_quoted tag =
-    if !i < n then
-      match take () with
-      | '|' ->
-        let tl = String.length tag in
-        if !i + tl < n && String.sub src !i tl = tag && src.[!i + tl] = '}' then begin
-          (* the tag and '}' contain no newlines *)
-          i := !i + tl + 1
-        end
-        else skip_quoted tag
-      | _ -> skip_quoted tag
-  in
-  let read_comment start =
-    let buf = Buffer.create 64 in
-    let depth = ref 1 in
-    while !depth > 0 && !i < n do
-      if src.[!i] = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-        Buffer.add_string buf "(*";
-        i := !i + 2;
-        incr depth
-      end
-      else if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
-        i := !i + 2;
-        decr depth;
-        if !depth > 0 then Buffer.add_string buf "*)"
-      end
-      else Buffer.add_char buf (take ())
-    done;
-    comments := (start, !line, Buffer.contents buf) :: !comments
-  in
-  while !i < n do
-    let c = src.[!i] in
-    if c = '"' then begin
-      incr i;
-      skip_string ()
-    end
-    else if c = '{' then begin
-      let j = ref (!i + 1) in
-      while !j < n && (src.[!j] = '_' || (src.[!j] >= 'a' && src.[!j] <= 'z')) do
-        incr j
-      done;
-      if !j < n && src.[!j] = '|' then begin
-        let tag = String.sub src (!i + 1) (!j - !i - 1) in
-        i := !j + 1;
-        skip_quoted tag
-      end
-      else incr i
-    end
-    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-      let start = !line in
-      i := !i + 2;
-      read_comment start
-    end
-    else begin
-      bump c;
-      incr i
-    end
-  done;
-  List.rev !comments
-
-let rule_token tok =
-  let tok =
-    if String.length tok > 1 && tok.[String.length tok - 1] = ',' then
-      String.sub tok 0 (String.length tok - 1)
-    else tok
-  in
-  if
-    String.length tok >= 2
-    && tok.[0] = 'R'
-    && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub tok 1 (String.length tok - 1))
-  then Some tok
-  else None
-
-let find_substring hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec go i = if i + nn > nh then None else if String.sub hay i nn = needle then Some i else go (i + 1) in
-  go 0
-
-(* Parse suppressions out of one file's comments: valid suppressions
-   plus R0 findings for malformed / reasonless ones. *)
-let parse_suppressions file comments =
-  let sups = ref [] and bad = ref [] in
-  let r0 line msg = bad := { file; line; rule = "R0"; msg } :: !bad in
-  List.iter
-    (fun (first, last_line, text) ->
-      match find_substring text "lsm-lint" with
-      | None -> ()
-      | Some at ->
-        let rest = String.sub text at (String.length text - at) in
-        let rest =
-          match String.index_opt rest ':' with
-          | Some c -> String.sub rest (c + 1) (String.length rest - c - 1)
-          | None -> ""
-        in
-        let toks =
-          String.map (fun c -> if c = '\n' || c = '\t' || c = '\r' then ' ' else c) rest
-          |> String.split_on_char ' '
-          |> List.filter (fun s -> s <> "")
-        in
-        (match toks with
-        | "allow" :: more ->
-          let rec take_rules acc = function
-            | tok :: tl -> (
-              match rule_token tok with
-              | Some r -> take_rules (r :: acc) tl
-              | None -> (List.rev acc, tok :: tl))
-            | [] -> (List.rev acc, [])
-          in
-          let rules, reason = take_rules [] more in
-          let reason = match reason with ("\xe2\x80\x94" | "-" | "--" | ":") :: tl -> tl | tl -> tl in
-          if rules = [] then r0 first "lsm-lint comment names no rule (expected: lsm-lint: allow Rn \xe2\x80\x94 reason)"
-          else if reason = [] then
-            r0 first
-              (Printf.sprintf "suppression of %s has no reason (format: lsm-lint: allow Rn \xe2\x80\x94 reason)"
-                 (String.concat "," rules))
-          else sups := { s_rules = rules; s_first = first; s_last = last_line + 1 } :: !sups
-        | _ -> r0 first "malformed lsm-lint comment (expected: lsm-lint: allow Rn \xe2\x80\x94 reason)"))
-    comments;
-  (!sups, !bad)
-
-let suppressed sups rule line =
-  List.exists (fun s -> List.mem rule s.s_rules && line >= s.s_first && line <= s.s_last) sups
 
 (* ---------------- AST helpers ---------------- *)
 
@@ -263,10 +99,10 @@ type ctx = {
   file : string;
   base : string;
   active : string -> bool;
-  mutable out : finding list;
+  mutable out : Finding.t list;
 }
 
-let emit ctx rule line msg = ctx.out <- { file = ctx.file; line; rule; msg } :: ctx.out
+let emit ctx rule line msg = ctx.out <- Finding.v ~file:ctx.file ~line ~rule msg :: ctx.out
 
 let check_r1 ctx e =
   if ctx.active "R1" && not (List.mem ctx.base r1_exempt) then begin
@@ -467,23 +303,18 @@ let lint_structure ctx (str : structure) =
   let iter = { Ast_iterator.default_iterator with expr; structure_item } in
   iter.structure iter str
 
-(* ---------------- driver ---------------- *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+(* ---------------- per-file entry point ---------------- *)
 
 let parse_impl path src =
   let lexbuf = Lexing.from_string src in
   Location.init lexbuf path;
   Parse.implementation lexbuf
 
+(* Raw findings for one file; suppression filtering is the driver's
+   job (it also owns unused-suppression reporting). *)
 let lint_file ~active path =
   let base = Filename.basename path in
-  let src = read_file path in
-  let sups, bad = parse_suppressions path (comments_of_source src) in
+  let src = Finding.read_file path in
   let ctx = { file = path; base; active; out = [] } in
   (match parse_impl path src with
   | str -> lint_structure ctx str
@@ -492,8 +323,7 @@ let lint_file ~active path =
     emit ctx "R3" 1
       (Printf.sprintf "module %s has no .mli: internal mutable state is unsealed"
          (Filename.remove_extension base));
-  let kept = List.filter (fun f -> f.rule = "R0" || not (suppressed sups f.rule f.line)) ctx.out in
-  bad @ kept
+  ctx.out
 
 let rec collect_ml path =
   if Sys.is_directory path then
@@ -501,15 +331,3 @@ let rec collect_ml path =
     |> List.concat_map (fun entry -> collect_ml (Filename.concat path entry))
   else if Filename.check_suffix path ".ml" then [ path ]
   else []
-
-let lint_paths ?(rules = all_rules) paths =
-  let active r = List.mem r rules in
-  paths |> List.concat_map collect_ml |> List.concat_map (lint_file ~active)
-  |> List.sort compare_finding
-
-let pp_finding ppf (f : finding) = Format.fprintf ppf "%s:%d %s %s" f.file f.line f.rule f.msg
-
-let run ?rules paths =
-  let findings = lint_paths ?rules paths in
-  List.iter (fun f -> Format.printf "%a@." pp_finding f) findings;
-  if findings = [] then 0 else 1

@@ -1,0 +1,45 @@
+(* Typedtree frontend orchestration: load the .cmt set once, run the
+   whole-program passes that need resolved paths and inferred types —
+   R9 (static lockdep, Lock_summary) and R10 (iterator/read-view
+   escape, Escape) — and hand back findings plus the derived lock-order
+   facts for printing and for the runtime-graph cross-check. *)
+
+type t = {
+  infos : Cmts.info list;
+  lock_order : Lock_summary.result;
+  escape_findings : Finding.t list;
+}
+
+let load roots = Cmts.load roots
+
+let analyze ?(active = [ "R9"; "R10" ]) infos =
+  let lock_order =
+    if List.mem "R9" active then Lock_summary.analyze infos
+    else { Lock_summary.classes = []; edges = []; findings = [] }
+  in
+  let escape_findings = if List.mem "R10" active then Escape.analyze infos else [] in
+  { infos; lock_order; escape_findings }
+
+let findings t = t.lock_order.Lock_summary.findings @ t.escape_findings
+
+let pp_rank_opt ppf = function
+  | Some r -> Format.fprintf ppf "%d" r
+  | None -> Format.fprintf ppf "?"
+
+(* `lsm-lint --lock-order`: the independently derived hierarchy — the
+   classes bound at Ordered_mutex.create sites (rank order) and every
+   acquired-before edge the expansion produced, with its witness
+   chain. On a clean tree this reprints the Rank table of
+   lib/util/ordered_mutex.ml from the code alone. *)
+let pp_lock_order ppf (r : Lock_summary.result) =
+  Format.fprintf ppf "lock classes (derived from create sites, rank order):@.";
+  List.iter
+    (fun (name, rank) -> Format.fprintf ppf "  %a  %s@." pp_rank_opt rank name)
+    r.Lock_summary.classes;
+  Format.fprintf ppf "acquired-before edges (static, may-analysis):@.";
+  List.iter
+    (fun (e : Lock_summary.edge) ->
+      Format.fprintf ppf "  %s (%a) -> %s (%a)  via %s@." e.e_src pp_rank_opt e.e_src_rank
+        e.e_dst pp_rank_opt e.e_dst_rank
+        (String.concat " -> " e.e_chain))
+    r.Lock_summary.edges
