@@ -6,29 +6,35 @@
    dune exec bench/main.exe -- --parallel - parallel-compaction bench (JSON)
    dune exec bench/main.exe -- --stall   - write-stall bench, inline vs background (JSON)
    dune exec bench/main.exe -- --server  - sharded front-door closed-loop bench (JSON)
+   dune exec bench/main.exe -- --read-path - zero-copy read-path allocation bench + gate (JSON)
    dune exec bench/main.exe -- --crash   - crash-recovery fault-injection smoke
    dune exec bench/main.exe -- --corruption - silent-corruption bit-rot smoke
    dune exec bench/main.exe -- --list    - list experiments *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse only micro list_only par stall crash rot srv = function
-    | [] -> (only, micro, list_only, par, stall, crash, rot, srv)
-    | "--micro" :: rest -> parse only true list_only par stall crash rot srv rest
-    | "--parallel" :: rest -> parse only micro list_only true stall crash rot srv rest
-    | "--stall" :: rest -> parse only micro list_only par true crash rot srv rest
-    | "--crash" :: rest -> parse only micro list_only par stall true rot srv rest
-    | "--corruption" :: rest -> parse only micro list_only par stall crash true srv rest
-    | "--server" :: rest -> parse only micro list_only par stall crash rot true rest
-    | "--list" :: rest -> parse only micro true par stall crash rot srv rest
-    | "--only" :: id :: rest -> parse (id :: only) micro list_only par stall crash rot srv rest
+  let rec parse only micro list_only par stall crash rot srv rp = function
+    | [] -> (only, micro, list_only, par, stall, crash, rot, srv, rp)
+    | "--micro" :: rest -> parse only true list_only par stall crash rot srv rp rest
+    | "--parallel" :: rest -> parse only micro list_only true stall crash rot srv rp rest
+    | "--stall" :: rest -> parse only micro list_only par true crash rot srv rp rest
+    | "--crash" :: rest -> parse only micro list_only par stall true rot srv rp rest
+    | "--corruption" :: rest -> parse only micro list_only par stall crash true srv rp rest
+    | "--server" :: rest -> parse only micro list_only par stall crash rot true rp rest
+    | "--read-path" :: rest -> parse only micro list_only par stall crash rot srv true rest
+    | "--list" :: rest -> parse only micro true par stall crash rot srv rp rest
+    | "--only" :: id :: rest -> parse (id :: only) micro list_only par stall crash rot srv rp rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
       exit 2
   in
-  let only, micro, list_only, par, stall, crash, rot, srv =
-    parse [] false false false false false false false args
+  let only, micro, list_only, par, stall, crash, rot, srv, rp =
+    parse [] false false false false false false false false args
   in
+  if rp then begin
+    Read_path.run ();
+    exit 0
+  end;
   if crash then begin
     Crash_smoke.run ();
     exit 0

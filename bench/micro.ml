@@ -53,7 +53,7 @@ let block_decode =
   let encoded = Lsm_sstable.Block.Builder.finish b in
   Test.make ~name:"block-decode+scan(100)"
     (Staged.stage (fun () ->
-         let it = Lsm_sstable.Block.iterator cmp (Lsm_sstable.Block.decode_check encoded) in
+         let it = Lsm_sstable.Block.iterator cmp (Lsm_sstable.Block.parse_checked encoded) in
          it.Iter.seek_to_first ();
          while it.Iter.valid () do
            it.Iter.next ()

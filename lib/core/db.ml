@@ -37,7 +37,7 @@ type quarantine_entry = {
 type t = {
   cfg : Config.t;
   dev : Device.t;
-  cache : Block_cache.t;
+  cache : Sstable.cached_block Block_cache.t;
   tables : Table_cache.t;
   db_stats : Stats.t;
   mutable active : buffer_unit;

@@ -202,7 +202,7 @@ val set_block_cache_bytes : t -> int -> unit
 val stats : t -> Stats.t
 val io_stats : t -> Lsm_storage.Io_stats.t
 val version : t -> Version.t
-val block_cache : t -> Lsm_storage.Block_cache.t
+val block_cache : t -> Lsm_sstable.Sstable.cached_block Lsm_storage.Block_cache.t
 val table_cache : t -> Lsm_sstable.Table_cache.t
 val tick : t -> int
 

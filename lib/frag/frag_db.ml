@@ -44,7 +44,7 @@ type guard = { gkey : string; mutable frags : Table_meta.t list (* newest first 
 type t = {
   cfg : config;
   dev : Device.t;
-  cache : Block_cache.t;
+  cache : Sstable.cached_block Block_cache.t;
   tables : Table_cache.t;
   mutable mem : Memtable.t;
   mutable l0 : Table_meta.t list;  (** newest first *)

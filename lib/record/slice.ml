@@ -1,0 +1,52 @@
+(* A borrowed [(base, off, len)] view of bytes inside a larger string —
+   the record layer's currency for zero-copy reads. A slice does not own
+   its backing string: whoever hands one out (the block cursor, over a
+   pinned cached block body) guarantees the base outlives the borrow.
+   Materializing ([to_string]) is the single place a copy happens, so
+   callers can see exactly where the allocation is. *)
+
+type t = { base : string; off : int; len : int }
+
+let v base ~off ~len =
+  if off < 0 || len < 0 || off + len > String.length base then
+    invalid_arg "Slice.v: out of bounds";
+  { base; off; len }
+
+let of_string s = { base = s; off = 0; len = String.length s }
+let length s = s.len
+let is_empty s = s.len = 0
+let get s i = if i < 0 || i >= s.len then invalid_arg "Slice.get" else s.base.[s.off + i]
+let to_string s = String.sub s.base s.off s.len
+
+let compare_string s b =
+  let nb = String.length b in
+  let n = min s.len nb in
+  let rec loop i =
+    if i >= n then Int.compare s.len nb
+    else
+      let c = Char.compare (String.unsafe_get s.base (s.off + i)) (String.unsafe_get b i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let equal_string s b = String.length b = s.len && compare_string s b = 0
+
+let compare a b =
+  let n = min a.len b.len in
+  let rec loop i =
+    if i >= n then Int.compare a.len b.len
+    else
+      let c =
+        Char.compare (String.unsafe_get a.base (a.off + i)) (String.unsafe_get b.base (b.off + i))
+      in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let equal a b = a.len = b.len && compare a b = 0
+
+let blit s buf ~dst =
+  if dst < 0 || dst + s.len > Bytes.length buf then invalid_arg "Slice.blit: out of bounds";
+  Bytes.blit_string s.base s.off buf dst s.len
+
+let pp ppf s = Format.fprintf ppf "%S" (to_string s)

@@ -1,0 +1,41 @@
+(** Borrowed byte views for the zero-copy read path.
+
+    A slice is an [(off, len)] window into a backing string it does not
+    own. The block cursor decodes values as slices of the cached block
+    body, so nothing is copied until a caller actually takes the bytes —
+    {!to_string} is the one materialization point. The borrow is only
+    valid while the backing block stays reachable (the cursor's pin);
+    holders must not stash slices past that scope. *)
+
+type t = private { base : string; off : int; len : int }
+
+val v : string -> off:int -> len:int -> t
+(** @raise Invalid_argument if [off]/[len] fall outside [base]. *)
+
+val of_string : string -> t
+(** Whole-string view; no copy. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val get : t -> int -> char
+(** @raise Invalid_argument out of bounds. *)
+
+val to_string : t -> string
+(** Materialize (the only copying operation). *)
+
+val compare_string : t -> string -> int
+(** Bytewise compare against a string, allocation-free. *)
+
+val equal_string : t -> string -> bool
+
+val compare : t -> t -> int
+(** Bytewise slice-to-slice compare, allocation-free. *)
+
+val equal : t -> t -> bool
+
+val blit : t -> Bytes.t -> dst:int -> unit
+(** Copy the viewed bytes into [buf] at [dst].
+    @raise Invalid_argument if the destination range is out of bounds. *)
+
+val pp : Format.formatter -> t -> unit

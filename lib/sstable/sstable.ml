@@ -126,15 +126,19 @@ let frame_block compression data =
    gigabyte-sized allocation before the CRC check can reject the block. *)
 let max_raw_block = 1 lsl 26
 
+(* Unframe without copying where possible: a raw (tag 0) block is
+   returned as the framed buffer itself with records starting at offset
+   1, so the only copy on that path is the device read. A compressed
+   block necessarily materializes its decompressed form (base 0). *)
 let unframe_block framed =
   let r = Codec.reader framed in
   match Codec.get_u8 r with
-  | 0 -> Codec.get_raw r (Codec.remaining r)
+  | 0 -> (framed, 1)
   | 1 ->
     let raw_len = Codec.get_varint r in
     if raw_len > max_raw_block then
       raise (Codec.Corrupt (Printf.sprintf "implausible block length %d" raw_len));
-    Lsm_util.Lz.decompress (Codec.get_raw r (Codec.remaining r)) ~expected_len:raw_len
+    (Lsm_util.Lz.decompress (Codec.get_raw r (Codec.remaining r)) ~expected_len:raw_len, 0)
   | n -> raise (Codec.Corrupt (Printf.sprintf "unknown block frame tag %d" n))
 
 type index_entry = { fence : string; off : int; len : int; first_key : string }
@@ -302,10 +306,12 @@ let build ?(config = default_build_config) ~cmp ~dev ~cls ~name ~created_at (it 
 
 let footer_size = 40
 
+type cached_block = Block.parsed
+
 type reader = {
   cmp : Comparator.t;
   dev : Device.t;
-  cache : Block_cache.t;
+  cache : cached_block Block_cache.t;
   rname : string;
   size : int;
   index : index_entry array;
@@ -390,30 +396,51 @@ let may_overlap_range t ~lo ~hi =
    raise more than [Codec.Corrupt] (e.g. [Invalid_argument]), and none of
    them may escape as anything but [Corruption]. *)
 let decode_block t (ie : index_entry) raw =
-  try Block.decode_check (unframe_block raw) with
+  try
+    let buf, base = unframe_block raw in
+    Block.parse_checked ~base buf
+  with
   | Codec.Corrupt d ->
     raise (Lsm_error.corruption ~file:t.rname ~offset:ie.off ("data block: " ^ d))
   | Invalid_argument d | Failure d ->
     raise
       (Lsm_error.corruption ~file:t.rname ~offset:ie.off ("undecodable data block: " ^ d))
 
-(* Data block fetch, through the cache. A block enters the cache only
-   after its checksum and framing have been validated — a fetch that
-   fails (or decodes to garbage) never poisons later reads; a cached
-   copy that stops decoding (cannot happen unless memory itself rots) is
-   evicted before the error propagates. *)
-let load_block t ~cls ~use_cache (ie : index_entry) =
-  match Block_cache.find t.cache ~file:t.rname ~off:ie.off with
-  | Some raw ->
-    (try decode_block t ie raw
-     with Lsm_error.Error _ as e ->
-       ignore (Block_cache.evict_file t.cache t.rname);
-       raise e)
-  | None ->
+(* Record-level decode happens lazily, after the block-level CRC has
+   passed; a [Codec.Corrupt] escaping a cursor at that point still has
+   to surface as a typed corruption pinned to this block. *)
+let run_typed t (ie : index_entry) f =
+  try f () with
+  | Codec.Corrupt d ->
+    raise (Lsm_error.corruption ~file:t.rname ~offset:ie.off ("data block: " ^ d))
+
+let cache_insert t (ie : index_entry) p =
+  Block_cache.insert t.cache ~file:t.rname ~off:ie.off ~bytes:(Block.parsed_cost p) p
+
+(* Data block access, through the cache. The cache stores *decoded*
+   blocks ([Block.parsed]): CRC and decompression are paid exactly once
+   per miss, and a hit hands [f] the parsed view directly. A block
+   enters the cache only after validation, so a cached copy that stops
+   decoding (memory rot) is exceptional: it is removed alone — the
+   file's other blocks stay hot — and the read retried once against the
+   device. *)
+let with_block t ~cls ~use_cache (ie : index_entry) f =
+  let fetch_fresh () =
     let raw = read_with_retry t.dev ~cls t.rname ~off:ie.off ~len:ie.len in
-    let block = decode_block t ie raw in
-    if use_cache then Block_cache.insert t.cache ~file:t.rname ~off:ie.off raw;
-    block
+    decode_block t ie raw
+  in
+  match Block_cache.find t.cache ~file:t.rname ~off:ie.off with
+  | Some p -> (
+    try run_typed t ie (fun () -> f p)
+    with Lsm_error.Error (Lsm_error.Corruption _) ->
+      Block_cache.remove t.cache ~file:t.rname ~off:ie.off;
+      let p = fetch_fresh () in
+      if use_cache then cache_insert t ie p;
+      run_typed t ie (fun () -> f p))
+  | None ->
+    let p = fetch_fresh () in
+    if use_cache then cache_insert t ie p;
+    run_typed t ie (fun () -> f p)
 
 (* First index slot whose fence key is >= target: the only block that can
    contain [target]. *)
@@ -426,28 +453,43 @@ let index_seek t target =
   done;
   !lo
 
+(* Point lookup on the zero-copy path: [Block.find] positions a cursor
+   without building an iterator, the version walk compares and inspects
+   borrowed views, and [Cursor.entry] materializes only the one record
+   the read actually returns. *)
 let get t ~cls ?(max_seqno = max_int) key =
   if not (may_contain_key t key) then None
   else begin
     let slot = index_seek t key in
     if slot >= Array.length t.index then None
-    else begin
-      let it = Block.iterator t.cmp (load_block t ~cls ~use_cache:true t.index.(slot)) in
-      it.Iter.seek key;
-      let rec walk () =
-        if not (it.Iter.valid ()) then None
-        else
-          let e = it.Iter.entry () in
-          if t.cmp.Comparator.compare e.Entry.key key <> 0 then None
-          else if e.Entry.seqno <= max_seqno && e.Entry.kind <> Entry.Range_delete then Some e
-          else begin
-            it.Iter.next ();
-            walk ()
-          end
-      in
-      walk ()
-    end
+    else
+      with_block t ~cls ~use_cache:true t.index.(slot) (fun p ->
+          let cur = Block.find t.cmp p key in
+          let rec walk () =
+            if not (Block.Cursor.valid cur) then None
+            else if Block.Cursor.key_compare cur key <> 0 then None
+            else if
+              Block.Cursor.seqno cur <= max_seqno && Block.Cursor.kind cur <> Entry.Range_delete
+            then Some (Block.Cursor.entry cur)
+            else begin
+              Block.Cursor.next cur;
+              walk ()
+            end
+          in
+          walk ())
   end
+
+(* A block iterator that escapes [with_block] keeps decoding records
+   lazily; wrap its operations so a stray [Codec.Corrupt] surfaces as a
+   typed corruption pinned to the block. *)
+let typed_iter t ie (it : Iter.t) =
+  {
+    Iter.valid = it.Iter.valid;
+    entry = (fun () -> run_typed t ie it.Iter.entry);
+    next = (fun () -> run_typed t ie it.Iter.next);
+    seek = (fun target -> run_typed t ie (fun () -> it.Iter.seek target));
+    seek_to_first = (fun () -> run_typed t ie it.Iter.seek_to_first);
+  }
 
 let iterator t ~cls ?(use_cache = true) () =
   let nblocks = Array.length t.index in
@@ -456,7 +498,8 @@ let iterator t ~cls ?(use_cache = true) () =
   let open_slot i =
     slot := i;
     if i < nblocks then begin
-      block_iter := Block.iterator t.cmp (load_block t ~cls ~use_cache t.index.(i));
+      let ie = t.index.(i) in
+      block_iter := with_block t ~cls ~use_cache ie (fun p -> typed_iter t ie (Block.iterator t.cmp p));
       !block_iter.Iter.seek_to_first ()
     end
     else block_iter := Iter.empty
@@ -494,9 +537,8 @@ let prefetch_into_cache t ~cls =
   Array.iter
     (fun ie ->
       let data = read_with_retry t.dev ~cls t.rname ~off:ie.off ~len:ie.len in
-      (* Same rule as [load_block]: nothing unvalidated enters the cache. *)
-      ignore (decode_block t ie data);
-      Block_cache.insert t.cache ~file:t.rname ~off:ie.off data)
+      (* Same rule as [with_block]: nothing unvalidated enters the cache. *)
+      cache_insert t ie (decode_block t ie data))
     t.index;
   Array.length t.index
 
@@ -506,7 +548,7 @@ let index_entries t = t.index
 
 let block_entries t ~cls (ie : index_entry) =
   let raw = read_with_retry t.dev ~cls t.rname ~off:ie.off ~len:ie.len in
-  let it = Block.iterator t.cmp (decode_block t ie raw) in
+  let it = typed_iter t ie (Block.iterator t.cmp (decode_block t ie raw)) in
   it.Iter.seek_to_first ();
   let out = ref [] in
   while it.Iter.valid () do

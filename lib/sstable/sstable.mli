@@ -60,12 +60,17 @@ val build :
 
 (** {1 Reading} *)
 
+type cached_block = Block.parsed
+(** What the shared block cache stores for SSTables: blocks that are
+    already CRC-verified, decompressed, and restart-parsed — decode-once
+    caching, so a hit re-pays neither checksum nor decompression. *)
+
 type reader
 
 val open_reader :
   cmp:Lsm_util.Comparator.t ->
   dev:Lsm_storage.Device.t ->
-  cache:Lsm_storage.Block_cache.t ->
+  cache:cached_block Lsm_storage.Block_cache.t ->
   name:string ->
   reader
 (** Reads footer, index, filters, and properties into memory, verifying

@@ -14,7 +14,7 @@ type node = {
 type t = {
   cmp : Lsm_util.Comparator.t;
   dev : Lsm_storage.Device.t;
-  cache : Lsm_storage.Block_cache.t;
+  cache : Sstable.cached_block Lsm_storage.Block_cache.t;
   m : Lsm_util.Ordered_mutex.t;
   mutable cap : int;
   readers : (string, node) Hashtbl.t;

@@ -17,7 +17,7 @@ val create :
   ?capacity:int ->
   cmp:Lsm_util.Comparator.t ->
   dev:Lsm_storage.Device.t ->
-  cache:Lsm_storage.Block_cache.t ->
+  cache:Sstable.cached_block Lsm_storage.Block_cache.t ->
   unit ->
   t
 (** [capacity] (default unbounded) is the maximum number of readers kept
@@ -46,4 +46,4 @@ val total_opens : t -> int
 val evictions : t -> int
 (** Readers dropped by the capacity bound (not by {!evict}). *)
 
-val block_cache : t -> Lsm_storage.Block_cache.t
+val block_cache : t -> Sstable.cached_block Lsm_storage.Block_cache.t

@@ -2,24 +2,31 @@
    (hashtable + intrusive doubly-linked list) LRU with its own mutex, so
    domains running parallel subcompactions or fanned-out point lookups
    contend only when they touch the same stripe. Keys route by hash of
-   (file, offset); stats aggregate across shards. *)
+   (file, offset); stats aggregate across shards.
+
+   The cache is polymorphic in what it stores. The engine keeps
+   *decoded* blocks (verified, decompressed, restart-parsed) so a hit
+   never re-pays CRC or decompression; because a decoded entry is not a
+   string, the byte charge is explicit — [insert ~bytes] — rather than
+   derived, and [used_bytes] accounts those charges. *)
 
 type key = string * int
 
 module Shard = struct
-  type node = {
+  type 'a node = {
     nkey : key;
-    data : string;
-    mutable prev : node option;
-    mutable next : node option;
+    data : 'a;
+    nbytes : int;  (** the byte charge declared at insert *)
+    mutable prev : 'a node option;
+    mutable next : 'a node option;
   }
 
-  type t = {
+  type 'a t = {
     m : Lsm_util.Ordered_mutex.t;
     mutable cap : int;
-    table : (key, node) Hashtbl.t;
-    mutable head : node option;  (** most recently used *)
-    mutable tail : node option;  (** least recently used *)
+    table : (key, 'a node) Hashtbl.t;
+    mutable head : 'a node option;  (** most recently used *)
+    mutable tail : 'a node option;  (** least recently used *)
     mutable used : int;
     mutable hits : int;
     mutable misses : int;
@@ -58,7 +65,7 @@ module Shard = struct
   let remove_node t n =
     unlink t n;
     Hashtbl.remove t.table n.nkey;
-    t.used <- t.used - String.length n.data
+    t.used <- t.used - n.nbytes
 
   let find t ~file ~off =
     locked t @@ fun () ->
@@ -86,18 +93,28 @@ module Shard = struct
     t.cap <- capacity;
     evict_until_fits t
 
-  let insert t ~file ~off data =
+  let insert t ~file ~off ~bytes data =
+    if bytes < 0 then invalid_arg "Block_cache.insert: negative byte charge";
     locked t @@ fun () ->
-    if String.length data <= t.cap && t.cap > 0 then begin
+    if bytes <= t.cap && t.cap > 0 then begin
       (match Hashtbl.find_opt t.table (file, off) with
       | Some old -> remove_node t old
       | None -> ());
-      let n = { nkey = (file, off); data; prev = None; next = None } in
+      let n = { nkey = (file, off); data; nbytes = bytes; prev = None; next = None } in
       Hashtbl.replace t.table n.nkey n;
       push_front t n;
-      t.used <- t.used + String.length data;
+      t.used <- t.used + bytes;
       evict_until_fits t
     end
+
+  (* Targeted invalidation of one entry: the corrupt-cached-block path
+     drops exactly the offending (file, off) and leaves the file's other
+     blocks hot. Not counted as a capacity eviction. *)
+  let remove t ~file ~off =
+    locked t @@ fun () ->
+    match Hashtbl.find_opt t.table (file, off) with
+    | Some n -> remove_node t n
+    | None -> ()
 
   let evict_file t file =
     locked t @@ fun () ->
@@ -121,7 +138,7 @@ module Shard = struct
     t.evictions <- 0
 end
 
-type t = Shard.t array
+type 'a t = 'a Shard.t array
 
 (* Byte budget split as evenly as integer division allows; the first
    [capacity mod n] shards take the remainder byte each. *)
@@ -142,9 +159,9 @@ let shard_of t ~file ~off =
 
 let sum f t = Array.fold_left (fun acc s -> acc + f s) 0 t
 
-let capacity t = sum (fun (s : Shard.t) -> s.Shard.cap) t
-let used_bytes t = sum (fun (s : Shard.t) -> s.Shard.used) t
-let block_count t = sum (fun (s : Shard.t) -> Hashtbl.length s.Shard.table) t
+let capacity t = sum (fun (s : _ Shard.t) -> s.Shard.cap) t
+let used_bytes t = sum (fun (s : _ Shard.t) -> s.Shard.used) t
+let block_count t = sum (fun (s : _ Shard.t) -> Hashtbl.length s.Shard.table) t
 
 let set_capacity t capacity =
   if capacity < 0 then invalid_arg "Block_cache.set_capacity: negative capacity";
@@ -152,7 +169,8 @@ let set_capacity t capacity =
   Array.iteri (fun i s -> Shard.set_capacity s caps.(i)) t
 
 let find t ~file ~off = Shard.find (shard_of t ~file ~off) ~file ~off
-let insert t ~file ~off data = Shard.insert (shard_of t ~file ~off) ~file ~off data
+let insert t ~file ~off ~bytes data = Shard.insert (shard_of t ~file ~off) ~file ~off ~bytes data
+let remove t ~file ~off = Shard.remove (shard_of t ~file ~off) ~file ~off
 
 let get_or_load t ~file ~off load =
   let s = shard_of t ~file ~off in
@@ -161,16 +179,16 @@ let get_or_load t ~file ~off load =
   | None ->
     (* Load outside the shard lock: a racing domain may load the same
        block twice, but never blocks behind another shard's I/O. *)
-    let data = load () in
-    Shard.insert s ~file ~off data;
+    let data, bytes = load () in
+    Shard.insert s ~file ~off ~bytes data;
     data
 
 let evict_file t file = sum (fun s -> Shard.evict_file s file) t
 let clear t = Array.iter Shard.clear t
 
-let hits t = sum (fun (s : Shard.t) -> s.Shard.hits) t
-let misses t = sum (fun (s : Shard.t) -> s.Shard.misses) t
-let evictions t = sum (fun (s : Shard.t) -> s.Shard.evictions) t
+let hits t = sum (fun (s : _ Shard.t) -> s.Shard.hits) t
+let misses t = sum (fun (s : _ Shard.t) -> s.Shard.misses) t
+let evictions t = sum (fun (s : _ Shard.t) -> s.Shard.evictions) t
 
 let hit_rate t =
   let lookups = hits t + misses t in

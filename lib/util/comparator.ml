@@ -40,3 +40,45 @@ let short_successor c k =
 
 let min_key c a b = if c.compare a b <= 0 then a else b
 let max_key c a b = if c.compare a b >= 0 then a else b
+
+(* Allocation-free slice comparisons for the built-in comparators; the
+   zero-copy block cursor compares prefix-reassembled keys and raw body
+   spans against targets without materializing strings. Custom
+   comparators fall back to materializing the slice. *)
+
+(* The loops below are top-level recursions, not nested [let rec]s: a
+   local loop capturing the operands would allocate a closure on every
+   comparison, and the block cursor does several per seek. *)
+let rec sub_loop s pos len b nb n i =
+  if i >= n then Int.compare len nb
+  else
+    let c = Char.compare (String.unsafe_get s (pos + i)) (String.unsafe_get b i) in
+    if c <> 0 then c else sub_loop s pos len b nb n (i + 1)
+
+let bytewise_sub s pos len b =
+  let nb = String.length b in
+  sub_loop s pos len b nb (min len nb) 0
+
+let compare_sub c s ~pos ~len b =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Comparator.compare_sub: slice out of bounds";
+  if c.name = "bytewise" then bytewise_sub s pos len b
+  else if c.name = "reverse-bytewise" then -bytewise_sub s pos len b
+  else c.compare (String.sub s pos len) b
+
+let rec bytes_loop s len b nb n i =
+  if i >= n then Int.compare len nb
+  else
+    let c = Char.compare (Bytes.unsafe_get s i) (String.unsafe_get b i) in
+    if c <> 0 then c else bytes_loop s len b nb n (i + 1)
+
+let bytewise_bytes s len b =
+  let nb = String.length b in
+  bytes_loop s len b nb (min len nb) 0
+
+let compare_bytes c s ~len b =
+  if len < 0 || len > Bytes.length s then
+    invalid_arg "Comparator.compare_bytes: length out of bounds";
+  if c.name = "bytewise" then bytewise_bytes s len b
+  else if c.name = "reverse-bytewise" then -bytewise_bytes s len b
+  else c.compare (Bytes.sub_string s 0 len) b

@@ -22,3 +22,15 @@ val short_successor : t -> string -> string
 
 val min_key : t -> string -> string -> string
 val max_key : t -> string -> string -> string
+
+val compare_sub : t -> string -> pos:int -> len:int -> string -> int
+(** [compare_sub c s ~pos ~len b] compares the slice [s.[pos..pos+len)]
+    against [b] under [c] — allocation-free for {!bytewise} and
+    {!reverse_bytewise}; custom comparators pay one substring copy.
+    @raise Invalid_argument if the slice is out of bounds. *)
+
+val compare_bytes : t -> Bytes.t -> len:int -> string -> int
+(** [compare_bytes c buf ~len b] compares [buf[0..len)] against [b]
+    under [c], allocation-free for the built-in comparators. This is the
+    block cursor's key comparison: the current key lives in a reusable
+    arena buffer and is never materialized just to be compared. *)

@@ -1,0 +1,26 @@
+(* R12 fixture: allocation-heavy idioms on the block hot path. Parsed,
+   never compiled. *)
+
+let decode_record prev src pos shared unshared =
+  (* one finding: the classic double-copy key reconstruction *)
+  String.sub prev 0 shared ^ String.sub src pos unshared
+
+let join_restart_keys keys =
+  (* one finding: a list plus a fresh string per record *)
+  String.concat "" keys
+
+let drain_keys buf n =
+  let out = ref [] in
+  for _ = 1 to n do
+    (* one finding: a copy per iteration *)
+    out := Bytes.to_string buf :: !out
+  done;
+  !out
+
+let spin_until_key buf =
+  let k = ref "" in
+  while String.length !k = 0 do
+    (* one finding: same idiom under a while loop *)
+    k := Bytes.to_string buf
+  done;
+  !k

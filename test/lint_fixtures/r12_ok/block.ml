@@ -1,0 +1,20 @@
+(* R12 fixture: the blessed zero-copy idioms — arena blits, one-shot
+   materialization outside loops. Parsed, never compiled. *)
+
+let decode_record kbuf src pos shared unshared =
+  (* extend the shared prefix in place: no per-record string *)
+  Bytes.blit_string src pos kbuf shared unshared;
+  shared + unshared
+
+let materialize_once kbuf klen =
+  (* a single copy when the caller takes the record is fine *)
+  Bytes.sub_string kbuf 0 klen
+
+let hoisted buf n =
+  (* materialization hoisted out of the loop: fine *)
+  let s = Bytes.to_string buf in
+  let out = ref [] in
+  for _ = 1 to n do
+    out := s :: !out
+  done;
+  !out

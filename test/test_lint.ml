@@ -43,6 +43,11 @@ let test_r6 = check_flagged "R6" ~bad:"r6_bad" ~ok:"r6_ok" ~expect:2
 let test_r7 = check_flagged "R7" ~bad:"r7_bad" ~ok:"r7_ok" ~expect:3
 let test_r8 = check_flagged "R8" ~bad:"r8_bad" ~ok:"r8_ok" ~expect:2
 
+(* r12_ok also contains other_module.ml carrying the same bad idioms
+   under a non-hot file name: a clean pass proves both the blessed
+   arena idioms and the file-name scoping. *)
+let test_r12 = check_flagged "R12" ~bad:"r12_bad" ~ok:"r12_ok" ~expect:4
+
 let test_r2_only_in_cache_modules () =
   (* The same I/O-under-lock shape in a non-cache module is not R2's
      business: the rule is about the fan-out hot-path locks. *)
@@ -198,6 +203,7 @@ let suite =
     Alcotest.test_case "R6: raw spawn fixtures" `Quick test_r6;
     Alcotest.test_case "R7: untyped failwith fixtures" `Quick test_r7;
     Alcotest.test_case "R8: unlooped condition wait fixtures" `Quick test_r8;
+    Alcotest.test_case "R12: allocation-heavy idiom fixtures" `Quick test_r12;
     Alcotest.test_case "R2 scoped to cache modules" `Quick test_r2_only_in_cache_modules;
     Alcotest.test_case "findings carry line numbers" `Quick test_finding_positions;
     Alcotest.test_case "suppression with reason" `Quick test_suppression_with_reason;

@@ -203,7 +203,7 @@ let prop_lru_matches_model =
           match action with
           | Some len ->
             let data = String.make len 'd' in
-            Block_cache.insert cache ~file:"f" ~off data;
+            Block_cache.insert cache ~file:"f" ~off ~bytes:len data;
             if len <= capacity then begin
               model := (off, data) :: List.remove_assoc off !model;
               model_trim ()

@@ -74,7 +74,7 @@ let test_sharded_cache_basics () =
   check_int "shards" 4 (Block_cache.shard_count c);
   check_int "capacity split sums back" 4000 (Block_cache.capacity c);
   for i = 0 to 99 do
-    Block_cache.insert c ~file:"f" ~off:(i * 10) (String.make 10 'x')
+    Block_cache.insert c ~file:"f" ~off:(i * 10) ~bytes:10 (String.make 10 'x')
   done;
   check_int "all fit" 1000 (Block_cache.used_bytes c);
   check_int "block count" 100 (Block_cache.block_count c);
@@ -93,7 +93,7 @@ let test_sharded_cache_eviction_budget () =
   let c = Block_cache.create ~shards:4 ~capacity:400 () in
   (* Overfill: every shard must stay within its slice of the budget. *)
   for i = 0 to 199 do
-    Block_cache.insert c ~file:"f" ~off:i (String.make 10 'y')
+    Block_cache.insert c ~file:"f" ~off:i ~bytes:10 (String.make 10 'y')
   done;
   check_bool "bounded" true (Block_cache.used_bytes c <= 400);
   check_bool "evicted something" true (Block_cache.evictions c > 0);
@@ -110,7 +110,7 @@ let test_sharded_cache_concurrent () =
       let d =
         Block_cache.get_or_load c ~file:"shared" ~off (fun () ->
             Atomic.incr loads;
-            Printf.sprintf "%04d" off)
+            (Printf.sprintf "%04d" off, 4))
       in
       if int_of_string d <> off then failwith "corrupt cache read"
     done

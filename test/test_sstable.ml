@@ -5,6 +5,7 @@ module Entry = Lsm_record.Entry
 module Iter = Lsm_record.Iter
 module Comparator = Lsm_util.Comparator
 module Codec = Lsm_util.Codec
+module Crc32c = Lsm_util.Crc32c
 module Device = Lsm_storage.Device
 module Io_stats = Lsm_storage.Io_stats
 module Block_cache = Lsm_storage.Block_cache
@@ -30,7 +31,7 @@ let build_block entries =
 let test_block_roundtrip () =
   let entries = entries_for_block 100 in
   let block = build_block entries in
-  let it = Block.iterator cmp (Block.decode_check block) in
+  let it = Block.iterator cmp (Block.parse_checked block) in
   let got = Iter.to_list it in
   check "all entries back" true (got = entries)
 
@@ -45,7 +46,7 @@ let test_block_prefix_compression_shrinks () =
 
 let test_block_seek () =
   let entries = entries_for_block 100 in
-  let it = Block.iterator cmp (Block.decode_check (build_block entries)) in
+  let it = Block.iterator cmp (Block.parse_checked (build_block entries)) in
   it.Iter.seek "key00050";
   check_str "exact" "key00050" (it.Iter.entry ()).Entry.key;
   it.Iter.seek "key00050a";
@@ -59,7 +60,7 @@ let test_block_seek_versions () =
   (* Multiple versions of one key: seek must land on the newest. *)
   let entries = [ e "a" 1; e "k" 9 ~value:"new"; e "k" 5 ~value:"mid"; e "k" 2 ~value:"old" ] in
   let sorted = List.sort (Entry.compare cmp) entries in
-  let it = Block.iterator cmp (Block.decode_check (build_block sorted)) in
+  let it = Block.iterator cmp (Block.parse_checked (build_block sorted)) in
   it.Iter.seek "k";
   check_int "newest version" 9 (it.Iter.entry ()).Entry.seqno
 
@@ -84,8 +85,144 @@ let prop_block_roundtrip =
       match entries with
       | [] -> true
       | entries ->
-        let it = Block.iterator cmp (Block.decode_check (build_block entries)) in
+        let it = Block.iterator cmp (Block.parse_checked (build_block entries)) in
         Iter.to_list it = entries)
+
+(* ---------- zero-copy cursor vs reference decoder ---------- *)
+
+(* Straight-line reference decoder: re-derives every record from the
+   spec (copying, allocation-heavy) with no code shared with the cursor,
+   so the two can disagree only if one of them is wrong. *)
+let reference_decode block =
+  let body = Block.decode_check block in
+  let n = String.length body in
+  let count = Codec.get_u32 (Codec.reader ~pos:(n - 4) body) in
+  let data_end = n - 4 - (4 * count) in
+  let r = Codec.reader body in
+  let out = ref [] in
+  let prev = ref "" in
+  while r.Codec.pos < data_end do
+    let shared = Codec.get_varint r in
+    let unshared = Codec.get_varint r in
+    let key = String.sub !prev 0 shared ^ Codec.get_raw r unshared in
+    let seqno = Codec.get_varint r in
+    let kind = Entry.kind_of_int (Codec.get_u8 r) in
+    let value = Codec.get_lp_string r in
+    out := { Entry.key; seqno; kind; value } :: !out;
+    prev := key
+  done;
+  List.rev !out
+
+(* Small alphabet, long keys: maximizes shared-prefix churn, including
+   keys that are prefixes of their neighbours. *)
+let gen_adversarial_entries =
+  QCheck.Gen.(
+    list_size (1 -- 300)
+      (pair (map (String.concat "") (list_size (1 -- 12) (oneofl [ "a"; "b"; "ab"; "aa" ]))) (0 -- 1000)))
+
+let adversarial_entries raw =
+  List.mapi (fun i (k, s) -> e k ((s * 1000) + i) ~value:(String.make (i mod 7) 'v')) raw
+  |> List.sort (Entry.compare cmp)
+
+let build_block_ri ri entries =
+  let b = Block.Builder.create ~restart_interval:ri () in
+  List.iter (Block.Builder.add b) entries;
+  Block.Builder.finish b
+
+(* Both engine decode paths: a raw-framed block parsed in place at
+   base 1, and an lz-roundtripped buffer parsed at base 0. *)
+let parsed_both_ways block =
+  [
+    Block.parse_checked ~base:1 ("\x00" ^ block);
+    Block.parse_checked
+      (Lsm_util.Lz.decompress (Lsm_util.Lz.compress block) ~expected_len:(String.length block));
+  ]
+
+let restart_intervals = [ 1; 2; 16; 64 ]
+
+let prop_cursor_matches_reference =
+  QCheck.Test.make ~name:"zero-copy cursor = reference decoder" ~count:100
+    (QCheck.make gen_adversarial_entries)
+    (fun raw ->
+      let entries = adversarial_entries raw in
+      List.for_all
+        (fun ri ->
+          let block = build_block_ri ri entries in
+          let reference = reference_decode block in
+          reference = entries
+          && List.for_all
+               (fun p ->
+                 (* full drain through the iterator facade *)
+                 Iter.to_list (Block.iterator cmp p) = reference
+                 (* and entry-for-entry through the raw cursor, checking
+                    every accessor against the materialized record *)
+                 &&
+                 let cur = Block.Cursor.make cmp p in
+                 Block.Cursor.seek_to_first cur;
+                 List.for_all
+                   (fun (want : Entry.t) ->
+                     let ok =
+                       Block.Cursor.valid cur
+                       && Block.Cursor.key cur = want.Entry.key
+                       && Block.Cursor.key_compare cur want.Entry.key = 0
+                       && Block.Cursor.seqno cur = want.Entry.seqno
+                       && Block.Cursor.kind cur = want.Entry.kind
+                       && Block.Cursor.value cur = want.Entry.value
+                       && Lsm_record.Slice.to_string (Block.Cursor.value_slice cur)
+                          = want.Entry.value
+                       && Block.Cursor.entry cur = want
+                     in
+                     Block.Cursor.next cur;
+                     ok)
+                   reference
+                 && not (Block.Cursor.valid cur))
+               (parsed_both_ways block))
+        restart_intervals)
+
+let rec drop_while p = function x :: tl when p x -> drop_while p tl | l -> l
+
+let drain_cursor cur =
+  let out = ref [] in
+  while Block.Cursor.valid cur do
+    out := Block.Cursor.entry cur :: !out;
+    Block.Cursor.next cur
+  done;
+  List.rev !out
+
+let prop_seek_at_restart_boundaries =
+  QCheck.Test.make ~name:"seek-then-next at every restart boundary" ~count:40
+    (QCheck.make gen_adversarial_entries)
+    (fun raw ->
+      let entries = adversarial_entries raw in
+      List.for_all
+        (fun ri ->
+          let block = build_block_ri ri entries in
+          let reference = reference_decode block in
+          let p = Block.parse_checked ~base:1 ("\x00" ^ block) in
+          (* Every record index that begins a restart, plus the exact key,
+             a just-above key, and a just-below prefix for each. *)
+          let boundary_keys =
+            List.filteri (fun i _ -> i mod ri = 0) reference
+            |> List.concat_map (fun (e : Entry.t) ->
+                   let k = e.Entry.key in
+                   [ k; k ^ "\x00"; String.sub k 0 (String.length k - 1) ])
+          in
+          List.for_all
+            (fun target ->
+              let expected = drop_while (fun (e : Entry.t) -> cmp.compare e.Entry.key target < 0) reference in
+              let it = Block.iterator cmp p in
+              it.Iter.seek target;
+              let via_iter =
+                let out = ref [] in
+                while it.Iter.valid () do
+                  out := it.Iter.entry () :: !out;
+                  it.Iter.next ()
+                done;
+                List.rev !out
+              in
+              via_iter = expected && drain_cursor (Block.find cmp p target) = expected)
+            boundary_keys)
+        restart_intervals)
 
 (* ---------- Sstable ---------- *)
 
@@ -312,6 +449,37 @@ let test_table_cache_shares_readers () =
   Table_cache.evict tc "t.sst";
   check_int "evicted" 0 (Table_cache.open_count tc)
 
+(* A cached block that rots after validation (CRC-valid container,
+   garbage records) must be dropped alone — the file's other blocks stay
+   hot — and the read healed from the device. *)
+let test_corrupt_cached_block_single_eviction () =
+  let dev, cache = fresh_env () in
+  ignore (build_table dev (many_entries 2000));
+  let r = Sstable.open_reader ~cmp ~dev ~cache ~name:"t.sst" in
+  ignore (Sstable.prefetch_into_cache r ~cls:Io_stats.C_misc);
+  let index = Sstable.index_entries r in
+  check "several blocks" true (Array.length index > 2);
+  (* Forge a parsed block whose container verifies but whose first
+     record is a malformed varint: what post-validation rot looks like. *)
+  let poison =
+    let b = Buffer.create 32 in
+    Buffer.add_string b (String.make 10 '\xff');
+    Codec.put_u32 b 0;
+    Codec.put_u32 b 1;
+    let crc = Crc32c.mask (Crc32c.string (Buffer.contents b)) in
+    Codec.put_u32 b (Int32.to_int crc land 0xffffffff);
+    Block.parse_checked (Buffer.contents b)
+  in
+  Block_cache.insert cache ~file:(Sstable.name r) ~off:index.(0).Sstable.off
+    ~bytes:(Block.parsed_cost poison) poison;
+  (match Sstable.get r ~cls:Io_stats.C_user_read "user000000" with
+  | Some got -> check_int "read healed from device" 1 got.Entry.seqno
+  | None -> Alcotest.fail "expected healed hit");
+  check "neighbour block still cached" true
+    (Block_cache.find cache ~file:(Sstable.name r) ~off:index.(1).Sstable.off <> None);
+  check "poisoned slot repopulated" true
+    (Block_cache.find cache ~file:(Sstable.name r) ~off:index.(0).Sstable.off <> None)
+
 let qt t =
   let name, _speed, fn = QCheck_alcotest.to_alcotest t in
   (name, `Quick, fn)
@@ -334,11 +502,14 @@ let suite =
     ("sstable uses block cache", `Quick, test_sstable_uses_block_cache);
     ("sstable compaction bypasses cache", `Quick, test_sstable_compaction_iter_bypasses_cache);
     ("sstable prefetch", `Quick, test_sstable_prefetch);
+    ("corrupt cached block: single eviction + heal", `Quick, test_corrupt_cached_block_single_eviction);
     ("sstable corrupt footer", `Quick, test_sstable_corrupt_footer);
     ("monkey override changes filter size", `Quick, test_monkey_override_changes_filter_size);
     ("table meta roundtrip", `Quick, test_table_meta_roundtrip);
     ("table meta overlaps", `Quick, test_table_meta_overlaps);
     ("table cache shares readers", `Quick, test_table_cache_shares_readers);
     qt prop_block_roundtrip;
+    qt prop_cursor_matches_reference;
+    qt prop_seek_at_restart_boundaries;
     qt prop_sstable_get_matches_model;
   ]

@@ -182,10 +182,15 @@ let test_write_amplification () =
 
 (* ---------- Block cache ---------- *)
 
+(* These tests exercise the LRU machinery with plain strings; the byte
+   charge is the payload length, as it was before the cache went
+   polymorphic. *)
+let insert_str c ~file ~off s = Block_cache.insert c ~file ~off ~bytes:(String.length s) s
+
 let test_cache_hit_miss () =
   let c = Block_cache.create ~capacity:1024 () in
   check "miss on empty" true (Block_cache.find c ~file:"f" ~off:0 = None);
-  Block_cache.insert c ~file:"f" ~off:0 "data";
+  insert_str c ~file:"f" ~off:0 "data";
   check "hit" true (Block_cache.find c ~file:"f" ~off:0 = Some "data");
   check_int "hits" 1 (Block_cache.hits c);
   check_int "misses" 1 (Block_cache.misses c);
@@ -193,12 +198,12 @@ let test_cache_hit_miss () =
 
 let test_cache_lru_eviction () =
   let c = Block_cache.create ~capacity:30 () in
-  Block_cache.insert c ~file:"f" ~off:0 (String.make 10 'a');
-  Block_cache.insert c ~file:"f" ~off:1 (String.make 10 'b');
-  Block_cache.insert c ~file:"f" ~off:2 (String.make 10 'c');
+  insert_str c ~file:"f" ~off:0 (String.make 10 'a');
+  insert_str c ~file:"f" ~off:1 (String.make 10 'b');
+  insert_str c ~file:"f" ~off:2 (String.make 10 'c');
   (* Touch block 0 so block 1 is LRU. *)
   ignore (Block_cache.find c ~file:"f" ~off:0);
-  Block_cache.insert c ~file:"f" ~off:3 (String.make 10 'd');
+  insert_str c ~file:"f" ~off:3 (String.make 10 'd');
   check "0 kept (recently used)" true (Block_cache.find c ~file:"f" ~off:0 <> None);
   check "1 evicted (LRU)" true (Block_cache.find c ~file:"f" ~off:1 = None);
   check "2 kept" true (Block_cache.find c ~file:"f" ~off:2 <> None);
@@ -207,35 +212,35 @@ let test_cache_lru_eviction () =
 
 let test_cache_oversized_not_cached () =
   let c = Block_cache.create ~capacity:8 () in
-  Block_cache.insert c ~file:"f" ~off:0 (String.make 100 'x');
+  insert_str c ~file:"f" ~off:0 (String.make 100 'x');
   check "not cached" true (Block_cache.find c ~file:"f" ~off:0 = None);
   check_int "usage zero" 0 (Block_cache.used_bytes c)
 
 let test_cache_zero_capacity () =
   let c = Block_cache.create ~capacity:0 () in
-  Block_cache.insert c ~file:"f" ~off:0 "x";
+  insert_str c ~file:"f" ~off:0 "x";
   check "never caches" true (Block_cache.find c ~file:"f" ~off:0 = None)
 
 let test_cache_evict_file () =
   let c = Block_cache.create ~capacity:1000 () in
-  Block_cache.insert c ~file:"a" ~off:0 "11";
-  Block_cache.insert c ~file:"a" ~off:1 "22";
-  Block_cache.insert c ~file:"b" ~off:0 "33";
+  insert_str c ~file:"a" ~off:0 "11";
+  insert_str c ~file:"a" ~off:1 "22";
+  insert_str c ~file:"b" ~off:0 "33";
   check_int "evicts both of a" 2 (Block_cache.evict_file c "a");
   check "b survives" true (Block_cache.find c ~file:"b" ~off:0 <> None);
   check_int "count" 1 (Block_cache.block_count c)
 
 let test_cache_replace_same_key () =
   let c = Block_cache.create ~capacity:100 () in
-  Block_cache.insert c ~file:"f" ~off:0 "old";
-  Block_cache.insert c ~file:"f" ~off:0 "newer";
+  insert_str c ~file:"f" ~off:0 "old";
+  insert_str c ~file:"f" ~off:0 "newer";
   check "replaced" true (Block_cache.find c ~file:"f" ~off:0 = Some "newer");
   check_int "usage reflects replacement" 5 (Block_cache.used_bytes c)
 
 let test_cache_get_or_load () =
   let c = Block_cache.create ~capacity:100 () in
   let loads = ref 0 in
-  let load () = incr loads; "blk" in
+  let load () = incr loads; ("blk", 3) in
   check_str "first loads" "blk" (Block_cache.get_or_load c ~file:"f" ~off:7 load);
   check_str "second cached" "blk" (Block_cache.get_or_load c ~file:"f" ~off:7 load);
   check_int "loaded once" 1 !loads
@@ -245,7 +250,7 @@ let prop_cache_never_exceeds_capacity =
     QCheck.(list (pair (int_bound 50) (int_bound 40)))
     (fun ops ->
       let c = Block_cache.create ~capacity:128 () in
-      List.iter (fun (off, len) -> Block_cache.insert c ~file:"f" ~off (String.make len 'x')) ops;
+      List.iter (fun (off, len) -> insert_str c ~file:"f" ~off (String.make len 'x')) ops;
       Block_cache.used_bytes c <= 128)
 
 (* ---------- WAL ---------- *)

@@ -15,7 +15,9 @@ let usage =
   \  R5  Atomic.get+set pair without a CAS loop\n\
   \  R6  raw Domain.spawn/Thread.create outside Domain_pool\n\
   \  R7  failwith / raise (Failure _) in library code (use typed Lsm_error)\n\
-  \  R8  unbounded busy-wait loop without backoff\n\n\
+  \  R8  unbounded busy-wait loop without backoff\n\
+  \  R12 allocation-heavy idioms (String.sub ^, String.concat, Bytes.to_string\n\
+  \      in loops) in the block hot modules (block.ml)\n\n\
    Typedtree rules (need --typed DIR with built .cmt files):\n\
   \  R9  static lockdep: whole-program acquired-before relation vs the Rank table\n\
   \  R10 iterator/read-view escape past its pin combinator\n\n\

@@ -33,9 +33,18 @@
          spurious wakeups and stolen signals, so a wait guarded by a
          single [if] — or by nothing — proceeds on a predicate that may
          no longer hold. Only ordered_mutex.ml itself is exempt (it
-         defines the delegating wrapper). *)
+         defines the delegating wrapper).
+     R12 allocation-heavy idioms in the block hot modules (files named
+         block.ml, the per-record decode path): [String.sub ... ^ ...]
+         (two copies per record — blit into a reusable arena),
+         [String.concat] (a list plus a fresh string per record), and
+         [Bytes.to_string] inside a [while]/[for] loop (a copy per
+         iteration — hoist it or compare in place). Scoped by file name
+         because these idioms are fine in cold code; on the block
+         cursor they are exactly the allocations the zero-copy read
+         path exists to avoid. *)
 
-let all_rules = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8" ]
+let all_rules = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R12" ]
 
 (* Files allowed to touch raw mutexes: the blessed combinator itself. *)
 let r1_exempt = [ "ordered_mutex.ml" ]
@@ -61,6 +70,9 @@ let r7_exempt = [ "xor_filter.ml" ]
 (* The module defining the blessed wait wrapper: its own
    [Condition.wait] is a one-line delegation, not a wait site. *)
 let r8_exempt = [ "ordered_mutex.ml" ]
+
+(* Files on the per-record block decode path; R12 applies here. *)
+let r12_hot_modules = [ "block.ml" ]
 
 (* ---------------- AST helpers ---------------- *)
 
@@ -165,6 +177,34 @@ let check_r8 ctx ~in_while e =
            (String.concat "." path))
   end
 
+(* R12: allocation-heavy per-record idioms, scoped to the block hot
+   modules. [in_loop] counts enclosing [while]/[for] bodies (maintained
+   by [lint_structure]); the [Bytes.to_string] pattern only fires inside
+   one — a single post-loop materialization is the blessed idiom. *)
+let check_r12 ctx ~in_loop e =
+  if ctx.active "R12" && List.mem ctx.base r12_hot_modules then
+    match e.pexp_desc with
+    | Pexp_apply (f, args) -> (
+      let f, args = normalize_apply f args in
+      match head_ident f with
+      | [ "^" ] | [ "Stdlib"; "^" ] ->
+        let is_string_sub (_, (a : expression)) =
+          match a.pexp_desc with
+          | Pexp_apply (g, _) -> head_ident g = [ "String"; "sub" ]
+          | _ -> false
+        in
+        if List.exists is_string_sub args then
+          emit ctx "R12" (line_of e)
+            "String.sub ... ^ ... copies the key twice per record on the block hot path; blit into a reusable Bytes arena"
+      | [ "String"; "concat" ] ->
+        emit ctx "R12" (line_of e)
+          "String.concat allocates a list and a fresh string per record on the block hot path; build into a reusable buffer"
+      | [ "Bytes"; "to_string" ] when in_loop > 0 ->
+        emit ctx "R12" (line_of e)
+          "Bytes.to_string inside a loop copies every iteration on the block hot path; hoist the materialization or compare in place"
+      | _ -> ())
+    | _ -> ()
+
 let check_r2_ident ctx e =
   let path = head_ident e in
   if path <> [] then begin
@@ -261,12 +301,14 @@ let check_r5_binding ctx vb =
 let lint_structure ctx (str : structure) =
   let in_lock = ref 0 in
   let in_while = ref 0 in
+  let in_loop = ref 0 in
   let expr it e =
     check_r1 ctx e;
     check_r4_magic ctx e;
     check_r6 ctx e;
     check_r7 ctx e;
     check_r8 ctx ~in_while:!in_while e;
+    check_r12 ctx ~in_loop:!in_loop e;
     if ctx.active "R2" && List.mem ctx.base r2_cache_modules && !in_lock > 0 then
       check_r2_ident ctx e;
     match e.pexp_desc with
@@ -282,8 +324,16 @@ let lint_structure ctx (str : structure) =
     | Pexp_while (cond, body) ->
       it.Ast_iterator.expr it cond;
       incr in_while;
+      incr in_loop;
       it.Ast_iterator.expr it body;
+      decr in_loop;
       decr in_while
+    | Pexp_for (_, lo, hi, _, body) ->
+      it.Ast_iterator.expr it lo;
+      it.Ast_iterator.expr it hi;
+      incr in_loop;
+      it.Ast_iterator.expr it body;
+      decr in_loop
     | _ -> Ast_iterator.default_iterator.expr it e
   in
   let structure_item it si =
