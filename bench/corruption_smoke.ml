@@ -3,11 +3,34 @@
    nonzero on any corruption-contract violation, so it doubles as a
    standalone integrity gate (`dune exec bench/main.exe -- --corruption`).
 
+   Two arms, selected by LSM_CORRUPTION_ARM (all | base | ecc):
+     base  the legacy format — rot is detected, quarantined, repaired
+           offline by the doctor to a disclosed point-in-time;
+     ecc   the same injections against ECC tables — single-page-per-file
+           rot must be healed in place (strict: byte-exact reads, zero
+           quarantines, ecc_repairs > 0); the arm also measures the
+           parity write-amplification of turning ECC on.
+   Results land in BENCH_corruption.json.
+
    LSM_CORRUPTION_SWEEP=full widens the workload, page counts, and seed
    sets, matching the nightly CI job. *)
 
 module Harness = Lsm_workload.Corruption_harness
 module Crash = Lsm_workload.Crash_harness
+module Device = Lsm_storage.Device
+module Db = Lsm_core.Db
+module Config = Lsm_core.Config
+
+(* Total [.sst] bytes the workload leaves behind under [config] — run
+   twice (ECC off/on) the delta is exactly the parity+locator overhead. *)
+let sst_bytes config ops =
+  let dev = Device.in_memory ~page_size:256 () in
+  let db = Db.open_db ~config ~dev () in
+  Array.iter (Crash.apply_db db) ops;
+  Db.close db;
+  List.fold_left
+    (fun acc n -> if Filename.check_suffix n ".sst" then acc + Device.size dev n else acc)
+    0 (Device.list_files dev)
 
 let run () =
   let extended =
@@ -15,30 +38,114 @@ let run () =
     | Some ("full" | "extended" | "1") -> true
     | _ -> false
   in
+  let arm =
+    match Sys.getenv_opt "LSM_CORRUPTION_ARM" with
+    | Some ("base" | "BASE") -> `Base
+    | Some ("ecc" | "ECC") -> `Ecc
+    | _ -> `All
+  in
   let count = if extended then 400 else 200 in
   let workload_seeds = if extended then [ 42; 101; 202 ] else [ 42 ] in
   let pages = if extended then [ 1; 2; 4; 8 ] else [ 1; 2; 4 ] in
   let seeds = if extended then [ 7; 11; 23; 31 ] else [ 11; 23 ] in
-  Printf.printf "silent-corruption smoke (%s): %d ops/workload, workloads %s\n%!"
+  Printf.printf "silent-corruption smoke (%s, arm=%s): %d ops/workload, workloads %s\n%!"
     (if extended then "extended" else "quick")
+    (match arm with `All -> "all" | `Base -> "base" | `Ecc -> "ecc")
     count
     (String.concat "," (List.map string_of_int workload_seeds));
   let t0 = Unix.gettimeofday () in
-  let total =
-    List.fold_left
-      (fun acc wseed ->
-        let ops = Crash.gen_ops ~seed:wseed ~count in
-        let r = Harness.sweep ~pages ~seeds ~ops () in
-        Printf.printf "  workload %3d: %3d cycles, %4d bits flipped, %d violations\n%!"
-          wseed r.Harness.runs r.Harness.hits
-          (List.length r.Harness.failures);
-        Harness.merge_reports acc r)
-      { Harness.runs = 0; hits = 0; failures = [] }
-      workload_seeds
+  let zero = { Harness.runs = 0; hits = 0; failures = [] } in
+  (* Base arm: legacy tables, detect/quarantine/doctor contract. *)
+  let base =
+    if arm = `Ecc then zero
+    else
+      List.fold_left
+        (fun acc wseed ->
+          let ops = Crash.gen_ops ~seed:wseed ~count in
+          let r = Harness.sweep ~pages ~seeds ~ops () in
+          Printf.printf "  base workload %3d: %3d cycles, %4d bits flipped, %d violations\n%!"
+            wseed r.Harness.runs r.Harness.hits
+            (List.length r.Harness.failures);
+          Harness.merge_reports acc r)
+        zero workload_seeds
+  in
+  (* ECC arm: same injections, parity on, plus the strict in-place
+     repair contract for single-page rot. *)
+  let ecc, ecc_repaired =
+    if arm = `Base then (zero, 0)
+    else
+      List.fold_left
+        (fun (acc, reps) wseed ->
+          let ops = Crash.gen_ops ~seed:wseed ~count in
+          let r, repaired = Harness.sweep_ecc ~pages ~seeds ~ops () in
+          Printf.printf
+            "  ecc  workload %3d: %3d cycles, %4d bits flipped, %d violations, %d pages repaired\n%!"
+            wseed r.Harness.runs r.Harness.hits
+            (List.length r.Harness.failures)
+            repaired;
+          (Harness.merge_reports acc r, reps + repaired))
+        (zero, 0) workload_seeds
+  in
+  (* Parity write-amp: the same workload's durable .sst footprint with
+     ECC off vs on. *)
+  let base_bytes, ecc_bytes =
+    if arm = `Base then (0, 0)
+    else begin
+      let ops = Crash.gen_ops ~seed:(List.hd workload_seeds) ~count in
+      let plain = { (Crash.default_config ()) with Config.block_size = 256 } in
+      (sst_bytes plain ops, sst_bytes (Harness.ecc_config ()) ops)
+    end
+  in
+  let parity_wa =
+    if base_bytes = 0 then 0.0 else float_of_int ecc_bytes /. float_of_int base_bytes
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let quarantined_single_page =
+    List.length (List.filter (fun f -> contains f "quarantined") ecc.Harness.failures)
   in
   let dt = Unix.gettimeofday () -. t0 in
+  let total = Harness.merge_reports base ecc in
   Printf.printf "total: %d corruption/repair/check cycles, %d bits flipped in %.1fs\n"
     total.Harness.runs total.Harness.hits dt;
+  if arm <> `Base then
+    Printf.printf "ecc: %d pages repaired in place, parity write-amp %.3fx\n" ecc_repaired
+      parity_wa;
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "corruption_smoke",
+  "extended": %b,
+  "arm": %S,
+  "base": { "runs": %d, "hits": %d, "violations": %d },
+  "ecc": {
+    "runs": %d,
+    "hits": %d,
+    "violations": %d,
+    "pages_repaired": %d,
+    "quarantined_single_page": %d,
+    "sst_bytes_plain": %d,
+    "sst_bytes_ecc": %d,
+    "parity_write_amp": %.4f
+  },
+  "wall_s": %.1f
+}
+|}
+      extended
+      (match arm with `All -> "all" | `Base -> "base" | `Ecc -> "ecc")
+      base.Harness.runs base.Harness.hits
+      (List.length base.Harness.failures)
+      ecc.Harness.runs ecc.Harness.hits
+      (List.length ecc.Harness.failures)
+      ecc_repaired quarantined_single_page base_bytes ecc_bytes parity_wa dt
+  in
+  let oc = open_out "BENCH_corruption.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_corruption.json";
   match total.Harness.failures with
   | [] -> print_endline "corruption contract held at every injection"
   | fs ->

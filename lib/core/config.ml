@@ -33,7 +33,11 @@ type t = {
   write_stop_trigger : int;
   paranoid_checks : bool;
   scrub_delay : float;
+  scrub_interval : float;
+  ecc : ecc option;
 }
+
+and ecc = { ecc_data_pages : int; ecc_parity_pages : int }
 
 (* CI's background matrix leg flips the default backend through the
    environment so the whole tier-1 suite runs against the scheduler
@@ -89,6 +93,8 @@ let default =
     write_stop_trigger = 36 lsl 20;
     paranoid_checks = false;
     scrub_delay = 0.;
+    scrub_interval = 0.;
+    ecc = None;
   }
 
 let validate t =
@@ -116,6 +122,12 @@ let validate t =
   if t.write_stop_trigger <= t.write_slowdown_trigger then
     invalid_arg "Config: write_stop_trigger must exceed write_slowdown_trigger";
   if t.scrub_delay < 0. then invalid_arg "Config: scrub_delay must be >= 0";
+  if t.scrub_interval < 0. then invalid_arg "Config: scrub_interval must be >= 0";
+  (match t.ecc with
+  | Some { ecc_data_pages = k; ecc_parity_pages = m } ->
+    if k < 1 || m < 1 || k + m > 255 then
+      invalid_arg "Config: ecc needs data_pages >= 1, parity_pages >= 1, sum <= 255"
+  | None -> ());
   match t.compaction_bytes_per_round with
   | Some n when n <= 0 -> invalid_arg "Config: compaction_bytes_per_round must be positive"
   | Some _ | None -> ()

@@ -117,6 +117,30 @@ type t = {
           seconds of deliberate idle after each table verification, so a
           scrub pass trickles through the tree instead of monopolizing
           the lane; 0 (the default) scrubs at full speed *)
+  scrub_interval : float;
+      (** scheduled scrubbing: at most every this many seconds, a write
+          that rotates the memtable also kicks off a {!Db.scrub} pass
+          (background mode enqueues per-table maintenance jobs on the
+          scheduler lane, honoring [scrub_delay]; inline mode runs a
+          synchronous {!Db.verify_integrity}), so rot is found — and,
+          with [ecc] on, healed — before a user read trips on it. 0 (the
+          default) disables scheduled scrubbing. *)
+  ecc : ecc option;
+      (** read-path error correction: when set, every new table is
+          written with a trailing Reed–Solomon parity section — stripes
+          of [ecc_data_pages] device pages carry [ecc_parity_pages]
+          parity pages — and a CRC failure on read reconstructs the
+          rotted page(s) in place instead of quarantining the table
+          (DESIGN.md §14). [None] (the default) writes the legacy
+          format, byte-identical to pre-ECC builds. Tables written
+          either way are readable either way. *)
+}
+
+and ecc = {
+  ecc_data_pages : int;  (** data pages per parity stripe (k >= 1) *)
+  ecc_parity_pages : int;
+      (** parity pages per stripe (m >= 1): up to [m] rotted pages per
+          stripe are repairable; [k + m <= 255] *)
 }
 
 val default : t

@@ -113,6 +113,14 @@ type t = {
   quarantined : quarantine_entry list Atomic.t;
       (** CAS-appended list of fenced-off tables; probes check it before
           touching a file so a known-bad table never serves *)
+  mutable last_scrub : float;
+      (** when the last [Config.scrub_interval]-scheduled scrub kicked
+          off (wall clock); starts at open so the first one fires an
+          interval after open, not on the first write *)
+  mutable scrub_tick : unit -> unit;
+      (** rotation hook for scheduled scrubbing — a closure set at the
+          end of [open_db] (it needs [scrub], defined long after the
+          write path); no-op until then and when [scrub_interval = 0] *)
   mutable closed : bool;
 }
 
@@ -293,6 +301,10 @@ let build_config t ~filter_bits_override =
     filter_bits_override;
     range_filter = t.cfg.Config.range_filter;
     compression = t.cfg.Config.compression;
+    ecc =
+      (match t.cfg.Config.ecc with
+      | Some e -> Some (e.Config.ecc_data_pages, e.Config.ecc_parity_pages)
+      | None -> None);
   }
 
 (* Wrap [src] so it stops at a user-key boundary once [target] bytes of
@@ -1154,9 +1166,10 @@ let check_writable t =
 let after_memtable_add t ~throttle =
   if Memtable.footprint t.active.mt >= t.dyn_buffer_size then begin
     rotate t;
-    match t.sched with
+    (match t.sched with
     | Some sched -> bg_after_rotate t sched
-    | None -> maybe_flush_for_write t
+    | None -> maybe_flush_for_write t);
+    if t.cfg.Config.scrub_interval > 0. then t.scrub_tick ()
   end
   else
     match t.sched with
@@ -1752,7 +1765,10 @@ let try_resume t =
 let verify_one_table t (f : Table_meta.t) =
   match
     let reader = Table_cache.get t.tables f.Table_meta.file_name in
-    Sstable.verify reader ~cls:Io_stats.C_misc
+    Sstable.verify reader ~cls:Io_stats.C_misc;
+    (* Content proven sound: also heal any silent rot in the table's ECC
+       section / parity pages so the next corruption finds full parity. *)
+    ignore (Sstable.scrub_ecc reader ~cls:Io_stats.C_misc)
   with
   | () -> None
   | exception Lsm_error.Error c ->
@@ -1794,7 +1810,7 @@ let verify_integrity t =
           if not (is_quarantined t f.Table_meta.file_name) then
             match verify_one_table t f with Some c -> add c | None -> ())
         (Version.all_files v));
-  (* 3. WALs: tolerant scan, reporting the first mangled frame. A file
+  (* 3. WALs: tolerant scan, reporting every mangled byte range. A file
      deleted by a concurrent flush between listing and reading is fine. *)
   List.iter
     (fun name ->
@@ -1802,11 +1818,17 @@ let verify_integrity t =
       | None -> ()
       | Some _ -> (
         match Wal.salvage t.dev ~name (fun _ -> ()) with
-        | _, Some off ->
-          add
-            (Lsm_error.Corruption
-               { file = name; offset = Some off; detail = "bad WAL frame" })
-        | _ -> ()
+        | _, gaps ->
+          List.iter
+            (fun (g0, g1) ->
+              add
+                (Lsm_error.Corruption
+                   {
+                     file = name;
+                     offset = Some g0;
+                     detail = Printf.sprintf "bad WAL frames in [%d,%d)" g0 g1;
+                   }))
+            gaps
         | exception Not_found -> ()))
     (Device.list_files t.dev);
   t.db_stats.Stats.scrub_runs <- t.db_stats.Stats.scrub_runs + 1;
@@ -1868,8 +1890,18 @@ let open_db ?(config = Config.default) ~dev () =
     Block_cache.create ~shards:config.Config.block_cache_shards
       ~capacity:config.Config.block_cache_bytes ()
   in
+  let db_stats = Stats.create () in
+  (* Every ECC repair outcome — from any read path of any cached reader —
+     lands in the db's counters through this one closure. *)
+  let on_ecc = function
+    | Sstable.Ecc_repaired { pages; ns } ->
+      db_stats.Stats.ecc_repairs <- db_stats.Stats.ecc_repairs + pages;
+      Lsm_util.Histogram.add db_stats.Stats.ecc_repair_ns ns
+    | Sstable.Ecc_unrecoverable ->
+      db_stats.Stats.ecc_unrecoverable <- db_stats.Stats.ecc_unrecoverable + 1
+  in
   let tables =
-    Table_cache.create ~capacity:config.Config.max_open_tables
+    Table_cache.create ~capacity:config.Config.max_open_tables ~on_ecc
       ~cmp:config.Config.comparator ~dev ~cache ()
   in
   let pool =
@@ -1878,7 +1910,6 @@ let open_db ?(config = Config.default) ~dev () =
     else None
   in
   let manifest = Manifest.create ~name:Manifest.tmp_file_name dev in
-  let db_stats = Stats.create () in
   let t =
     {
       cfg = config;
@@ -1922,9 +1953,24 @@ let open_db ?(config = Config.default) ~dev () =
       pins = Version.Pins.create_registry ();
       health = Atomic.make Healthy;
       quarantined = Atomic.make [];
+      last_scrub = Unix.gettimeofday ();
+      scrub_tick = (fun () -> ());
       closed = false;
     }
   in
+  (* Scheduled scrubbing: each memtable rotation checks the wall clock
+     and, at most once per [scrub_interval], kicks off a scrub pass —
+     background mode trickles per-table jobs through the lane (honoring
+     [scrub_delay]), inline mode runs a synchronous pass. *)
+  t.scrub_tick <-
+    (fun () ->
+      let now = Unix.gettimeofday () in
+      if now -. t.last_scrub >= t.cfg.Config.scrub_interval then begin
+        t.last_scrub <- now;
+        t.db_stats.Stats.scrub_runs_scheduled <-
+          t.db_stats.Stats.scrub_runs_scheduled + 1;
+        scrub t
+      end);
   (* Compaction triggers are evaluated after every committed edit, in
      commit order, by whichever worker holds the committer token — the
      background replacement for the inline cascade in

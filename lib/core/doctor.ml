@@ -13,10 +13,12 @@
      ordered newest-first by max sequence number, so probe order still
      resolves key versions correctly whatever levels the tables came
      from;
-   - WALs are salvaged up to the first undecodable frame; once one log
-     breaks, later logs are dropped entirely (their batches come after
-     the gap, and applying them would tear the acknowledged order). The
-     surviving batches are re-logged into one fresh sealed WAL. *)
+   - WALs are salvaged tolerantly: the scan re-synchronizes past every
+     undecodable frame to the next intact frame boundary, so batches on
+     both sides of mid-log damage survive (each batch carries its own
+     sequence numbers, so replay order is unharmed); every skipped byte
+     range is disclosed as a lost gap. The surviving batches are
+     re-logged into one fresh sealed WAL. *)
 
 module Device = Lsm_storage.Device
 module Io_stats = Lsm_storage.Io_stats
@@ -44,9 +46,9 @@ type table_report = {
 type wal_report = {
   wr_file : string;
   wr_batches : int;  (** batches salvaged from this log *)
-  wr_truncated_at : int option;  (** first bad frame offset, if any *)
-  wr_dropped : bool;
-      (** log discarded because an earlier log already broke *)
+  wr_gaps : (int * int) list;
+      (** disclosed byte ranges skipped as lost (mid-log rot; a benign
+          crash-torn tail is truncated silently and not listed) *)
 }
 
 type report = {
@@ -99,7 +101,7 @@ let verify ?(cmp = Comparator.bytewise) dev =
   List.iter
     (fun name ->
       match
-        let reader = Sstable.open_reader ~cmp ~dev ~cache ~name in
+        let reader = Sstable.open_reader ~cmp ~dev ~cache name in
         Sstable.verify reader ~cls:Io_stats.C_misc
       with
       | () -> ()
@@ -111,11 +113,18 @@ let verify ?(cmp = Comparator.bytewise) dev =
     (fun name ->
       match wal_seq name with
       | None -> ()
-      | Some _ -> (
-        match Wal.salvage dev ~name (fun _ -> ()) with
-        | _, Some off ->
-          add (Lsm_error.Corruption { file = name; offset = Some off; detail = "bad WAL frame" })
-        | _ -> ()))
+      | Some _ ->
+        let _, gaps = Wal.salvage dev ~name (fun _ -> ()) in
+        List.iter
+          (fun (g0, g1) ->
+            add
+              (Lsm_error.Corruption
+                 {
+                   file = name;
+                   offset = Some g0;
+                   detail = Printf.sprintf "bad WAL frames in [%d,%d)" g0 g1;
+                 }))
+          gaps)
     (Device.list_files dev);
   List.rev !findings
 
@@ -128,7 +137,7 @@ let verify ?(cmp = Comparator.bytewise) dev =
    is intact as-is. *)
 let salvage_table ~cmp dev name =
   let cache = scratch_cache () in
-  match Sstable.open_reader ~cmp ~dev ~cache ~name with
+  match Sstable.open_reader ~cmp ~dev ~cache name with
   | exception (Lsm_error.Error c) ->
     (* Footer or meta region gone: no index, nothing salvageable. *)
     ( { tr_file = name; tr_blocks = 0; tr_bad_blocks = 0; tr_entries_salvaged = 0;
@@ -158,6 +167,62 @@ let salvage_table ~cmp dev name =
     if lost = [] then (report (List.length entries) (Some name), [], `Intact)
     else if entries = [] then (report 0 None, List.rev !findings, `Drop)
     else (report (List.length entries) None, List.rev !findings, `Rewrite entries)
+
+(* Rebuild the manifest from scratch out of the given tables' footers:
+   L0, one run per table, newest (highest max seqno) probed first, the
+   seqno watermark re-derived as the max over all tables. Returns the
+   number of tables referenced by the new manifest. *)
+let rebuild_manifest ~cmp dev names =
+  let cache = scratch_cache () in
+  let metas =
+    List.filter_map
+      (fun name ->
+        match sst_id name with
+        | None -> None
+        | Some id ->
+          let reader = Sstable.open_reader ~cmp ~dev ~cache name in
+          let props = Sstable.props reader in
+          Some (Table_meta.of_props ~file_id:id ~file_name:name
+                  ~size:(Device.size dev name) props))
+      names
+  in
+  let by_recency =
+    List.sort
+      (fun (a : Table_meta.t) (b : Table_meta.t) -> compare a.max_seqno b.max_seqno)
+      metas
+  in
+  let added = List.mapi (fun i m -> (0, i + 1, m)) by_recency in
+  let watermark =
+    List.fold_left (fun acc (m : Table_meta.t) -> max acc m.max_seqno) 0 metas
+  in
+  Device.delete dev Manifest.tmp_file_name;
+  Device.delete dev Manifest.file_name;
+  let m = Manifest.create ~name:Manifest.tmp_file_name dev in
+  Manifest.log_edit m { Version.added; removed = []; seqno_watermark = watermark };
+  Manifest.promote m;
+  Manifest.close m;
+  List.length metas
+
+(* Manifest-only repair: re-derive the version edits from whatever table
+   footers still parse, leaving table files and WALs untouched. The cure
+   for a rotted MANIFEST on an otherwise healthy store — recovery was
+   typed-error fatal, yet every byte of data is still there. Unopenable
+   tables are reported (and excluded) but not deleted; a full [repair]
+   can still salvage their intact blocks later. *)
+let repair_manifest ?(cmp = Comparator.bytewise) dev =
+  let findings = ref [] in
+  let cache = scratch_cache () in
+  let names =
+    Device.list_files dev |> List.filter is_sst |> List.sort compare
+    |> List.filter (fun name ->
+           match Sstable.open_reader ~cmp ~dev ~cache name with
+           | _ -> true
+           | exception Lsm_error.Error c ->
+             findings := c :: !findings;
+             false)
+  in
+  let n = rebuild_manifest ~cmp dev names in
+  (n, List.rev !findings)
 
 let repair ?(cmp = Comparator.bytewise) dev =
   let findings = ref [] in
@@ -195,67 +260,33 @@ let repair ?(cmp = Comparator.bytewise) dev =
         table_reports := { tr with tr_output = Some out } :: !table_reports;
         survivors := out :: !survivors)
     ssts;
-  (* 2. Rebuild the manifest from the surviving footers: L0, one run per
-     table, newest (highest max seqno) probed first. *)
-  let cache = scratch_cache () in
-  let metas =
-    List.filter_map
-      (fun name ->
-        match sst_id name with
-        | None -> None
-        | Some id ->
-          let reader = Sstable.open_reader ~cmp ~dev ~cache ~name in
-          let props = Sstable.props reader in
-          Some (Table_meta.of_props ~file_id:id ~file_name:name
-                  ~size:(Device.size dev name) props))
-      (List.rev !survivors)
-  in
-  let by_recency =
-    List.sort
-      (fun (a : Table_meta.t) (b : Table_meta.t) -> compare a.max_seqno b.max_seqno)
-      metas
-  in
-  let added = List.mapi (fun i m -> (0, i + 1, m)) by_recency in
-  let watermark =
-    List.fold_left (fun acc (m : Table_meta.t) -> max acc m.max_seqno) 0 metas
-  in
-  Device.delete dev Manifest.tmp_file_name;
-  Device.delete dev Manifest.file_name;
-  let m = Manifest.create ~name:Manifest.tmp_file_name dev in
-  Manifest.log_edit m { Version.added; removed = []; seqno_watermark = watermark };
-  Manifest.promote m;
-  Manifest.close m;
-  (* 3. WAL chain: salvage every log up to the first break; drop all
-     logs after a broken one, then re-log the survivors into one fresh
-     sealed WAL. *)
+  (* 2. Rebuild the manifest from the surviving footers. *)
+  ignore (rebuild_manifest ~cmp dev (List.rev !survivors));
+  (* 3. WAL chain: tolerant salvage of every log — batches on both sides
+     of mid-log damage survive, every skipped byte range is disclosed —
+     then re-log the survivors into one fresh sealed WAL. *)
   let wal_files =
     Device.list_files dev
     |> List.filter_map (fun n -> match wal_seq n with Some s -> Some (s, n) | None -> None)
     |> List.sort compare
   in
   let batches = ref [] in
-  let broken = ref false in
   let wal_reports =
     List.map
       (fun (_, name) ->
-        if !broken then begin
-          findings :=
-            Lsm_error.Corruption
-              { file = name; offset = None; detail = "dropped: earlier WAL broke" }
-            :: !findings;
-          { wr_file = name; wr_batches = 0; wr_truncated_at = None; wr_dropped = true }
-        end
-        else begin
-          let n, bad = Wal.salvage dev ~name (fun b -> batches := b :: !batches) in
-          (match bad with
-          | Some off ->
-            broken := true;
+        let n, gaps = Wal.salvage dev ~name (fun b -> batches := b :: !batches) in
+        List.iter
+          (fun (g0, g1) ->
             findings :=
-              Lsm_error.Corruption { file = name; offset = Some off; detail = "bad WAL frame" }
-              :: !findings
-          | None -> ());
-          { wr_file = name; wr_batches = n; wr_truncated_at = bad; wr_dropped = false }
-        end)
+              Lsm_error.Corruption
+                {
+                  file = name;
+                  offset = Some g0;
+                  detail = Printf.sprintf "bad WAL frames in [%d,%d): batches lost" g0 g1;
+                }
+              :: !findings)
+          gaps;
+        { wr_file = name; wr_batches = n; wr_gaps = gaps })
       wal_files
   in
   List.iter (fun (_, name) -> Device.delete dev name) wal_files;
@@ -273,6 +304,13 @@ let repair ?(cmp = Comparator.bytewise) dev =
     findings = List.rev !findings;
   }
 
+(* Did the repair disclose any data loss — rotten blocks, a dropped
+   table, or skipped WAL ranges? Distinguishes "store was damaged and
+   something is gone" from "store repaired with everything salvaged". *)
+let disclosed_losses r =
+  List.exists (fun tr -> tr.tr_lost_ranges <> []) r.tables
+  || List.exists (fun wr -> wr.wr_gaps <> []) r.wals
+
 let pp_report ppf r =
   let pp_table ppf tr =
     Format.fprintf ppf "%s: %d/%d blocks bad, %d entries salvaged -> %s" tr.tr_file
@@ -283,12 +321,9 @@ let pp_report ppf r =
       tr.tr_lost_ranges
   in
   let pp_wal ppf wr =
-    if wr.wr_dropped then Format.fprintf ppf "%s: dropped (earlier log broke)" wr.wr_file
-    else
-      Format.fprintf ppf "%s: %d batches%s" wr.wr_file wr.wr_batches
-        (match wr.wr_truncated_at with
-        | Some off -> Printf.sprintf ", truncated at %d" off
-        | None -> "")
+    Format.fprintf ppf "%s: %d batches%s" wr.wr_file wr.wr_batches
+      (String.concat ""
+         (List.map (fun (g0, g1) -> Printf.sprintf ", gap [%d,%d)" g0 g1) wr.wr_gaps))
   in
   Format.fprintf ppf "@[<v>manifest: %s@,%a@,%a@,%d findings@]"
     (if r.manifest_rebuilt then "rebuilt" else "intact")

@@ -2,8 +2,9 @@
     the [lsm-doctor] CLI. Operates directly on a device, never through
     [Db.open_db], so it works on stores too damaged to recover: it
     salvages every intact data block, rebuilds the manifest from the
-    surviving [.sst] footers, truncates the WAL chain at the first
-    undecodable frame, and reports exactly which key ranges were lost. *)
+    surviving [.sst] footers, re-synchronizes the WAL chain past every
+    undecodable frame, and reports exactly which key ranges and byte
+    ranges were lost. *)
 
 type table_report = {
   tr_file : string;
@@ -21,10 +22,9 @@ type table_report = {
 type wal_report = {
   wr_file : string;
   wr_batches : int;  (** batches salvaged from this log *)
-  wr_truncated_at : int option;  (** first bad frame offset, if any *)
-  wr_dropped : bool;
-      (** log discarded because an earlier log already broke — applying
-          batches from after a gap would tear the acknowledged order *)
+  wr_gaps : (int * int) list;
+      (** disclosed byte ranges skipped as lost (mid-log rot; a benign
+          crash-torn tail is truncated silently and not listed) *)
 }
 
 type report = {
@@ -44,9 +44,23 @@ val repair : ?cmp:Lsm_util.Comparator.t -> Lsm_storage.Device.t -> report
 (** Point-in-time salvage. Every intact block of every table survives
     (rewritten into a fresh table when its neighbours rotted); the
     manifest is rebuilt from the surviving footers with each table as
-    its own level-0 run, newest first by max seqno; WALs are kept up to
-    the first bad frame and dropped after it, the survivors re-logged
-    into one fresh sealed WAL. After repair the device opens cleanly
-    with [Db.open_db]. *)
+    its own level-0 run, newest first by max seqno; WALs are salvaged
+    tolerantly — batches on both sides of mid-log damage are kept, the
+    skipped byte ranges disclosed — and re-logged into one fresh sealed
+    WAL. After repair the device opens cleanly with [Db.open_db]. *)
+
+val repair_manifest :
+  ?cmp:Lsm_util.Comparator.t -> Lsm_storage.Device.t -> int * Lsm_util.Lsm_error.t list
+(** Manifest-only repair: rebuild a rotted MANIFEST by re-deriving the
+    version edits from whatever table footers still parse, leaving the
+    tables and WALs untouched. Unopenable tables are reported (and left
+    out of the new manifest) but not deleted, so a later full {!repair}
+    can still salvage their intact blocks. Returns the number of tables
+    the rebuilt manifest references plus any findings. *)
+
+val disclosed_losses : report -> bool
+(** Whether a {!repair} disclosed any data loss (rotten blocks, a
+    dropped table, or skipped WAL byte ranges) — i.e. the store needed
+    more than re-derivable metadata to come back. *)
 
 val pp_report : Format.formatter -> report -> unit

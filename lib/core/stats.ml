@@ -33,6 +33,10 @@ type t = {
   mutable resumes : int;
   mutable scrub_runs : int;
   mutable scrub_errors : int;
+  mutable scrub_runs_scheduled : int;
+  mutable ecc_repairs : int;
+  mutable ecc_unrecoverable : int;
+  ecc_repair_ns : Histogram.t;
   stall_burst_bytes : Histogram.t;
   compaction_burst_bytes : Histogram.t;
   get_run_probes : Histogram.t;
@@ -72,6 +76,10 @@ let create () =
     resumes = 0;
     scrub_runs = 0;
     scrub_errors = 0;
+    scrub_runs_scheduled = 0;
+    ecc_repairs = 0;
+    ecc_unrecoverable = 0;
+    ecc_repair_ns = Histogram.create ();
     stall_burst_bytes = Histogram.create ();
     compaction_burst_bytes = Histogram.create ();
     get_run_probes = Histogram.create ();
@@ -114,6 +122,10 @@ let clear t =
   t.resumes <- 0;
   t.scrub_runs <- 0;
   t.scrub_errors <- 0;
+  t.scrub_runs_scheduled <- 0;
+  t.ecc_repairs <- 0;
+  t.ecc_unrecoverable <- 0;
+  Histogram.clear t.ecc_repair_ns;
   Histogram.clear t.stall_burst_bytes;
   Histogram.clear t.compaction_burst_bytes;
   Histogram.clear t.get_run_probes;
@@ -152,7 +164,8 @@ let pp ppf t =
      probes/get=%.2f filter: neg=%d fp=%d range-skips=%d@,\
      stalls=%d slowdowns=%d stops=%d stall-bytes: %a@,compaction-bursts: %a@,\
      write-latency-ns: %a@,slowdown-delay-ns: %a@,\
-     corruptions=%d quarantined=%d failsafe=%d resumes=%d scrubs=%d (errors %d)@,\
+     corruptions=%d quarantined=%d failsafe=%d resumes=%d scrubs=%d (errors %d, scheduled %d)@,\
+     ecc: repairs=%d unrecoverable=%d repair-ns: %a@,\
      sched: parked-edits=%d queue-depth: %a park-depth: %a%a@]"
     t.user_puts t.user_deletes t.user_gets t.gets_found t.user_scans t.user_bytes_ingested
     t.flushes t.compactions t.compaction_bytes_read t.compaction_bytes_written
@@ -160,6 +173,7 @@ let pp ppf t =
     t.write_stalls t.write_slowdowns t.write_stops Histogram.pp_summary t.stall_burst_bytes
     Histogram.pp_summary t.compaction_burst_bytes Histogram.pp_summary t.write_latency_ns
     Histogram.pp_summary t.slowdown_delay_ns t.corruptions_detected t.tables_quarantined
-    t.failsafe_entries t.resumes t.scrub_runs t.scrub_errors t.sched_edits_parked
+    t.failsafe_entries t.resumes t.scrub_runs t.scrub_errors t.scrub_runs_scheduled
+    t.ecc_repairs t.ecc_unrecoverable Histogram.pp_summary t.ecc_repair_ns t.sched_edits_parked
     Histogram.pp_summary t.sched_queue_depth Histogram.pp_summary t.sched_parked_edits pp_workers
     t

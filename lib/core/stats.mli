@@ -60,6 +60,18 @@ type t = {
   mutable resumes : int;  (** successful [Db.try_resume] calls *)
   mutable scrub_runs : int;  (** completed [Db.verify_integrity] passes *)
   mutable scrub_errors : int;  (** defects found across all scrub passes *)
+  mutable scrub_runs_scheduled : int;
+      (** scrub passes kicked off by [Config.scrub_interval] (a subset of
+          [scrub_runs] once they complete) *)
+  mutable ecc_repairs : int;
+      (** pages reconstructed in place from the Reed–Solomon parity
+          section — reads served and rot healed instead of quarantined *)
+  mutable ecc_unrecoverable : int;
+      (** ECC repair attempts that failed (rot beyond the per-stripe
+          parity budget); the normal quarantine path took over *)
+  ecc_repair_ns : Lsm_util.Histogram.t;
+      (** wall-clock nanoseconds per successful in-place ECC repair
+          (reconstruction + patch + re-read) *)
   stall_burst_bytes : Lsm_util.Histogram.t;
       (** bytes of flush+compaction work performed synchronously inside a
           user write — the latency-spike proxy (§2.2.3, SILK) *)

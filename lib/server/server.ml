@@ -163,9 +163,12 @@ let stats_text t =
   Shard_map.iter t.shards (fun i db ->
       let s = Db.stats db in
       Printf.bprintf b
-        "shard %d: puts %d gets %d debt_bytes %d stalls %d slowdowns %d stops %d\n" i
-        s.Stats_core.user_puts s.Stats_core.user_gets (Db.backpressure_debt db)
-        s.Stats_core.write_stalls s.Stats_core.write_slowdowns s.Stats_core.write_stops);
+        "shard %d: puts %d gets %d debt_bytes %d stalls %d slowdowns %d stops %d \
+         ecc_repairs %d ecc_unrecoverable %d scrubs_scheduled %d\n"
+        i s.Stats_core.user_puts s.Stats_core.user_gets (Db.backpressure_debt db)
+        s.Stats_core.write_stalls s.Stats_core.write_slowdowns s.Stats_core.write_stops
+        s.Stats_core.ecc_repairs s.Stats_core.ecc_unrecoverable
+        s.Stats_core.scrub_runs_scheduled);
   Buffer.contents b
 
 let parse_limit code v =

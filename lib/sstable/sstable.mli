@@ -20,6 +20,11 @@ module Props : sig
     max_seqno : int;
     created_at : int;  (** logical clock tick of the flush/compaction *)
     data_bytes : int;  (** uncompressed user key+value bytes *)
+    ecc : (int * int * int) option;
+        (** [(k, m, page)] when the table carries a Reed–Solomon parity
+            section: stripes of [k] data pages of [page] bytes protected
+            by [m] parity pages. Lets a scrub rebuild a rotted parity
+            section deterministically. [None] for legacy tables. *)
   }
 
   val pp : Format.formatter -> t -> unit
@@ -41,6 +46,14 @@ type build_config = {
           the policy's own parameter *)
   range_filter : Lsm_filter.Range_filter.policy;
   compression : compression;
+  ecc : (int * int) option;
+      (** [(k, m)]: append a Reed–Solomon parity section after the footer
+          — stripes of [k] device pages carry [m] parity pages, so up to
+          [m] rotted pages per stripe are reconstructible on read
+          (DESIGN.md §14). [None] (the default) emits the legacy format
+          byte-for-byte. The section lives entirely {e after} the legacy
+          image and is found via a self-checksummed trailing locator, so
+          pre-ECC readers and ECC readers accept both formats. *)
 }
 
 val default_build_config : build_config
@@ -67,15 +80,27 @@ type cached_block = Block.parsed
 
 type reader
 
+type ecc_event =
+  | Ecc_repaired of { pages : int; ns : int }
+      (** a read or scrub reconstructed [pages] rotted pages in place
+          from parity, in [ns] nanoseconds *)
+  | Ecc_unrecoverable
+      (** rot exceeded the per-stripe parity budget; the original
+          corruption propagates and the caller quarantines as before *)
+
 val open_reader :
   cmp:Lsm_util.Comparator.t ->
   dev:Lsm_storage.Device.t ->
   cache:cached_block Lsm_storage.Block_cache.t ->
-  name:string ->
+  ?on_ecc:(ecc_event -> unit) ->
+  string ->
   reader
 (** Reads footer, index, filters, and properties into memory, verifying
     the footer magic and the shared meta-block CRC (which covers the
-    filters, index, props, and the footer's offset table).
+    filters, index, props, and the footer's offset table). On a table
+    carrying an ECC section, a corrupt meta region or footer is first
+    repaired in place from parity and the open retried; [on_ecc]
+    observes every repair outcome (here and on later block reads).
     @raise Lsm_util.Lsm_error.Error with [Corruption] on a malformed
     file; retriable [Io_error]s are retried with bounded backoff. *)
 
@@ -143,3 +168,11 @@ val verify : reader -> cls:Lsm_storage.Io_stats.op_class -> unit
     blocks were already CRC-verified by {!open_reader}).
     @raise Lsm_util.Lsm_error.Error with [Corruption] on the first
     defect found. *)
+
+val scrub_ecc : reader -> cls:Lsm_storage.Io_stats.op_class -> int
+(** Proactive ECC maintenance for one table, intended right after a
+    clean {!verify}: reconstruct every silently rotted covered or parity
+    page in place, rebuild the parity section from the verified content
+    if the section itself rotted, and heal a damaged locator copy from
+    its twin. Returns pages rewritten (0 for a legacy table or a clean
+    ECC table); repairs are also reported through [on_ecc]. *)

@@ -15,6 +15,7 @@ type t = {
   cmp : Lsm_util.Comparator.t;
   dev : Lsm_storage.Device.t;
   cache : Sstable.cached_block Lsm_storage.Block_cache.t;
+  on_ecc : Sstable.ecc_event -> unit;
   m : Lsm_util.Ordered_mutex.t;
   mutable cap : int;
   readers : (string, node) Hashtbl.t;
@@ -24,12 +25,14 @@ type t = {
   mutable evictions : int;
 }
 
-let create ?(capacity = max_int) ~cmp ~dev ~cache () =
+let create ?(capacity = max_int) ?(on_ecc = fun (_ : Sstable.ecc_event) -> ()) ~cmp ~dev
+    ~cache () =
   if capacity < 1 then invalid_arg "Table_cache.create: capacity must be >= 1";
   {
     cmp;
     dev;
     cache;
+    on_ecc;
     m = Lsm_util.Ordered_mutex.create ~rank:Lsm_util.Ordered_mutex.Rank.table_cache ~name:"table_cache";
     cap = capacity;
     readers = Hashtbl.create 64;
@@ -87,7 +90,7 @@ let get t name =
        device (lint rule R2). Two domains racing the same file may both
        parse it; the loser's reader is discarded below — parsed
        metadata is immutable, so either copy is equally valid. *)
-    let r = Sstable.open_reader ~cmp:t.cmp ~dev:t.dev ~cache:t.cache ~name in
+    let r = Sstable.open_reader ~cmp:t.cmp ~dev:t.dev ~cache:t.cache ~on_ecc:t.on_ecc name in
     locked t @@ fun () ->
     (match find_and_touch t name with
     | Some winner -> winner

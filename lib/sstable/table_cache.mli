@@ -15,13 +15,15 @@ type t
 
 val create :
   ?capacity:int ->
+  ?on_ecc:(Sstable.ecc_event -> unit) ->
   cmp:Lsm_util.Comparator.t ->
   dev:Lsm_storage.Device.t ->
   cache:Sstable.cached_block Lsm_storage.Block_cache.t ->
   unit ->
   t
 (** [capacity] (default unbounded) is the maximum number of readers kept
-    open, >= 1. *)
+    open, >= 1. [on_ecc] is threaded to every {!Sstable.open_reader}, so
+    ECC repair outcomes on any cached table reach the db's counters. *)
 
 val get : t -> string -> Sstable.reader
 (** Open (or return the cached) reader for a file name; marks it most

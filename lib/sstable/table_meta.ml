@@ -14,6 +14,7 @@ type t = {
   max_seqno : int;
   created_at : int;
   data_bytes : int;
+  ecc : (int * int) option;
 }
 
 let of_props ~file_id ~file_name ~size (p : Sstable.Props.t) =
@@ -21,6 +22,7 @@ let of_props ~file_id ~file_name ~size (p : Sstable.Props.t) =
     file_id;
     file_name;
     size;
+    ecc = (match p.ecc with Some (k, m, _) -> Some (k, m) | None -> None);
     entries = p.entries;
     point_tombstones = p.point_tombstones;
     range_tombstones = List.length p.range_tombstones;
@@ -74,6 +76,7 @@ let decode r =
     file_id;
     file_name;
     size;
+    ecc = None;
     entries;
     point_tombstones;
     range_tombstones;

@@ -17,6 +17,13 @@ type t = {
   max_seqno : int;
   created_at : int;  (** logical tick when the file was written *)
   data_bytes : int;
+  ecc : (int * int) option;
+      (** [(k, m)] stripe geometry when the file carries a Reed–Solomon
+          parity section. Advisory and in-memory only: it is {e not}
+          written to the manifest (keeping the MANIFEST byte format
+          identical whether or not ECC is on), so metas round-tripped
+          through {!decode} carry [None] — the authoritative record is
+          the table's own props block and trailing locator. *)
 }
 
 val of_props : file_id:int -> file_name:string -> size:int -> Sstable.Props.t -> t

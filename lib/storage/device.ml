@@ -436,6 +436,42 @@ let exists t name =
   | Mem files -> locked t (fun () -> Hashtbl.mem files name)
   | Disk d -> Sys.file_exists (disk_path d.dir name)
 
+(* In-place overwrite of already-written bytes — the primitive ECC repair
+   stands on. Deliberately not routed through a writer handle: repair
+   targets sealed, immutable tables, and never extends a file. Patched
+   bytes inherit the durability of the bytes they replace (a repair of the
+   synced prefix stays synced — the durable frontier never moves). *)
+let patch t ~cls name ~off data =
+  check_alive t;
+  let len = String.length data in
+  if off < 0 then invalid_arg "Device.patch: negative offset";
+  (match t.backend with
+  | Mem files ->
+    locked t @@ fun () ->
+    let f = find_mem files name in
+    let n = Buffer.length f.buf in
+    if off + len > n then invalid_arg "Device.patch: out of bounds";
+    if f.writing then invalid_arg ("Device.patch: file has an open writer: " ^ name);
+    if len > 0 then begin
+      let bytes = Buffer.to_bytes f.buf in
+      Bytes.blit_string data 0 bytes off len;
+      let b = Buffer.create (max 16 n) in
+      Buffer.add_bytes b bytes;
+      f.buf <- b
+    end
+  | Disk d ->
+    let path = disk_path d.dir name in
+    if not (Sys.file_exists path) then raise Not_found;
+    let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        if off + len > out_channel_length oc then invalid_arg "Device.patch: out of bounds";
+        seek_out oc off;
+        output_string oc data));
+  Io_stats.record_write t.io cls ~pages:(pages_of t ~off ~len) ~bytes:len;
+  post_mutation t ~is_sync:false
+
 let delete t name =
   check_alive t;
   (match t.backend with

@@ -90,6 +90,16 @@ val read : t -> cls:Io_stats.op_class -> string -> off:int -> len:int -> string
 
 val size : t -> string -> int
 val exists : t -> string -> bool
+
+val patch : t -> cls:Io_stats.op_class -> string -> off:int -> string -> unit
+(** [patch t ~cls name ~off data] overwrites [data] in place at [off] in a
+    file that has no open writer — the primitive ECC repair stands on. It
+    never extends a file, and repaired bytes inherit the durability of the
+    bytes they replace (a patch of the synced prefix stays synced).
+    @raise Not_found if the file does not exist.
+    @raise Invalid_argument if the range is out of bounds or the file has
+    an open writer. *)
+
 val delete : t -> string -> unit
 (** Removing a missing file is a no-op. *)
 

@@ -77,10 +77,10 @@ let scan data f =
    probe slides byte by byte, so it re-synchronizes even though the bad
    frame's length field is untrustworthy; a false positive needs four
    arbitrary bytes to match a CRC-32C — 2^-32 per candidate offset. *)
-let has_frame_after data ~off =
+let find_frame_after data ~off =
   let len = String.length data in
   let rec probe pos =
-    if pos + 8 > len then false
+    if pos + 8 > len then None
     else begin
       let r = Codec.reader ~pos data in
       let stored_crc = Int32.of_int (Codec.get_u32 r) in
@@ -89,11 +89,61 @@ let has_frame_after data ~off =
         plen > 0
         && plen <= len - pos - 8
         && Crc32c.mask (Crc32c.string (Codec.get_raw r plen)) = stored_crc
-      then true
+      then Some pos
       else probe (pos + 1)
     end
   in
   probe (off + 1)
+
+let has_frame_after data ~off = find_frame_after data ~off <> None
+
+(* Tolerant scan: where [scan] stops at the first undecodable frame,
+   this re-synchronizes past it to the next decodable frame boundary
+   (the same sliding probe as [find_frame_after]) and keeps going,
+   recording every skipped byte range. Frames past a seal are not
+   replayed — a seal means "log ends here" — but trailing junk is still
+   disclosed. The caller decides which gaps are losses (mid-log rot)
+   and which are benign (a crash-torn tail). *)
+let scan_salvage data f =
+  let len = String.length data in
+  let frames = ref 0 in
+  let gaps = ref [] in
+  let resync pos =
+    match find_frame_after data ~off:pos with
+    | Some j ->
+      gaps := (pos, j) :: !gaps;
+      j
+    | None ->
+      gaps := (pos, len) :: !gaps;
+      len
+  in
+  let pos = ref 0 in
+  (try
+     while !pos < len do
+       if len - !pos < 8 then pos := resync !pos
+       else begin
+         let r = Codec.reader ~pos:!pos data in
+         let stored_crc = Int32.of_int (Codec.get_u32 r) in
+         let plen = Codec.get_u32 r in
+         if plen > len - !pos - 8 then pos := resync !pos
+         else begin
+           let payload = Codec.get_raw r plen in
+           if Crc32c.mask (Crc32c.string payload) <> stored_crc then pos := resync !pos
+           else if payload = seal_payload then begin
+             if not (Codec.at_end r) then gaps := (r.Codec.pos, len) :: !gaps;
+             raise Exit
+           end
+           else
+             match f ~off:!pos payload with
+             | () ->
+               incr frames;
+               pos := r.Codec.pos
+             | exception Codec.Corrupt _ -> pos := resync !pos
+         end
+       end
+     done
+   with Exit -> ());
+  (!frames, List.rev !gaps)
 
 (* The last [seal_size] bytes differ from the seal frame in at most two
    bytes: a seal that took a bit flip or two. A crash cannot fabricate

@@ -29,12 +29,28 @@ val scan : string -> (off:int -> string -> unit) -> int * scan_end
     the ending. An [f] raising [Codec.Corrupt] marks that frame bad and
     stops the scan (its delivery is not counted). *)
 
+val find_frame_after : string -> off:int -> int option
+(** Offset of the first complete, CRC-valid frame strictly after [off],
+    if any. The probe slides byte by byte, so it re-synchronizes even
+    though a damaged frame's length field is untrustworthy; a false
+    positive needs four arbitrary bytes to match a CRC-32C — 2^-32 per
+    candidate offset. *)
+
 val has_frame_after : string -> off:int -> bool
 (** Whether any complete, CRC-valid frame is decodable strictly after
     [off]. A scan ending in [Bad_frame off] on an {e unsealed} log is a
     legitimate crash-torn tail only when nothing decodable follows;
     intact frames beyond the damage mean mid-log bit rot, which must be
     a typed corruption, never a silent truncation. *)
+
+val scan_salvage : string -> (off:int -> string -> unit) -> int * (int * int) list
+(** [scan_salvage data f] is the tolerant counterpart of {!scan}: at an
+    undecodable frame it re-synchronizes to the next decodable frame
+    boundary ({!find_frame_after}) and continues, so intact frames on
+    {e both} sides of damage are delivered. Returns the delivered frame
+    count and the skipped byte ranges [(start, stop)] in file order
+    (empty for a clean log). Frames past a seal are not delivered;
+    trailing junk after one is still disclosed as a gap. *)
 
 val bad_frame_is_rot : string -> off:int -> bool
 (** Classify a [Bad_frame off] on an unsealed log: [true] when the

@@ -74,11 +74,22 @@ let replay dev ~name f =
   end
 
 let salvage dev ~name f =
-  if not (Device.exists dev name) then (0, None)
+  if not (Device.exists dev name) then (0, [])
   else begin
-    let batches, ending =
-      Framed_log.scan (Framed_log.load dev ~name) (fun ~off:_ p -> decode_batch p f)
+    let data = Framed_log.load dev ~name in
+    let len = String.length data in
+    let batches, gaps =
+      Framed_log.scan_salvage data (fun ~off:_ p -> decode_batch p f)
     in
-    let bad = match ending with Framed_log.Bad_frame off -> Some off | _ -> None in
-    (batches, bad)
+    (* A final gap reaching end-of-file with none of the rot tells is an
+       ordinary crash-torn tail: recovery truncates those silently (as
+       [replay] does), so it is not a disclosed loss. Every other gap is
+       mid-log damage with intact batches beyond it — real, reportable
+       loss. *)
+    let gaps =
+      List.filter
+        (fun (g0, g1) -> g1 < len || Framed_log.bad_frame_is_rot data ~off:g0)
+        gaps
+    in
+    (batches, gaps)
   end

@@ -57,8 +57,12 @@ val replay :
     The seal frame itself is not counted or passed to [f]. *)
 
 val salvage :
-  Device.t -> name:string -> (Lsm_record.Entry.t list -> unit) -> int * int option
-(** Tolerant scan for repair tools: applies [f] to each intact batch up
-    to the first undecodable frame regardless of seal state. Returns the
-    batch count and [Some offset] of the first bad frame ([None] if the
-    whole file parsed clean). *)
+  Device.t -> name:string -> (Lsm_record.Entry.t list -> unit) -> int * (int * int) list
+(** Tolerant scan for repair tools: applies [f] to each intact batch in
+    file order regardless of seal state, re-synchronizing past
+    undecodable frames so batches on {e both} sides of mid-log damage
+    are recovered. Returns the batch count and the disclosed byte ranges
+    [(start, stop)] that were skipped as lost. A benign crash-torn tail
+    (a final unparseable stretch bearing none of the rot tells) is
+    truncated silently — exactly as {!replay} would — and not disclosed;
+    every disclosed gap is real damage an operator should know about. *)

@@ -1,0 +1,137 @@
+(* Reed–Solomon erasure coding over GF(256), used for the SST parity
+   section (DESIGN.md §14). This is a *systematic* code built by
+   polynomial interpolation: the [k] data shards are the values of a
+   degree-(k-1) polynomial P at x = 0..k-1, and the [m] parity shards
+   are P evaluated at x = k..k+m-1. Any [k] of the [k+m] shards
+   determine P (Lagrange interpolation), so up to [m] *erasures* —
+   shards whose positions are known to be lost, here pages whose CRC
+   failed — can be reconstructed exactly. More than [m] erasures leave
+   fewer than [k] points and are reported as unrecoverable, never
+   mis-decoded.
+
+   Byte-wise: every byte offset of the shards is an independent
+   codeword, so coefficients are computed once per (shape, erasure
+   pattern) and applied across the whole shard length. *)
+
+(* GF(2^8) with the AES-adjacent primitive polynomial x^8+x^4+x^3+x^2+1
+   (0x11d), generator 2. [gf_exp] is doubled so products of two logs
+   (each <= 254) index without a mod. Filled once at module load and
+   immutable afterwards, so sharing across domains is safe. *)
+let gf_exp = Array.make 512 0
+let gf_log = Array.make 256 0
+
+let () =
+  let rec fill i x =
+    if i <= 254 then begin
+      gf_exp.(i) <- x;
+      gf_log.(x) <- i;
+      let x2 = x lsl 1 in
+      fill (i + 1) (if x2 land 0x100 <> 0 then x2 lxor 0x11d else x2)
+    end
+  in
+  fill 0 1;
+  for i = 255 to 511 do
+    gf_exp.(i) <- gf_exp.(i - 255)
+  done
+
+let gf_mul a b = if a = 0 || b = 0 then 0 else gf_exp.(gf_log.(a) + gf_log.(b))
+
+let gf_div a b =
+  if b = 0 then invalid_arg "Rs: division by zero";
+  if a = 0 then 0 else gf_exp.(gf_log.(a) + 255 - gf_log.(b))
+
+(* Lagrange basis polynomial L_i over the sample points [xs], evaluated
+   at [x]: the weight of sample i when interpolating a value at x. *)
+let lagrange_at xs i x =
+  let n = Array.length xs in
+  let num = ref 1 and den = ref 1 in
+  for j = 0 to n - 1 do
+    if j <> i then begin
+      num := gf_mul !num (x lxor xs.(j));
+      den := gf_mul !den (xs.(i) lxor xs.(j))
+    end
+  done;
+  gf_div !num !den
+
+type t = {
+  k : int;
+  m : int;
+  enc : int array array;
+      (** [enc.(j).(i)]: weight of data shard [i] in parity shard [j],
+          i.e. L_i(k + j) over sample points 0..k-1. Precomputed — the
+          encode geometry never changes for a given coder. *)
+}
+
+let create ~k ~m =
+  if k < 1 || m < 1 || k + m > 255 then
+    invalid_arg "Rs.create: need k >= 1, m >= 1, k + m <= 255";
+  let xs = Array.init k (fun i -> i) in
+  let enc = Array.init m (fun j -> Array.init k (fun i -> lagrange_at xs i (k + j))) in
+  { k; m; enc }
+
+let k t = t.k
+let m t = t.m
+
+let check_shard_len who len s =
+  if String.length s <> len then invalid_arg (who ^ ": shards must have equal length")
+
+let combine ~coeffs ~shards ~len =
+  let out = Bytes.make len '\000' in
+  Array.iteri
+    (fun i c ->
+      if c <> 0 then begin
+        let s = shards.(i) in
+        if c = 1 then
+          for b = 0 to len - 1 do
+            Bytes.unsafe_set out b
+              (Char.unsafe_chr (Char.code (Bytes.unsafe_get out b) lxor Char.code (String.unsafe_get s b)))
+          done
+        else begin
+          let lc = gf_log.(c) in
+          for b = 0 to len - 1 do
+            let v = Char.code (String.unsafe_get s b) in
+            let p = if v = 0 then 0 else gf_exp.(lc + gf_log.(v)) in
+            Bytes.unsafe_set out b (Char.unsafe_chr (Char.code (Bytes.unsafe_get out b) lxor p))
+          done
+        end
+      end)
+    coeffs;
+  Bytes.unsafe_to_string out
+
+let encode t data =
+  if Array.length data <> t.k then invalid_arg "Rs.encode: expected k data shards";
+  let len = if t.k = 0 then 0 else String.length data.(0) in
+  Array.iter (check_shard_len "Rs.encode" len) data;
+  Array.init t.m (fun j -> combine ~coeffs:t.enc.(j) ~shards:data ~len)
+
+let decode t shards =
+  if Array.length shards <> t.k + t.m then invalid_arg "Rs.decode: expected k + m shard slots";
+  (* Collect up to [k] surviving sample points, preferring data shards
+     (identity weight for the common all-data-present case). *)
+  let pts = Array.make t.k 0 in
+  let srcs = Array.make t.k "" in
+  let npts = ref 0 in
+  let len = ref (-1) in
+  Array.iteri
+    (fun x -> function
+      | Some s when !npts < t.k ->
+        if !len < 0 then len := String.length s else check_shard_len "Rs.decode" !len s;
+        pts.(!npts) <- x;
+        srcs.(!npts) <- s;
+        incr npts
+      | Some s -> if !len >= 0 then check_shard_len "Rs.decode" !len s
+      | None -> ())
+    shards;
+  if !npts < t.k then None (* more than m erasures: detectably unrecoverable *)
+  else begin
+    let len = max !len 0 in
+    let data =
+      Array.init t.k (fun i ->
+          match shards.(i) with
+          | Some s -> s (* systematic shard survived; no arithmetic needed *)
+          | None ->
+            let coeffs = Array.init t.k (fun j -> lagrange_at pts j i) in
+            combine ~coeffs ~shards:srcs ~len)
+    in
+    Some data
+  end

@@ -1,0 +1,35 @@
+(** Reed–Solomon erasure coding over GF(256).
+
+    A systematic [k]+[m] code: [encode] turns [k] equal-length data
+    shards into [m] parity shards; [decode] reconstructs all [k] data
+    shards from any [k] survivors of the [k+m] total. Erasure-only —
+    callers identify lost shards by position (here: pages whose CRC
+    failed), the coder does not locate errors itself. With more than
+    [m] erasures, [decode] returns [None]; it never mis-decodes silently.
+
+    Used by the SST parity section (DESIGN.md §14): stripes of [k] data
+    pages carry [m] parity pages so single-page bit rot repairs in
+    place. *)
+
+type t
+(** A coder for a fixed shape [(k, m)]. Immutable; safe to share across
+    domains. *)
+
+val create : k:int -> m:int -> t
+(** [create ~k ~m] precomputes encode coefficients. Raises
+    [Invalid_argument] unless [k >= 1], [m >= 1] and [k + m <= 255]
+    (GF(256) supports at most 255 distinct evaluation points). *)
+
+val k : t -> int
+val m : t -> int
+
+val encode : t -> string array -> string array
+(** [encode t data] maps [k] equal-length data shards to [m] parity
+    shards of the same length. Raises [Invalid_argument] on a wrong
+    shard count or unequal lengths. *)
+
+val decode : t -> string option array -> string array option
+(** [decode t shards] takes [k + m] slots (data shards first, then
+    parity; [None] marks an erased shard) and returns the [k] data
+    shards, or [None] when fewer than [k] shards survive. Surviving
+    data shards are returned as-is. *)

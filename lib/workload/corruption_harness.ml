@@ -21,9 +21,13 @@
      {- [F_manifest]: tables and WAL are untouched, so the rebuilt
         manifest plus replayed WAL must reproduce the final model
         exactly;}
-     {- [F_wal]: point-in-time truncation — the recovered store must
-        equal the model after some op prefix [k], no earlier than the
-        last explicit flush (everything flushed lives in tables).}} *)
+     {- [F_wal]: with tail-only damage, point-in-time truncation — the
+        recovered store must equal the model after some op prefix [k],
+        no earlier than the last explicit flush (everything flushed
+        lives in tables); with disclosed mid-log gaps, batches on both
+        sides of the rot survive, so keys untouched after the flush
+        floor must be exact and differing keys must be absent or carry
+        a genuinely-written value (no fabrication).}} *)
 
 module Device = Lsm_storage.Device
 module Db = Lsm_core.Db
@@ -125,24 +129,77 @@ let check_manifest_rebuild ~fail db model =
         (Printf.sprintf "manifest rebuild did not reproduce the final state (%d keys vs %d)"
            (List.length got) (SMap.cardinal model))
 
-(* Post-repair, [F_wal]: point-in-time truncation to some op prefix no
-   earlier than the last explicit flush. *)
-let check_wal_truncation ~fail db models ~floor =
-  match bindings db with
-  | exception e -> fail (Printf.sprintf "post-repair scan raised %s" (Printexc.to_string e))
-  | got ->
-    let n = Array.length models - 1 in
-    let rec matches k = k <= n && (SMap.bindings models.(k) = got || matches (k + 1)) in
-    if not (matches floor) then
-      fail
-        (Printf.sprintf "WAL salvage state matches no op prefix >= %d (got %d keys)" floor
-           (List.length got))
+(* Post-repair, [F_wal]. Two shapes of loss:
+   - tail-only damage (no disclosed gaps): point-in-time truncation to
+     some op prefix no earlier than the last explicit flush;
+   - mid-log rot (disclosed gaps): salvage keeps the batches on {e both}
+     sides of each gap, so the state is the final model minus the lost
+     batches — not a prefix. Then the contract is: keys untouched after
+     the flush floor must still be exact (their data lives in tables or
+     surviving frames), and a differing key must have been touched after
+     the floor and may only be absent or carry a value the workload
+     actually wrote (no fabrication). *)
+let check_wal_salvage ~fail db ops models ~floor (rep : Doctor.report) =
+  let has_gaps =
+    List.exists (fun (w : Doctor.wal_report) -> w.Doctor.wr_gaps <> []) rep.Doctor.wals
+  in
+  if not has_gaps then begin
+    match bindings db with
+    | exception e -> fail (Printf.sprintf "post-repair scan raised %s" (Printexc.to_string e))
+    | got ->
+      let n = Array.length models - 1 in
+      let rec matches k = k <= n && (SMap.bindings models.(k) = got || matches (k + 1)) in
+      if not (matches floor) then
+        fail
+          (Printf.sprintf "WAL salvage state matches no op prefix >= %d (got %d keys)" floor
+             (List.length got))
+  end
+  else begin
+    let model = models.(Array.length models - 1) in
+    let touched_after k =
+      let hit = ref false in
+      Array.iteri
+        (fun i op ->
+          if i >= floor then
+            match op with
+            | CH.Put (k', _) | CH.Delete k' -> if k' = k then hit := true
+            | CH.Batch l -> if List.exists (fun (_, k', _) -> k' = k) l then hit := true
+            | _ -> ())
+        ops;
+      !hit
+    in
+    for i = 0 to key_space - 1 do
+      let k = CH.key_of i in
+      match Db.get db k with
+      | exception e ->
+        fail (Printf.sprintf "post-repair read of %s raised %s" k (Printexc.to_string e))
+      | got ->
+        if got <> SMap.find_opt k model then
+          if not (touched_after k) then
+            fail
+              (Printf.sprintf
+                 "post-repair %s untouched after the flush floor is not exact" k)
+          else (
+            match got with
+            | None -> () (* its batch fell in a disclosed gap *)
+            | Some v ->
+              if not (List.mem v (history_of ops k)) then
+                fail
+                  (Printf.sprintf
+                     "post-repair %s (batch lost to a WAL gap) served a value never written"
+                     k))
+    done
+  end
 
-let check_corruption ~cls ~pages ~seed ~ops =
+let check_corruption ?config ~cls ~pages ~seed ~ops () =
   (* Small blocks and small device pages: every file spans many pages,
      so multi-page injection hits genuinely distinct blocks instead of
      collapsing onto the single page a tiny store would occupy. *)
-  let config = { (CH.default_config ()) with Config.block_size = 256 } in
+  let config =
+    match config with
+    | Some c -> c
+    | None -> { (CH.default_config ()) with Config.block_size = 256 }
+  in
   let models = CH.models_of ops in
   let n = Array.length ops in
   let model = models.(n) in
@@ -183,7 +240,7 @@ let check_corruption ~cls ~pages ~seed ~ops =
         | Device.F_sst -> check_sst_salvage ~fail db ops model rep
         | Device.F_manifest -> check_manifest_rebuild ~fail db model
         | Device.F_wal | Device.F_other ->
-          check_wal_truncation ~fail db models ~floor:(last_flush_index ops));
+          check_wal_salvage ~fail db ops models ~floor:(last_flush_index ops) rep);
         (match Db.close db with
         | () -> ()
         | exception e -> fail (Printf.sprintf "post-repair close raised %s" (Printexc.to_string e))))
@@ -201,10 +258,106 @@ let sweep ?(classes = default_classes) ?(pages = [ 1; 2; 4 ]) ?(seeds = [ 11; 23
         (fun p ->
           List.iter
             (fun seed ->
-              let hits, failures = check_corruption ~cls ~pages:p ~seed ~ops in
+              let hits, failures = check_corruption ~cls ~pages:p ~seed ~ops () in
               acc :=
                 merge_reports !acc { runs = 1; hits; failures })
             seeds)
         pages)
     classes;
   !acc
+
+(* ------------------------------------------------------------------ *)
+(* ECC arm                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Stats = Lsm_core.Stats
+
+(* 4+2 stripes over 256-byte pages: any single rotted page per stripe is
+   reconstructible, so the single-page-per-file rot model must heal
+   entirely in place. *)
+let ecc_config () =
+  {
+    (CH.default_config ()) with
+    Config.block_size = 256;
+    ecc = Some { Config.ecc_data_pages = 4; ecc_parity_pages = 2 };
+  }
+
+(* The strict ECC cycle (one flipped page per [.sst]): stronger than the
+   generic contract — the damaged store must serve {e every} read
+   byte-exact with no typed errors, quarantine nothing, never trip
+   fail-safe, scrub itself clean, and leave the device image sound for
+   an offline doctor. Returns (hits, pages repaired, failures). *)
+let check_ecc_strict ~seed ~ops =
+  let config = ecc_config () in
+  let models = CH.models_of ops in
+  let model = models.(Array.length ops) in
+  let failures = ref [] in
+  let fail s = failures := Printf.sprintf "[ecc pages:1 seed:%d] %s" seed s :: !failures in
+  let dev = Device.in_memory ~page_size:256 () in
+  let hits =
+    try
+      let db = Db.open_db ~config ~dev () in
+      Array.iter (CH.apply_db db) ops;
+      Db.close db;
+      Device.plan_corruption dev ~seed ~classes:[ Device.F_sst ] ~pages:1 ()
+    with e ->
+      fail (Printf.sprintf "workload/injection raised %s" (Printexc.to_string e));
+      []
+  in
+  let repairs = ref 0 in
+  if !failures = [] && hits <> [] then begin
+    match Db.open_db ~config ~dev () with
+    | exception e -> fail (Printf.sprintf "ecc open raised %s" (Printexc.to_string e))
+    | db ->
+      for i = 0 to key_space - 1 do
+        let k = CH.key_of i in
+        match Db.get db k with
+        | got -> if got <> SMap.find_opt k model then fail (Printf.sprintf "read of %s not exact under single-page rot" k)
+        | exception e ->
+          fail (Printf.sprintf "read of %s raised %s under single-page rot" k (Printexc.to_string e))
+      done;
+      (* The scrub sweeps the blocks reads never touched — and the parity
+         pages themselves — so the whole image is healed, not just the
+         read-hot prefix. *)
+      (match Db.verify_integrity db with
+      | [] -> ()
+      | fs -> fail (Printf.sprintf "scrub still found %d defects" (List.length fs)));
+      if Db.quarantined_tables db <> [] then fail "quarantined a table under single-page rot";
+      let st = Db.stats db in
+      if st.Stats.failsafe_entries > 0 then fail "tripped fail-safe under single-page rot";
+      if st.Stats.ecc_repairs = 0 then fail "rot was hit but nothing was repaired";
+      repairs := st.Stats.ecc_repairs;
+      (match Db.close db with
+      | () -> ()
+      | exception e -> fail (Printf.sprintf "close raised %s" (Printexc.to_string e)));
+      (* In-place repair means the device itself is sound again. *)
+      match Doctor.verify dev with
+      | [] -> ()
+      | fs -> fail (Printf.sprintf "offline doctor still finds %d defects" (List.length fs))
+  end;
+  (List.length hits, !repairs, List.rev !failures)
+
+let sweep_ecc ?(pages = [ 1; 2; 4 ]) ?(seeds = [ 11; 23 ]) ~ops () =
+  let acc = ref { runs = 0; hits = 0; failures = [] } in
+  let repairs = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun seed ->
+          if p = 1 then begin
+            let hits, reps, failures = check_ecc_strict ~seed ~ops in
+            repairs := !repairs + reps;
+            acc := merge_reports !acc { runs = 1; hits; failures }
+          end
+          else begin
+            (* Multi-page rot can exceed the per-stripe parity budget, so
+               only the generic never-wrong-data/repair contract applies. *)
+            let hits, failures =
+              check_corruption ~config:(ecc_config ()) ~cls:Device.F_sst ~pages:p ~seed
+                ~ops ()
+            in
+            acc := merge_reports !acc { runs = 1; hits; failures }
+          end)
+        seeds)
+    pages;
+  (!acc, !repairs)

@@ -26,12 +26,16 @@ type report = {
 val merge_reports : report -> report -> report
 
 val check_corruption :
+  ?config:Lsm_core.Config.t ->
   cls:Lsm_storage.Device.file_class ->
   pages:int ->
   seed:int ->
   ops:Crash_harness.op array ->
+  unit ->
   int * string list
 (** One cycle against [cls] with up to [pages] flipped pages per file.
+    [config] (default: the crash-harness config with 256-byte blocks)
+    lets callers run the same contract with ECC or other knobs on.
     Returns [(hits, failures)]; zero hits (nothing of that class was on
     the device) skips the checks. *)
 
@@ -45,3 +49,23 @@ val sweep :
 (** The full matrix: every class (default sst, manifest, wal) crossed
     with every page count (default 1, 2, 4) and every injection seed
     (default two). Deterministic in [ops] and [seeds]. *)
+
+val ecc_config : unit -> Lsm_core.Config.t
+(** The ECC arm's config: the crash-harness defaults with 256-byte
+    blocks and 4+2 Reed–Solomon stripes over 256-byte pages. *)
+
+val check_ecc_strict :
+  seed:int -> ops:Crash_harness.op array -> int * int * string list
+(** One ECC-on cycle with a single flipped page per [.sst] — within the
+    4+2 parity budget, so the contract is strict: every read byte-exact
+    with no typed errors, zero quarantines, no fail-safe, a clean scrub,
+    [ecc_repairs > 0], and a clean offline {!Lsm_core.Doctor.verify}
+    afterwards (the device itself was healed, not just the session).
+    Returns [(hits, pages_repaired, failures)]. *)
+
+val sweep_ecc :
+  ?pages:int list -> ?seeds:int list -> ops:Crash_harness.op array -> unit -> report * int
+(** The ECC-on sweep over [F_sst]: page count 1 runs the strict
+    in-place-repair cycle; higher counts (which can exceed the per-stripe
+    parity budget) fall back to the generic corruption contract. Returns
+    the report plus total pages repaired in place. *)

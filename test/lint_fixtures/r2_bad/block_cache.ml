@@ -10,6 +10,6 @@ let find t ~file ~off =
 
 let open_one t name =
   locked t (fun () ->
-      let r = Sstable.open_reader ~cmp:t.cmp ~dev:t.dev ~cache:t.cache ~name in
+      let r = Sstable.open_reader ~cmp:t.cmp ~dev:t.dev ~cache:t.cache name in
       remember t name r;
       r)

@@ -22,6 +22,7 @@ let meta ?(tombs = 0) ?(created = 0) ?(size = 100) id lo hi =
     max_seqno = 0;
     created_at = created;
     data_bytes = size;
+    ecc = None;
   }
 
 (* ---------- run caps ---------- *)

@@ -1,0 +1,310 @@
+(* Tests for the self-healing read path (DESIGN.md §14): the GF(256)
+   Reed–Solomon coder, the SST parity-section format, in-place rot
+   repair on reads and scrubs, the over-budget quarantine path, and the
+   [Config.scrub_interval] scheduler. *)
+
+module Entry = Lsm_record.Entry
+module Iter = Lsm_record.Iter
+module Comparator = Lsm_util.Comparator
+module Codec = Lsm_util.Codec
+module Rs = Lsm_util.Rs
+module Lsm_error = Lsm_util.Lsm_error
+module Device = Lsm_storage.Device
+module Io_stats = Lsm_storage.Io_stats
+module Block_cache = Lsm_storage.Block_cache
+module Sstable = Lsm_sstable.Sstable
+module Db = Lsm_core.Db
+module Config = Lsm_core.Config
+module Stats = Lsm_core.Stats
+module Doctor = Lsm_core.Doctor
+
+let cmp = Comparator.bytewise
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let cls = Io_stats.C_misc
+let qt t = let name, _speed, fn = QCheck_alcotest.to_alcotest t in (name, `Quick, fn)
+
+(* ---------- Reed–Solomon properties ---------- *)
+
+(* A tiny deterministic PRNG so shard contents and erasure positions are
+   reproducible from the QCheck-generated seed. *)
+let lcg seed =
+  let s = ref (seed land 0x3fffffff) in
+  fun n ->
+    s := ((!s * 1103515245) + 12345) land 0x3fffffff;
+    !s mod n
+
+let random_shards rand ~k ~len =
+  Array.init k (fun _ -> String.init len (fun _ -> Char.chr (rand 256)))
+
+let prop_rs_roundtrip =
+  QCheck.Test.make ~name:"rs: up to m erasures always decode exactly" ~count:300
+    QCheck.(
+      quad (int_range 1 10) (int_range 1 4) (int_range 1 48) (int_range 0 0x3ffffff))
+    (fun (k, m, len, seed) ->
+      let rand = lcg seed in
+      let rs = Rs.create ~k ~m in
+      let data = random_shards rand ~k ~len in
+      let parity = Rs.encode rs data in
+      let all = Array.append data parity in
+      (* Erase up to m distinct slots anywhere in the stripe. *)
+      let nerase = rand (m + 1) in
+      let slots = Array.map (fun s -> Some s) all in
+      let erased = ref 0 in
+      while !erased < nerase do
+        let p = rand (k + m) in
+        if slots.(p) <> None then begin
+          slots.(p) <- None;
+          incr erased
+        end
+      done;
+      match Rs.decode rs slots with
+      | Some got -> got = data
+      | None -> false)
+
+let prop_rs_over_budget =
+  QCheck.Test.make ~name:"rs: more than m erasures never mis-decode" ~count:200
+    QCheck.(
+      quad (int_range 1 10) (int_range 1 4) (int_range 1 32) (int_range 0 0x3ffffff))
+    (fun (k, m, len, seed) ->
+      let rand = lcg seed in
+      let rs = Rs.create ~k ~m in
+      let data = random_shards rand ~k ~len in
+      let all = Array.append data (Rs.encode rs data) in
+      let slots = Array.map (fun s -> Some s) all in
+      (* Erase m+1 distinct slots: fewer than k survivors remain. *)
+      let erased = ref 0 in
+      while !erased < m + 1 do
+        let p = rand (k + m) in
+        if slots.(p) <> None then begin
+          slots.(p) <- None;
+          incr erased
+        end
+      done;
+      Rs.decode rs slots = None)
+
+let prop_rs_parity_detects_position =
+  QCheck.Test.make ~name:"rs: each parity slot is independently sufficient" ~count:100
+    QCheck.(triple (int_range 1 8) (int_range 1 24) (int_range 0 0x3ffffff))
+    (fun (k, len, seed) ->
+      let rand = lcg seed in
+      let m = 2 in
+      let rs = Rs.create ~k ~m in
+      let data = random_shards rand ~k ~len in
+      let all = Array.append data (Rs.encode rs data) in
+      (* Erase one data shard plus one parity shard — still within m. *)
+      let di = rand k in
+      let pi = k + rand m in
+      let slots = Array.mapi (fun i s -> if i = di || i = pi then None else Some s) all in
+      Rs.decode rs slots = Some data)
+
+(* ---------- Stripe-format round-trip ---------- *)
+
+let e ?(kind = Entry.Put) ?(value = "") key seqno = { Entry.key; seqno; kind; value }
+
+let many_entries n =
+  List.init n (fun i -> e (Printf.sprintf "user%06d" i) (i + 1) ~value:(String.make 32 'v'))
+
+let ecc_build_config ?(compression = Sstable.C_none) ?(restart_interval = 16) () =
+  {
+    Sstable.default_build_config with
+    Sstable.block_size = 256;
+    restart_interval;
+    compression;
+    ecc = Some (4, 2);
+  }
+
+let fresh_cache () = Block_cache.create ~capacity:(1 lsl 20) ()
+
+let build_table ?config dev entries =
+  Sstable.build ?config ~cmp ~dev ~cls:Io_stats.C_flush ~name:"t.sst" ~created_at:7
+    (Iter.of_sorted_list cmp entries)
+
+let device_bytes dev name = Device.read dev ~cls name ~off:0 ~len:(Device.size dev name)
+
+(* The self-checksummed tail locator, parsed the way an external tool
+   would: [u32 ecc_off | u32 ecc_len | u32 crc | u32 magic] twice. *)
+let ecc_off_of_locator dev name =
+  let fsize = Device.size dev name in
+  let tail = Device.read dev ~cls name ~off:(fsize - 16) ~len:16 in
+  let r = Codec.reader tail in
+  Codec.get_u32 r
+
+let test_stripe_roundtrip_matrix () =
+  List.iter
+    (fun compression ->
+      List.iter
+        (fun restart_interval ->
+          let dev = Device.in_memory ~page_size:128 () in
+          let entries = many_entries 400 in
+          let config = ecc_build_config ~compression ~restart_interval () in
+          ignore (build_table ~config dev entries);
+          let r = Sstable.open_reader ~cmp ~dev ~cache:(fresh_cache ()) "t.sst" in
+          let got = Iter.to_list (Sstable.iterator r ~cls ()) in
+          check
+            (Printf.sprintf "roundtrip (lz=%b restart=%d)"
+               (compression = Sstable.C_lz) restart_interval)
+            true (got = entries);
+          Sstable.verify r ~cls;
+          check_int "pristine table needs no scrub repairs" 0 (Sstable.scrub_ecc r ~cls))
+        [ 1; 4; 16 ])
+    [ Sstable.C_none; Sstable.C_lz ]
+
+let test_ecc_off_has_no_section () =
+  let dev = Device.in_memory ~page_size:128 () in
+  let entries = many_entries 300 in
+  let config = { (ecc_build_config ()) with Sstable.ecc = None } in
+  ignore (build_table ~config dev entries);
+  let r = Sstable.open_reader ~cmp ~dev ~cache:(fresh_cache ()) "t.sst" in
+  check_int "ecc off: file is exactly the legacy image" (Device.size dev "t.sst")
+    (Sstable.file_size r)
+
+let test_ecc_on_section_after_image () =
+  let dev = Device.in_memory ~page_size:128 () in
+  let entries = many_entries 300 in
+  ignore (build_table ~config:(ecc_build_config ()) dev entries);
+  let r = Sstable.open_reader ~cmp ~dev ~cache:(fresh_cache ()) "t.sst" in
+  let inner = Sstable.file_size r in
+  let total = Device.size dev "t.sst" in
+  check "ecc on: parity section follows the inner image" true (inner < total);
+  check_int "locator points at the end of the inner image" inner
+    (ecc_off_of_locator dev "t.sst")
+
+(* ---------- In-place repair: every page of the file, one at a time ---------- *)
+
+let flip_bit dev name ~off =
+  let b = Device.read dev ~cls name ~off ~len:1 in
+  Device.patch dev ~cls name ~off (String.make 1 (Char.chr (Char.code b.[0] lxor 1)))
+
+(* Flip one bit in every page of the file in turn — data, meta, parity,
+   section header, and both locator copies — and require each rot to be
+   healed back to the pristine byte image by reads plus one scrub, with
+   every entry served byte-exact throughout. *)
+let test_flip_heal_every_page () =
+  let dev = Device.in_memory ~page_size:128 () in
+  let entries = many_entries 400 in
+  ignore (build_table ~config:(ecc_build_config ()) dev entries);
+  let pristine = device_bytes dev "t.sst" in
+  let fsize = String.length pristine in
+  let repaired = ref 0 and unrecoverable = ref 0 in
+  let on_ecc = function
+    | Sstable.Ecc_repaired { pages; _ } -> repaired := !repaired + pages
+    | Sstable.Ecc_unrecoverable -> incr unrecoverable
+  in
+  let page = 128 in
+  let npages = (fsize + page - 1) / page in
+  for p = 0 to npages - 1 do
+    flip_bit dev "t.sst" ~off:(p * page);
+    (* A fresh cache per cycle: cached decoded blocks would mask the rot. *)
+    let r = Sstable.open_reader ~cmp ~dev ~cache:(fresh_cache ()) ~on_ecc "t.sst" in
+    let got = Iter.to_list (Sstable.iterator r ~cls ()) in
+    check (Printf.sprintf "page %d: reads stay byte-exact" p) true (got = entries);
+    ignore (Sstable.scrub_ecc r ~cls);
+    check (Printf.sprintf "page %d: device healed to pristine bytes" p) true
+      (String.equal (device_bytes dev "t.sst") pristine)
+  done;
+  check "at least one repair event fired" true (!repaired > 0);
+  check_int "no rot was beyond the parity budget" 0 !unrecoverable
+
+(* Rot past the per-stripe budget (3 pages of a 4+2 stripe) must surface
+   as the usual typed corruption — never fabricated data — and report
+   itself through [on_ecc]. *)
+let test_over_budget_is_typed_corruption () =
+  let dev = Device.in_memory ~page_size:128 () in
+  let entries = many_entries 400 in
+  ignore (build_table ~config:(ecc_build_config ()) dev entries);
+  List.iter (fun off -> flip_bit dev "t.sst" ~off) [ 0; 128; 256 ];
+  let unrecoverable = ref 0 in
+  let on_ecc = function
+    | Sstable.Ecc_repaired _ -> ()
+    | Sstable.Ecc_unrecoverable -> incr unrecoverable
+  in
+  let r = Sstable.open_reader ~cmp ~dev ~cache:(fresh_cache ()) ~on_ecc "t.sst" in
+  check "read of the dead stripe raises typed corruption" true
+    (try
+       ignore (Iter.to_list (Sstable.iterator r ~cls ()));
+       false
+     with Lsm_error.Error (Lsm_error.Corruption _) -> true);
+  check "the failure was reported as unrecoverable" true (!unrecoverable > 0)
+
+(* ---------- Db-level cycle: rot, reopen, read-heal, clean doctor ---------- *)
+
+let db_ecc_config () =
+  {
+    Config.default with
+    Config.write_buffer_size = 1 lsl 16;
+    wal_sync_every_write = true;
+    block_size = 256;
+    ecc = Some { Config.ecc_data_pages = 4; ecc_parity_pages = 2 };
+  }
+
+let test_db_ecc_read_heals () =
+  let dev = Device.in_memory ~page_size:256 () in
+  let config = db_ecc_config () in
+  let key i = Printf.sprintf "key-%04d" i in
+  let value i = Printf.sprintf "value-%04d-%s" i (String.make 48 'v') in
+  let n = 800 in
+  let db = Db.open_db ~config ~dev () in
+  for i = 0 to n - 1 do
+    Db.put db ~key:(key i) (value i)
+  done;
+  Db.flush db;
+  Db.close db;
+  let hits = Device.plan_corruption dev ~seed:5 ~classes:[ Device.F_sst ] ~pages:1 () in
+  check "injection hit the durable image" true (hits <> []);
+  let db2 = Db.open_db ~config ~dev () in
+  for i = 0 to n - 1 do
+    match Db.get db2 (key i) with
+    | Some v -> check (Printf.sprintf "exact value for %s" (key i)) true (v = value i)
+    | None -> Alcotest.fail (Printf.sprintf "lost %s" (key i))
+  done;
+  check "nothing quarantined" true (Db.quarantined_tables db2 = []);
+  check "integrity clean after repairs" true (Db.verify_integrity db2 = []);
+  let st = Db.stats db2 in
+  check "repairs counted" true (st.Stats.ecc_repairs > 0);
+  check "repair latency histogram populated" true
+    (Lsm_util.Histogram.count st.Stats.ecc_repair_ns > 0);
+  check_int "nothing unrecoverable" 0 st.Stats.ecc_unrecoverable;
+  Db.close db2;
+  check "offline doctor sees a healed device" true (Doctor.verify dev = [])
+
+(* ---------- Scheduled scrubbing ---------- *)
+
+let scrub_config backend =
+  {
+    Config.default with
+    Config.write_buffer_size = 4096;
+    scrub_interval = 1e-9;
+    compaction_backend = backend;
+  }
+
+let run_scrub_scheduling backend =
+  let dev = Device.in_memory () in
+  let db = Db.open_db ~config:(scrub_config backend) ~dev () in
+  for i = 0 to 999 do
+    Db.put db ~key:(Printf.sprintf "key-%04d" i) (String.make 64 'v')
+  done;
+  Db.quiesce db;
+  let st = Db.stats db in
+  check "rotations scheduled scrub passes" true (st.Stats.scrub_runs_scheduled > 0);
+  check "scheduled passes completed" true (st.Stats.scrub_runs > 0);
+  check_int "clean store scrubs clean" 0 st.Stats.scrub_errors;
+  Db.close db
+
+let test_scrub_scheduling_inline () = run_scrub_scheduling Config.Inline
+let test_scrub_scheduling_background () = run_scrub_scheduling Config.Background
+
+let suite =
+  [
+    qt prop_rs_roundtrip;
+    qt prop_rs_over_budget;
+    qt prop_rs_parity_detects_position;
+    ("stripe roundtrip across compression x restarts", `Quick, test_stripe_roundtrip_matrix);
+    ("ecc off keeps the legacy format", `Quick, test_ecc_off_has_no_section);
+    ("ecc section trails the inner image", `Quick, test_ecc_on_section_after_image);
+    ("every page flip heals back to pristine", `Quick, test_flip_heal_every_page);
+    ("over-budget rot stays typed corruption", `Quick, test_over_budget_is_typed_corruption);
+    ("db reads heal single-page rot in place", `Quick, test_db_ecc_read_heals);
+    ("scrub_interval schedules inline scrubs", `Quick, test_scrub_scheduling_inline);
+    ("scrub_interval schedules background scrubs", `Quick, test_scrub_scheduling_background);
+  ]

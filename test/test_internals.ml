@@ -164,6 +164,7 @@ let meta id lo hi =
     max_seqno = 0;
     created_at = 0;
     data_bytes = 100;
+    ecc = None;
   }
 
 let test_version_apply_add_remove () =

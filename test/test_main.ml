@@ -20,6 +20,7 @@ let () =
       ("scheduler", Test_scheduler.suite);
       ("crash", Test_crash.suite);
       ("corruption", Test_corruption.suite);
+      ("ecc", Test_ecc.suite);
       ("lint", Test_lint.suite);
       ("lockdep", Test_lockdep.suite);
       ("races", Test_races.suite);

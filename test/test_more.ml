@@ -155,7 +155,7 @@ let prop_sstable_iterator_fuzz =
         ignore
           (Lsm_sstable.Sstable.build ~config ~cmp ~dev ~cls:Io_stats.C_flush ~name:"f.sst"
              ~created_at:0 (Iter.of_sorted_list cmp entries));
-        let reader = Lsm_sstable.Sstable.open_reader ~cmp ~dev ~cache ~name:"f.sst" in
+        let reader = Lsm_sstable.Sstable.open_reader ~cmp ~dev ~cache "f.sst" in
         let it = Lsm_sstable.Sstable.iterator reader ~cls:Io_stats.C_user_read () in
         let model = Iter.of_sorted_list cmp entries in
         it.Iter.seek_to_first ();

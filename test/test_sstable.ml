@@ -246,7 +246,7 @@ let test_sstable_roundtrip () =
   check_str "min key" "user000000" props.Sstable.Props.min_key;
   check_str "max key" "user002999" props.Sstable.Props.max_key;
   check_int "created_at" 7 props.Sstable.Props.created_at;
-  let r = Sstable.open_reader ~cmp ~dev ~cache ~name:"t.sst" in
+  let r = Sstable.open_reader ~cmp ~dev ~cache "t.sst" in
   check "multiple blocks" true (Sstable.index_block_count r > 5);
   let got = Iter.to_list (Sstable.iterator r ~cls:Io_stats.C_user_read ()) in
   check "iterator returns everything in order" true (got = entries)
@@ -254,7 +254,7 @@ let test_sstable_roundtrip () =
 let test_sstable_get () =
   let dev, cache = fresh_env () in
   ignore (build_table dev (many_entries 2000));
-  let r = Sstable.open_reader ~cmp ~dev ~cache ~name:"t.sst" in
+  let r = Sstable.open_reader ~cmp ~dev ~cache "t.sst" in
   (match Sstable.get r ~cls:Io_stats.C_user_read "user001234" with
   | Some got -> check_int "seqno" 1235 got.Entry.seqno
   | None -> Alcotest.fail "expected hit");
@@ -267,7 +267,7 @@ let test_sstable_get_max_seqno () =
   let dev, cache = fresh_env () in
   let entries = List.sort (Entry.compare cmp) [ e "k" 10 ~value:"new"; e "k" 3 ~value:"old" ] in
   ignore (build_table dev entries);
-  let r = Sstable.open_reader ~cmp ~dev ~cache ~name:"t.sst" in
+  let r = Sstable.open_reader ~cmp ~dev ~cache "t.sst" in
   (match Sstable.get r ~cls:Io_stats.C_user_read ~max_seqno:5 "k" with
   | Some got -> check_str "snapshot sees old" "old" got.Entry.value
   | None -> Alcotest.fail "expected old version");
@@ -276,7 +276,7 @@ let test_sstable_get_max_seqno () =
 let test_sstable_filter_skips_io () =
   let dev, cache = fresh_env () in
   ignore (build_table dev (many_entries 2000));
-  let r = Sstable.open_reader ~cmp ~dev ~cache ~name:"t.sst" in
+  let r = Sstable.open_reader ~cmp ~dev ~cache "t.sst" in
   let before = Io_stats.pages_read ~cls:Io_stats.C_user_read (Device.stats dev) in
   (* In-range key that does not exist: the filter almost surely rejects. *)
   let missed = ref 0 in
@@ -290,7 +290,7 @@ let test_sstable_filter_skips_io () =
 let test_sstable_iterator_seek () =
   let dev, cache = fresh_env () in
   ignore (build_table dev (many_entries 5000));
-  let r = Sstable.open_reader ~cmp ~dev ~cache ~name:"t.sst" in
+  let r = Sstable.open_reader ~cmp ~dev ~cache "t.sst" in
   let it = Sstable.iterator r ~cls:Io_stats.C_user_read () in
   it.Iter.seek "user004321";
   check_str "seek across blocks" "user004321" (it.Iter.entry ()).Entry.key;
@@ -306,7 +306,7 @@ let test_sstable_range_tombstones_in_props () =
       [ e "a" 1 ~value:"x"; Entry.range_delete ~start_key:"b" ~end_key:"m" ~seqno:2; e "z" 3 ]
   in
   ignore (build_table dev entries);
-  let r = Sstable.open_reader ~cmp ~dev ~cache ~name:"t.sst" in
+  let r = Sstable.open_reader ~cmp ~dev ~cache "t.sst" in
   let rds = (Sstable.props r).Sstable.Props.range_tombstones in
   check_int "one range tombstone" 1 (List.length rds);
   check_str "carries end key" "m" (List.hd rds).Entry.value
@@ -326,13 +326,13 @@ let test_sstable_tombstone_counts () =
       [ e "a" 1; Entry.delete ~key:"b" ~seqno:2; Entry.single_delete ~key:"c" ~seqno:3; e "d" 4 ]
   in
   ignore (build_table dev entries);
-  let r = Sstable.open_reader ~cmp ~dev ~cache ~name:"t.sst" in
+  let r = Sstable.open_reader ~cmp ~dev ~cache "t.sst" in
   check_int "point tombstones" 2 (Sstable.props r).Sstable.Props.point_tombstones
 
 let test_sstable_uses_block_cache () =
   let dev, cache = fresh_env () in
   ignore (build_table dev (many_entries 2000));
-  let r = Sstable.open_reader ~cmp ~dev ~cache ~name:"t.sst" in
+  let r = Sstable.open_reader ~cmp ~dev ~cache "t.sst" in
   ignore (Sstable.get r ~cls:Io_stats.C_user_read "user000500");
   let reads_before = Io_stats.pages_read ~cls:Io_stats.C_user_read (Device.stats dev) in
   ignore (Sstable.get r ~cls:Io_stats.C_user_read "user000500");
@@ -343,7 +343,7 @@ let test_sstable_uses_block_cache () =
 let test_sstable_compaction_iter_bypasses_cache () =
   let dev, cache = fresh_env () in
   ignore (build_table dev (many_entries 2000));
-  let r = Sstable.open_reader ~cmp ~dev ~cache ~name:"t.sst" in
+  let r = Sstable.open_reader ~cmp ~dev ~cache "t.sst" in
   let it = Sstable.iterator r ~cls:Io_stats.C_compaction_read ~use_cache:false () in
   ignore (Iter.to_list it);
   check_int "nothing inserted into cache" 0 (Block_cache.block_count cache)
@@ -351,7 +351,7 @@ let test_sstable_compaction_iter_bypasses_cache () =
 let test_sstable_prefetch () =
   let dev, cache = fresh_env () in
   ignore (build_table dev (many_entries 2000));
-  let r = Sstable.open_reader ~cmp ~dev ~cache ~name:"t.sst" in
+  let r = Sstable.open_reader ~cmp ~dev ~cache "t.sst" in
   let n = Sstable.prefetch_into_cache r ~cls:Io_stats.C_compaction_read in
   check_int "all blocks cached" n (Block_cache.block_count cache);
   check_int "matches index" (Sstable.index_block_count r) n
@@ -369,7 +369,7 @@ let test_sstable_corrupt_footer () =
   Device.close w;
   check "bad magic raises" true
     (try
-       ignore (Sstable.open_reader ~cmp ~dev ~cache ~name:"bad.sst");
+       ignore (Sstable.open_reader ~cmp ~dev ~cache "bad.sst");
        false
      with Lsm_util.Lsm_error.Error (Lsm_util.Lsm_error.Corruption _) -> true)
 
@@ -384,8 +384,8 @@ let test_monkey_override_changes_filter_size () =
   let config2 = { Sstable.default_build_config with filter_bits_override = Some 2.0 } in
   ignore (Sstable.build ~config:config2 ~cmp ~dev ~cls:Io_stats.C_flush ~name:"small.sst"
             ~created_at:0 (Iter.of_sorted_list cmp entries));
-  let big = Sstable.open_reader ~cmp ~dev ~cache ~name:"big.sst" in
-  let small = Sstable.open_reader ~cmp ~dev ~cache ~name:"small.sst" in
+  let big = Sstable.open_reader ~cmp ~dev ~cache "big.sst" in
+  let small = Sstable.open_reader ~cmp ~dev ~cache "small.sst" in
   check "override respected" true (Sstable.filter_bits big > 4 * Sstable.filter_bits small)
 
 (* Model-based: random entries, roundtrip through a table, compare gets. *)
@@ -403,7 +403,7 @@ let prop_sstable_get_matches_model =
       ignore
         (Sstable.build ~cmp ~dev ~cls:Io_stats.C_flush ~name:"m.sst" ~created_at:0
            (Iter.of_sorted_list cmp entries));
-      let r = Sstable.open_reader ~cmp ~dev ~cache ~name:"m.sst" in
+      let r = Sstable.open_reader ~cmp ~dev ~cache "m.sst" in
       List.for_all
         (fun key ->
           let expected =
@@ -455,7 +455,7 @@ let test_table_cache_shares_readers () =
 let test_corrupt_cached_block_single_eviction () =
   let dev, cache = fresh_env () in
   ignore (build_table dev (many_entries 2000));
-  let r = Sstable.open_reader ~cmp ~dev ~cache ~name:"t.sst" in
+  let r = Sstable.open_reader ~cmp ~dev ~cache "t.sst" in
   ignore (Sstable.prefetch_into_cache r ~cls:Io_stats.C_misc);
   let index = Sstable.index_entries r in
   check "several blocks" true (Array.length index > 2);
